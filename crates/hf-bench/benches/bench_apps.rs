@@ -1,0 +1,106 @@
+//! Application-kernel microbenchmarks: STA sweep, critical-path search,
+//! MIS, Hungarian matching — the building blocks behind Figs 6 and 9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hf_place::mis::{make_priorities, mis_cpu};
+use hf_place::{hungarian, PlacementConfig, PlacementDb};
+use hf_timing::views::make_views;
+use hf_timing::{k_critical_paths, run_sta, Circuit, CircuitConfig};
+
+fn sta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timing/sta");
+    g.sample_size(10);
+    for &n in &[5_000usize, 50_000] {
+        let circuit = Circuit::synthesize(&CircuitConfig {
+            num_gates: n,
+            ..Default::default()
+        });
+        let view = &make_views(1, 0.4)[0];
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("full_sweep", n), &circuit, |b, circuit| {
+            b.iter(|| run_sta(circuit, view));
+        });
+    }
+    g.finish();
+}
+
+fn critical_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timing/k_paths");
+    g.sample_size(10);
+    let circuit = Circuit::synthesize(&CircuitConfig {
+        num_gates: 20_000,
+        ..Default::default()
+    });
+    let view = &make_views(1, 0.4)[0];
+    for &k in &[16usize, 256] {
+        g.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| k_critical_paths(&circuit, view, k));
+        });
+    }
+    g.finish();
+}
+
+fn mis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("place/mis");
+    g.sample_size(10);
+    for &n in &[2_000usize, 20_000] {
+        let db = PlacementDb::synthesize(&PlacementConfig {
+            num_cells: n,
+            num_nets: n,
+            ..Default::default()
+        });
+        let (off, nbr) = db.conflict_adjacency();
+        let pri = make_priorities(n, 7);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("cpu", n), &n, |b, _| {
+            b.iter(|| mis_cpu(&off, &nbr, &pri));
+        });
+    }
+    g.finish();
+}
+
+/// Incremental retiming vs full recompute after a local edit — the
+/// OpenTimer 2.0 speedup this repository reproduces.
+fn incremental_sta(c: &mut Criterion) {
+    use hf_timing::IncrementalTimer;
+    let mut g = c.benchmark_group("timing/incremental");
+    g.sample_size(10);
+    for &n in &[10_000usize, 50_000] {
+        let circuit = Circuit::synthesize(&CircuitConfig {
+            num_gates: n,
+            ..Default::default()
+        });
+        let view = make_views(1, 0.5)[0].clone();
+        // Edit a gate near the outputs: a small forward cone.
+        let gate = (n - 20) as u32;
+        g.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            let mut t = IncrementalTimer::new(circuit.clone(), view.clone());
+            let mut flip = 1.0f32;
+            b.iter(|| {
+                flip = if flip == 1.0 { 2.0 } else { 1.0 };
+                t.set_delay_factor(gate, flip);
+                t.update()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("full_sweep", n), &n, |b, _| {
+            b.iter(|| run_sta(&circuit, &view));
+        });
+    }
+    g.finish();
+}
+
+fn matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("place/hungarian");
+    for &n in &[6usize, 12, 24] {
+        let cost: Vec<Vec<u64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 31 + j * 17) % 97) as u64).collect())
+            .collect();
+        g.bench_with_input(BenchmarkId::new("n", n), &cost, |b, cost| {
+            b.iter(|| hungarian(cost));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sta, critical_paths, incremental_sta, mis, matching);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Microbenchmark + A3 ablation: the buddy-allocator memory pool vs raw
+//! per-pull allocation.
+//!
+//! The paper's executor "keeps a memory pool for each GPU device to
+//! reduce the scheduling overhead of frequent allocations by pull tasks"
+//! (§III-C). This bench quantifies that choice: pooled buddy alloc/free
+//! vs allocating a fresh zeroed buffer per operation (what `cudaMalloc` +
+//! `cudaMemset` per pull would amount to).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hf_gpu::BuddyAllocator;
+
+/// The pull-task allocation pattern: bursts of allocations with
+/// interleaved frees, varied sizes.
+fn pool_pattern(b: &mut BuddyAllocator, sizes: &[usize]) {
+    let mut live = Vec::with_capacity(sizes.len());
+    for (i, &sz) in sizes.iter().enumerate() {
+        live.push(b.alloc(sz).expect("pool sized for the pattern"));
+        if i % 3 == 2 {
+            b.free(live.swap_remove(0)).expect("valid");
+        }
+    }
+    for off in live {
+        b.free(off).expect("valid");
+    }
+}
+
+fn raw_pattern(sizes: &[usize]) -> usize {
+    // The no-pool baseline: a fresh zeroed buffer per "pull".
+    let mut total = 0usize;
+    let mut live: Vec<Vec<u8>> = Vec::with_capacity(sizes.len());
+    for (i, &sz) in sizes.iter().enumerate() {
+        let buf = vec![0u8; sz];
+        total += buf.len();
+        live.push(buf);
+        if i % 3 == 2 {
+            drop(live.swap_remove(0));
+        }
+    }
+    total
+}
+
+fn ablation_a3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A3/pool_vs_raw");
+    for &n in &[64usize, 512] {
+        let sizes: Vec<usize> = (0..n).map(|i| 256 + (i * 977) % 65536).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("buddy_pool", n), &sizes, |bch, sizes| {
+            let mut b = BuddyAllocator::new(1 << 28, 256);
+            bch.iter(|| pool_pattern(&mut b, sizes));
+        });
+        g.bench_with_input(BenchmarkId::new("raw_alloc", n), &sizes, |bch, sizes| {
+            bch.iter(|| std::hint::black_box(raw_pattern(sizes)));
+        });
+    }
+    g.finish();
+}
+
+fn buddy_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buddy/alloc_free");
+    for &order_spread in &[4usize, 10] {
+        g.bench_with_input(
+            BenchmarkId::new("spread", order_spread),
+            &order_spread,
+            |bch, &spread| {
+                let mut b = BuddyAllocator::new(1 << 26, 256);
+                bch.iter(|| {
+                    let offs: Vec<u64> = (0..128)
+                        .map(|i| b.alloc(256 << (i % spread)).expect("fits"))
+                        .collect();
+                    for o in offs {
+                        b.free(o).expect("valid");
+                    }
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation_a3, buddy_scaling);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Microbenchmark: the Chase–Lev work-stealing deque (the executor's
+//! per-worker queue).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hf_sync::{Steal, StealDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn owner_push_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deque/owner");
+    for &n in &[256usize, 4096] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            let d = StealDeque::new();
+            b.iter(|| {
+                for i in 0..n {
+                    d.push(i);
+                }
+                while d.pop().is_some() {}
+            });
+        });
+    }
+    g.finish();
+}
+
+fn contended_steal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deque/contended");
+    g.sample_size(10);
+    g.bench_function("one_thief", |b| {
+        b.iter_custom(|iters| {
+            let d = StealDeque::new();
+            let s = d.stealer();
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop2 = Arc::clone(&stop);
+            let thief = std::thread::spawn(move || {
+                let mut got = 0u64;
+                while !stop2.load(Ordering::Relaxed) {
+                    if let Steal::Success(_) = s.steal() {
+                        got += 1;
+                    }
+                }
+                got
+            });
+            let t0 = std::time::Instant::now();
+            for i in 0..iters {
+                d.push(i);
+                if i % 4 == 0 {
+                    let _ = d.pop();
+                }
+            }
+            let el = t0.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            let _ = thief.join();
+            el
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, owner_push_pop, contended_steal);
+criterion_main!(benches);

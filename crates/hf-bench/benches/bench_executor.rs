@@ -1,0 +1,147 @@
+//! Microbenchmark + A4 ablation: executor task throughput, adaptive
+//! sleep vs always-spin thieves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hf_core::{AsTask, Executor, Heteroflow};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn wide_graph(n: usize) -> (Heteroflow, Arc<AtomicUsize>) {
+    let g = Heteroflow::new("wide");
+    let counter = Arc::new(AtomicUsize::new(0));
+    let root = g.host("root", || {});
+    for i in 0..n {
+        let c = Arc::clone(&counter);
+        let t = g.host(&format!("t{i}"), move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        root.precede(&t);
+    }
+    (g, counter)
+}
+
+fn chain_graph(n: usize) -> Heteroflow {
+    let g = Heteroflow::new("chain");
+    let mut prev = None;
+    for i in 0..n {
+        let t = g.host(&format!("t{i}"), || {});
+        if let Some(p) = &prev {
+            t.succeed(p);
+        }
+        prev = Some(t);
+    }
+    g
+}
+
+fn throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor/throughput");
+    g.sample_size(10);
+    for &n in &[100usize, 1000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("wide", n), &n, |b, &n| {
+            let ex = Executor::new(4, 0);
+            let (graph, _) = wide_graph(n);
+            b.iter(|| ex.run(&graph).wait().expect("runs"));
+        });
+        g.bench_with_input(BenchmarkId::new("chain", n), &n, |b, &n| {
+            let ex = Executor::new(4, 0);
+            let graph = chain_graph(n);
+            b.iter(|| ex.run(&graph).wait().expect("runs"));
+        });
+    }
+    g.finish();
+}
+
+/// A4: the adaptive wake/sleep strategy vs always-spinning thieves.
+/// Throughput should be comparable; the adaptive strategy's win is idle
+/// CPU time, reported here via the sleeps/wakeups counters.
+fn ablation_a4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A4/adaptive_vs_spin");
+    g.sample_size(10);
+    let n = 500usize;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("adaptive", |b| {
+        let ex = Executor::builder(4, 0).adaptive_sleep(true).build();
+        let (graph, _) = wide_graph(n);
+        b.iter(|| ex.run(&graph).wait().expect("runs"));
+    });
+    g.bench_function("spin", |b| {
+        let ex = Executor::builder(4, 0).adaptive_sleep(false).build();
+        let (graph, _) = wide_graph(n);
+        b.iter(|| ex.run(&graph).wait().expect("runs"));
+    });
+    g.finish();
+
+    // Print the wasted-wakeup statistics once, outside timing.
+    let ex = Executor::builder(4, 0).adaptive_sleep(true).build();
+    let (graph, _) = wide_graph(n);
+    for _ in 0..20 {
+        ex.run(&graph).wait().expect("runs");
+    }
+    eprintln!(
+        "[A4] adaptive: tasks={} steals={} steal_rate={:.3} sleeps={} wakeups={}",
+        ex.stats().tasks_executed.sum(),
+        ex.stats().steals.sum(),
+        ex.stats().steal_success_rate(),
+        ex.stats().sleeps.sum(),
+        ex.stats().wakeups.sum(),
+    );
+}
+
+/// A5: GPU task fusion on/off over a chain-heavy graph (the MIS-rounds
+/// pattern of Fig 8): fusion removes one scheduler round trip per chain
+/// member.
+fn ablation_a5(c: &mut Criterion) {
+    use hf_core::data::HostVec;
+    let build = || {
+        let g = Heteroflow::new("chains");
+        for lane in 0..4 {
+            let d: HostVec<u64> = HostVec::from_vec(vec![1; 512]);
+            let p = g.pull(&format!("p{lane}"), &d);
+            let mut prev = p.as_task();
+            for i in 0..16 {
+                let k = g.kernel(&format!("k{lane}_{i}"), &[&p], |cfg, args| {
+                    let v = args.slice_mut::<u64>(0).expect("data");
+                    for t in cfg.threads() {
+                        if t < v.len() {
+                            v[t] = v[t].wrapping_add(1);
+                        }
+                    }
+                });
+                k.cover(512, 128);
+                k.succeed(&prev);
+                prev = k.as_task();
+            }
+            let s = g.push(&format!("s{lane}"), &p, &d);
+            s.succeed(&prev);
+        }
+        g
+    };
+    let mut grp = c.benchmark_group("A5/fusion");
+    grp.sample_size(10);
+    grp.bench_function("fused", |b| {
+        let ex = Executor::builder(4, 2).task_fusion(true).build();
+        let g = build();
+        b.iter(|| ex.run(&g).wait().expect("runs"));
+    });
+    grp.bench_function("unfused", |b| {
+        let ex = Executor::builder(4, 2).task_fusion(false).build();
+        let g = build();
+        b.iter(|| ex.run(&g).wait().expect("runs"));
+    });
+    grp.finish();
+}
+
+fn run_n_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor/run_n");
+    g.sample_size(10);
+    g.bench_function("run_n_100", |b| {
+        let ex = Executor::new(2, 0);
+        let graph = chain_graph(10);
+        b.iter(|| ex.run_n(&graph, 100).wait().expect("runs"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, throughput, ablation_a4, ablation_a5, run_n_batching);
+criterion_main!(benches);

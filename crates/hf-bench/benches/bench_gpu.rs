@@ -1,0 +1,100 @@
+//! Microbenchmarks of the software GPU substrate: stream op throughput,
+//! copy staging, event synchronization latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hf_gpu::{Event, GpuConfig, GpuRuntime, LaunchConfig, Stream};
+use std::sync::Arc;
+
+fn stream_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu/stream_ops");
+    g.sample_size(10);
+    for &n in &[100usize, 1000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("host_fns", n), &n, |b, &n| {
+            let rt = GpuRuntime::new(1, GpuConfig::default());
+            let s = Stream::new(&rt.device(0).expect("device 0"));
+            b.iter(|| {
+                for _ in 0..n {
+                    s.host_fn(|| {});
+                }
+                s.synchronize();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn copy_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu/h2d_d2h");
+    g.sample_size(10);
+    for &bytes in &[4 * 1024usize, 1024 * 1024] {
+        g.throughput(Throughput::Bytes(bytes as u64 * 2));
+        g.bench_with_input(BenchmarkId::new("bytes", bytes), &bytes, |b, &bytes| {
+            let rt = GpuRuntime::new(1, GpuConfig::default());
+            let dev = rt.device(0).expect("device 0");
+            let s = Stream::new(&dev);
+            let ptr = dev.alloc(bytes).expect("fits");
+            let data = vec![7u8; bytes];
+            b.iter(|| {
+                s.h2d_async(ptr, data.clone());
+                let sink = Arc::new(std::sync::Mutex::new(0usize));
+                let sk = Arc::clone(&sink);
+                s.d2h_with(ptr, move |b| {
+                    *sk.lock().expect("unpoisoned") = b.len();
+                });
+                s.synchronize();
+                assert_eq!(*sink.lock().expect("unpoisoned"), bytes);
+            });
+            dev.free(ptr).expect("valid");
+        });
+    }
+    g.finish();
+}
+
+fn event_sync_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu/event");
+    g.sample_size(10);
+    g.bench_function("record_sync", |b| {
+        let rt = GpuRuntime::new(1, GpuConfig::default());
+        let s = Stream::new(&rt.device(0).expect("device 0"));
+        b.iter(|| {
+            let e = Event::new();
+            s.record_event(&e);
+            e.synchronize();
+        });
+    });
+    g.finish();
+}
+
+fn kernel_launch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu/kernel");
+    g.sample_size(10);
+    for &n in &[1024usize, 65536] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("saxpy_threads", n), &n, |b, &n| {
+            let rt = GpuRuntime::new(1, GpuConfig::default());
+            let dev = rt.device(0).expect("device 0");
+            let s = Stream::new(&dev);
+            let x = dev.alloc(n * 4).expect("fits");
+            let y = dev.alloc(n * 4).expect("fits");
+            s.memset_async(x, 1);
+            s.memset_async(y, 2);
+            let kernel: hf_gpu::KernelFn = Arc::new(move |cfg: &LaunchConfig, args: &mut hf_gpu::KernelArgs<'_, '_>| {
+                let (xs, ys) = args.slice2_mut::<f32, f32>(0, 1).expect("disjoint");
+                for i in cfg.threads() {
+                    if i < xs.len() {
+                        ys[i] += 2.0 * xs[i];
+                    }
+                }
+            });
+            b.iter(|| {
+                s.launch_kernel(LaunchConfig::cover(n, 256), Arc::clone(&kernel), vec![x, y], n as f64);
+                s.synchronize();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, stream_throughput, copy_round_trip, event_sync_latency, kernel_launch);
+criterion_main!(benches);

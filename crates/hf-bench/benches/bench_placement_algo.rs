@@ -1,0 +1,70 @@
+//! Microbenchmark + A1 ablation: Algorithm 1 (DevicePlacement) runtime
+//! and the load balance of its packing policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hf_core::data::HostVec;
+use hf_core::placement::{device_placement, PlacementPolicy};
+use hf_core::Heteroflow;
+use hf_gpu::CostModel;
+
+/// A graph of `k` kernel groups with skewed pull sizes (group i pulls
+/// ~i KB), the stress case for balanced packing.
+fn grouped_graph(k: usize) -> hf_core::GraphInfo {
+    let g = Heteroflow::new("groups");
+    for i in 0..k {
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 1024 * (1 + i % 37)]);
+        let p = g.pull(&format!("p{i}"), &x);
+        let kn = g.kernel(&format!("k{i}"), &[&p], |_, _| {});
+        kn.work_units(((i % 11) + 1) as f64 * 1e5);
+        p.precede(&kn);
+    }
+    g.info().expect("acyclic")
+}
+
+fn placement_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement/algorithm1");
+    for &k in &[100usize, 1000, 10_000] {
+        let info = grouped_graph(k);
+        g.throughput(Throughput::Elements(k as u64));
+        g.bench_with_input(BenchmarkId::new("balanced", k), &info, |b, info| {
+            b.iter(|| {
+                device_placement(info, 4, PlacementPolicy::BalancedLoad, &CostModel::default())
+                    .expect("placeable")
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A1: balanced-load packing vs round-robin vs random, measured by the
+/// max/min device load ratio (printed once) and per-policy runtime.
+fn ablation_a1(c: &mut Criterion) {
+    let info = grouped_graph(2000);
+    let cost = CostModel::default();
+    for (name, policy) in [
+        ("balanced", PlacementPolicy::BalancedLoad),
+        ("roundrobin", PlacementPolicy::RoundRobin),
+        ("random", PlacementPolicy::Random { seed: 3 }),
+    ] {
+        let p = device_placement(&info, 4, policy, &cost).expect("placeable");
+        eprintln!(
+            "[A1] {name:>10}: imbalance (max/min load) = {:.3}",
+            p.imbalance()
+        );
+    }
+
+    let mut g = c.benchmark_group("A1/policies");
+    for (name, policy) in [
+        ("balanced", PlacementPolicy::BalancedLoad),
+        ("roundrobin", PlacementPolicy::RoundRobin),
+        ("random", PlacementPolicy::Random { seed: 3 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| device_placement(&info, 4, policy, &cost).expect("placeable"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, placement_runtime, ablation_a1);
+criterion_main!(benches);

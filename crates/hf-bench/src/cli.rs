@@ -1,0 +1,81 @@
+//! A minimal `--key value` / `--flag` argument parser (no external CLI
+//! dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    kv: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` (skipping the binary name): `--key
+    /// value` pairs and bare `--flag`s.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testing).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut kv = HashMap::new();
+        let mut flags = Vec::new();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        kv.insert(key.to_string(), it.next().expect("peeked"));
+                    }
+                    _ => flags.push(key.to_string()),
+                }
+            }
+        }
+        Self { kv, flags }
+    }
+
+    /// Value of `--key`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.kv
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String value of `--key`.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.kv.get(key).map(|s| s.as_str())
+    }
+
+    /// True if bare `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn kv_and_flags() {
+        let a = parse("--views 64 --json --scale 0.5 --policy random");
+        assert_eq!(a.get("views", 0usize), 64);
+        assert!((a.get("scale", 1.0f64) - 0.5).abs() < 1e-12);
+        assert_eq!(a.get_str("policy"), Some("random"));
+        assert!(a.flag("json"));
+        assert!(!a.flag("dedicated"));
+        assert_eq!(a.get("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("--json --dedicated");
+        assert!(a.flag("json") && a.flag("dedicated"));
+    }
+}

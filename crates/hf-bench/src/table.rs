@@ -1,0 +1,56 @@
+//! Plain-text table printing for the figure harnesses.
+
+/// One labeled series of values (e.g. "4 GPUs" over a core sweep).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Series label.
+    pub label: String,
+    /// Values, one per column.
+    pub values: Vec<f64>,
+}
+
+/// Prints a matrix with a header column list, one row per series. Values
+/// are printed with the given unit suffix.
+pub fn print_matrix(title: &str, col_name: &str, cols: &[String], rows: &[Row], unit: &str) {
+    println!("\n=== {title} ===");
+    let label_w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain([col_name.len()])
+        .max()
+        .unwrap_or(8)
+        + 2;
+    let col_w = cols.iter().map(|c| c.len()).max().unwrap_or(6).max(9) + 2;
+    print!("{:label_w$}", col_name);
+    for c in cols {
+        print!("{c:>col_w$}");
+    }
+    println!();
+    for r in rows {
+        print!("{:label_w$}", r.label);
+        for v in &r.values {
+            let s = format!("{v:.2}{unit}");
+            print!("{s:>col_w$}");
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_without_panicking() {
+        print_matrix(
+            "demo",
+            "cores",
+            &["1".into(), "8".into()],
+            &[
+                Row { label: "1 GPU".into(), values: vec![99.0, 23.5] },
+                Row { label: "4 GPUs".into(), values: vec![51.0, 13.0] },
+            ],
+            "m",
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Stateful host-side data binding for pull and push tasks.
+//!
+//! The paper binds pull/push tasks to host memory through `std::span`
+//! captured in a "stateful tuple" (Listings 3–6): the span is *re-formed at
+//! execution time*, so a host task that resizes the vector beforehand is
+//! seen by the pull task. Rust cannot alias user memory across threads
+//! safely, so the library provides [`HostVec<T>`] — a shared, lockable
+//! vector — as the binding endpoint. The stateful property is identical:
+//! pull reads the vector's *current* contents when the copy executes, and
+//! push writes back into the vector at execution time.
+
+use hf_gpu::plain::{self, Plain};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A shared host vector bindable to pull and push tasks.
+///
+/// Clones share the same storage (`Arc` inside). Host tasks mutate it
+/// through [`HostVec::write`]; pull tasks snapshot its bytes when they
+/// execute; push tasks overwrite it when they execute.
+///
+/// ```
+/// use hf_core::data::HostVec;
+/// let x: HostVec<i32> = HostVec::new();
+/// x.write().resize(4, 7);
+/// assert_eq!(x.read().as_slice(), &[7, 7, 7, 7]);
+/// ```
+pub struct HostVec<T> {
+    inner: Arc<RwLock<Vec<T>>>,
+}
+
+impl<T> Clone for HostVec<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for HostVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for HostVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("HostVec").field(&*self.inner.read()).finish()
+    }
+}
+
+impl<T> HostVec<T> {
+    /// Creates an empty shared vector.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(Vec::new())),
+        }
+    }
+
+    /// Creates from existing contents.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(v)),
+        }
+    }
+
+    /// Read guard over the contents.
+    pub fn read(&self) -> parking_lot::RwLockReadGuard<'_, Vec<T>> {
+        self.inner.read()
+    }
+
+    /// Write guard over the contents.
+    pub fn write(&self) -> parking_lot::RwLockWriteGuard<'_, Vec<T>> {
+        self.inner.write()
+    }
+
+    /// Current element count.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Extracts the contents, leaving the shared vector empty.
+    pub fn take(&self) -> Vec<T> {
+        std::mem::take(&mut *self.inner.write())
+    }
+}
+
+impl<T: Clone> HostVec<T> {
+    /// Clones the contents out.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.inner.read().clone()
+    }
+}
+
+impl<T> From<Vec<T>> for HostVec<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+/// Anything a pull task can read host bytes from at execution time.
+pub trait HostSource: Send + Sync + 'static {
+    /// Snapshot of the current bytes (called when the H2D copy executes —
+    /// this is what makes pull tasks stateful).
+    fn fetch_bytes(&self) -> Vec<u8>;
+    /// Current byte length (used to size the device allocation).
+    fn byte_len(&self) -> usize;
+}
+
+/// Anything a push task can write device bytes back into at execution
+/// time.
+pub trait HostSink: Send + Sync + 'static {
+    /// Overwrites the host storage with the device bytes.
+    fn store_bytes(&self, bytes: &[u8]);
+}
+
+impl<T: Plain> HostSource for HostVec<T> {
+    fn fetch_bytes(&self) -> Vec<u8> {
+        plain::as_bytes(self.inner.read().as_slice()).to_vec()
+    }
+
+    fn byte_len(&self) -> usize {
+        self.inner.read().len() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Plain> HostSink for HostVec<T> {
+    fn store_bytes(&self, bytes: &[u8]) {
+        let mut guard = self.inner.write();
+        let elems: &[T] = plain::from_bytes(&bytes[..bytes.len() - bytes.len() % std::mem::size_of::<T>()]);
+        guard.clear();
+        guard.extend_from_slice(elems);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stateful_resize_is_visible_to_source() {
+        let v: HostVec<i32> = HostVec::new();
+        let src: &dyn HostSource = &v.clone();
+        assert_eq!(src.byte_len(), 0);
+        v.write().resize(3, 5);
+        assert_eq!(src.byte_len(), 12);
+        assert_eq!(src.fetch_bytes(), plain::as_bytes(&[5i32, 5, 5]).to_vec());
+    }
+
+    #[test]
+    fn sink_overwrites_contents() {
+        let v: HostVec<u32> = HostVec::from_vec(vec![1, 2, 3, 4, 5]);
+        let sink: &dyn HostSink = &v.clone();
+        sink.store_bytes(plain::as_bytes(&[9u32, 8]));
+        assert_eq!(v.to_vec(), vec![9, 8]);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a: HostVec<f32> = HostVec::new();
+        let b = a.clone();
+        a.write().push(1.5);
+        assert_eq!(b.to_vec(), vec![1.5]);
+        assert_eq!(b.take(), vec![1.5]);
+        assert!(a.is_empty());
+    }
+}

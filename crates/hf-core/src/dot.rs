@@ -1,0 +1,180 @@
+//! Graph visualization in the standard DOT format (§III-A.6).
+//!
+//! `Heteroflow::dump` emits a Graphviz description of the task graph so
+//! users can render it with `dot`, Python Graphviz, or viz.js — "graph
+//! visualization largely facilitates testing and debugging of Heteroflow
+//! applications" (Listing 11).
+
+use crate::graph::{Heteroflow, TaskKind};
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn style(kind: TaskKind) -> &'static str {
+    match kind {
+        TaskKind::Host => "shape=ellipse",
+        TaskKind::Pull => "shape=house, style=filled, fillcolor=lightskyblue",
+        TaskKind::Push => "shape=invhouse, style=filled, fillcolor=lightsalmon",
+        TaskKind::Kernel => "shape=box3d, style=filled, fillcolor=palegreen",
+        TaskKind::Placeholder => "shape=ellipse, style=dashed",
+    }
+}
+
+impl Heteroflow {
+    /// Renders the graph as a DOT digraph string.
+    pub fn dump(&self) -> String {
+        let b = self.shared.builder.lock();
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(&b.name));
+        let _ = writeln!(out, "  rankdir=TB;");
+        for (i, n) in b.nodes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\", {}];",
+                i,
+                escape(&n.name),
+                style(n.work.kind())
+            );
+        }
+        for (i, n) in b.nodes.iter().enumerate() {
+            for &s in &n.succ {
+                let _ = writeln!(out, "  n{i} -> n{s};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the DOT form to a writer (`hf.dump(cout)` analogue).
+    pub fn dump_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(self.dump().as_bytes())
+    }
+
+    /// Renders the graph as DOT with GPU tasks grouped into one cluster
+    /// per device, as assigned by Algorithm 1 at the given GPU count —
+    /// shows where the scheduler would place every task.
+    pub fn dump_placed(&self, num_gpus: u32) -> Result<String, crate::HfError> {
+        let info = self.info()?;
+        let placement = crate::placement::device_placement(
+            &info,
+            num_gpus,
+            crate::placement::PlacementPolicy::BalancedLoad,
+            &hf_gpu::CostModel::default(),
+        )?;
+        let b = self.shared.builder.lock();
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(&b.name));
+        let _ = writeln!(out, "  rankdir=TB;");
+        // Host tasks at top level; GPU tasks inside device clusters.
+        for (i, n) in b.nodes.iter().enumerate() {
+            if placement.device_of[i].is_none() {
+                let _ = writeln!(
+                    out,
+                    "  n{} [label=\"{}\", {}];",
+                    i,
+                    escape(&n.name),
+                    style(n.work.kind())
+                );
+            }
+        }
+        for d in 0..num_gpus {
+            let members: Vec<usize> = (0..b.nodes.len())
+                .filter(|&i| placement.device_of[i] == Some(d))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "  subgraph cluster_gpu{d} {{");
+            let _ = writeln!(out, "    label=\"GPU {d}\"; style=rounded;");
+            for i in members {
+                let n = &b.nodes[i];
+                let _ = writeln!(
+                    out,
+                    "    n{} [label=\"{}\", {}];",
+                    i,
+                    escape(&n.name),
+                    style(n.work.kind())
+                );
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for (i, n) in b.nodes.iter().enumerate() {
+            for &s in &n.succ {
+                let _ = writeln!(out, "  n{i} -> n{s};");
+            }
+        }
+        out.push_str("}\n");
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::HostVec;
+
+    #[test]
+    fn dot_contains_all_tasks_and_edges() {
+        let g = Heteroflow::new("fig3");
+        let x: HostVec<i32> = HostVec::new();
+        let h1 = g.host("host1", || {});
+        let p1 = g.pull("pull1", &x);
+        let k1 = g.kernel("kernel1", &[&p1], |_, _| {});
+        let s1 = g.push("push1", &p1, &x);
+        h1.precede(&p1);
+        p1.precede(&k1);
+        k1.precede(&s1);
+        let dot = g.dump();
+        assert!(dot.starts_with("digraph \"fig3\""));
+        for name in ["host1", "pull1", "kernel1", "push1"] {
+            assert!(dot.contains(name), "missing {name}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), 3);
+        assert!(dot.contains("shape=house"), "pull style missing");
+        assert!(dot.contains("shape=box3d"), "kernel style missing");
+        assert!(dot.contains("shape=invhouse"), "push style missing");
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let g = Heteroflow::new("q\"uote");
+        g.host("na\"me", || {});
+        let dot = g.dump();
+        assert!(dot.contains("q\\\"uote"));
+        assert!(dot.contains("na\\\"me"));
+    }
+
+    #[test]
+    fn dump_placed_clusters_by_device() {
+        let g = Heteroflow::new("placed");
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 1024]);
+        let h = g.host("host", || {});
+        for i in 0..4 {
+            let p = g.pull(&format!("p{i}"), &x);
+            let k = g.kernel(&format!("k{i}"), &[&p], |_, _| {});
+            h.precede(&p);
+            p.precede(&k);
+        }
+        let dot = g.dump_placed(2).expect("placeable");
+        assert!(dot.contains("cluster_gpu0"));
+        assert!(dot.contains("cluster_gpu1"));
+        assert!(dot.contains("\"host\""));
+        // All 9 tasks and 8 edges survive.
+        assert_eq!(dot.matches(" -> ").count(), 8);
+        for i in 0..4 {
+            assert!(dot.contains(&format!("p{i}")));
+            assert!(dot.contains(&format!("k{i}")));
+        }
+    }
+
+    #[test]
+    fn dump_to_writer() {
+        let g = Heteroflow::new("w");
+        g.host("a", || {});
+        let mut buf = Vec::new();
+        g.dump_to(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), g.dump());
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type for graph construction and execution.
+
+use hf_gpu::GpuError;
+use std::fmt;
+
+/// Errors produced by Heteroflow graph construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HfError {
+    /// The task graph contains a dependency cycle and cannot be scheduled.
+    CycleDetected {
+        /// Name of a task on the cycle.
+        task: String,
+    },
+    /// A GPU task exists but the executor owns zero GPUs.
+    NoGpus {
+        /// Name of the offending task.
+        task: String,
+    },
+    /// A kernel executed before one of its source pull tasks — the user
+    /// omitted the dependency the paper makes explicit ("pull tasks must
+    /// finish before the kernel task and users are responsible for this
+    /// dependency", §III-A.5).
+    SourceNotPulled {
+        /// The kernel task.
+        kernel: String,
+        /// The pull task whose device data was missing.
+        pull: String,
+    },
+    /// A push task executed before its source pull task.
+    PushBeforePull {
+        /// The push task.
+        push: String,
+        /// The pull task.
+        pull: String,
+    },
+    /// An empty (placeholder) task was executed without being assigned
+    /// work.
+    EmptyTask {
+        /// The placeholder's name.
+        task: String,
+    },
+    /// A task's user callable panicked; the run completes with this error
+    /// instead of tearing down the executor.
+    TaskPanicked {
+        /// Name of the panicking task.
+        task: String,
+    },
+    /// An underlying device error (out of memory, bad pointer, ...).
+    Gpu(GpuError),
+    /// The executor was shut down while the run was in flight.
+    ExecutorShutDown,
+    /// The graph was structurally modified while one of its topologies was
+    /// still running.
+    GraphBusy,
+}
+
+impl fmt::Display for HfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HfError::CycleDetected { task } => {
+                write!(f, "task graph contains a cycle through task '{task}'")
+            }
+            HfError::NoGpus { task } => write!(
+                f,
+                "task '{task}' requires a GPU but the executor has none"
+            ),
+            HfError::SourceNotPulled { kernel, pull } => write!(
+                f,
+                "kernel '{kernel}' ran before its source pull task '{pull}'; add pull.precede(kernel)"
+            ),
+            HfError::PushBeforePull { push, pull } => write!(
+                f,
+                "push '{push}' ran before its source pull task '{pull}'; add a dependency"
+            ),
+            HfError::EmptyTask { task } => {
+                write!(f, "placeholder task '{task}' executed without assigned work")
+            }
+            HfError::TaskPanicked { task } => {
+                write!(f, "task '{task}' panicked during execution")
+            }
+            HfError::Gpu(e) => write!(f, "device error: {e}"),
+            HfError::ExecutorShutDown => write!(f, "executor shut down during run"),
+            HfError::GraphBusy => write!(f, "graph modified while running"),
+        }
+    }
+}
+
+impl std::error::Error for HfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HfError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for HfError {
+    fn from(e: GpuError) -> Self {
+        HfError::Gpu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_task() {
+        let e = HfError::CycleDetected { task: "k1".into() };
+        assert!(e.to_string().contains("k1"));
+        let e = HfError::SourceNotPulled {
+            kernel: "saxpy".into(),
+            pull: "pull_x".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("saxpy") && s.contains("pull_x"));
+    }
+
+    #[test]
+    fn gpu_error_wraps_with_source() {
+        use std::error::Error;
+        let e = HfError::from(GpuError::InvalidDevice(7));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,1130 @@
+//! The executor: N CPU workers, M GPUs, work-stealing scheduling.
+//!
+//! "An executor ... manages a set of CPU threads and GPU devices to
+//! schedule in which list of tasks to execute" (§III-B). Unlike systems
+//! that dedicate a worker per GPU, every Heteroflow worker can run every
+//! task kind — tasks are uniform closures — and GPU tasks are scoped to
+//! their assigned device via an RAII context (Listing 13).
+//!
+//! The scheduling loop follows §III-C: after device placement, workers
+//! drain their local Chase–Lev deque and become *thieves* stealing from
+//! random victims when empty. The adaptive strategy keeps "one thief
+//! alive as long as an active worker is running a task"; otherwise idle
+//! workers sleep on an eventcount.
+
+use crate::error::HfError;
+use crate::graph::{FrozenGraph, Heteroflow, Work};
+use crate::observer::{ExecutorObserver, TaskMeta};
+use crate::placement::PlacementPolicy;
+use crate::stats::ExecutorStats;
+use crate::topology::{RunFuture, Topology};
+use hf_gpu::{
+    GpuConfig, GpuRuntime, KernelArgs, LaunchConfig, OpReport, ScopedDeviceContext, Stream,
+};
+use hf_sync::{Notifier, Steal, StealDeque, Stealer};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One schedulable unit: a node of a running topology.
+struct WorkItem {
+    topo: Arc<Topology>,
+    node: usize,
+}
+
+/// Raw work-item pointer stored in the Copy-only work-stealing deques.
+/// Ownership transfers exactly once (deque guarantees no loss/duplication);
+/// poppers/stealers reconstitute the `Box`.
+#[derive(Clone, Copy)]
+struct ItemPtr(*mut WorkItem);
+// Safety: WorkItem is Send (Arc + usize); the pointer is a linear token.
+unsafe impl Send for ItemPtr {}
+
+impl ItemPtr {
+    fn pack(item: WorkItem) -> Self {
+        Self(Box::into_raw(Box::new(item)))
+    }
+
+    fn unpack(self) -> WorkItem {
+        // Safety: each ItemPtr is unpacked exactly once (deque/injector
+        // hand it to a single consumer).
+        *unsafe { Box::from_raw(self.0) }
+    }
+}
+
+struct ExecInner {
+    stealers: Vec<Stealer<ItemPtr>>,
+    injector: Mutex<VecDeque<ItemPtr>>,
+    notifier: Notifier,
+    done: AtomicBool,
+    num_actives: AtomicUsize,
+    num_thieves: AtomicUsize,
+    /// Topologies in flight across all graphs.
+    num_topologies: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    gpu: Arc<GpuRuntime>,
+    policy: PlacementPolicy,
+    /// Decaying estimate of modeled load already packed per device, used
+    /// to bias placement of later topologies toward idle GPUs.
+    device_load: Mutex<Vec<f64>>,
+    stats: ExecutorStats,
+    /// When false, idle thieves always spin (never sleep) — the A4
+    /// ablation baseline.
+    adaptive_sleep: bool,
+    /// GPU task fusion (§III-C "task fusing") enabled.
+    fusion: bool,
+    /// Observers notified around every task execution.
+    observers: Vec<Arc<dyn ExecutorObserver>>,
+}
+
+/// Builder for [`Executor`] with non-default GPU configuration, placement
+/// policy, or scheduling knobs.
+pub struct ExecutorBuilder {
+    cpus: usize,
+    gpus: u32,
+    gpu_config: GpuConfig,
+    shared_gpu: Option<Arc<GpuRuntime>>,
+    policy: PlacementPolicy,
+    adaptive_sleep: bool,
+    fusion: bool,
+    observers: Vec<Arc<dyn ExecutorObserver>>,
+}
+
+impl std::fmt::Debug for ExecutorBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorBuilder")
+            .field("cpus", &self.cpus)
+            .field("gpus", &self.gpus)
+            .field("policy", &self.policy)
+            .field("adaptive_sleep", &self.adaptive_sleep)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl ExecutorBuilder {
+    /// Starts a builder with `cpus` worker threads and `gpus` devices.
+    pub fn new(cpus: usize, gpus: u32) -> Self {
+        Self {
+            cpus,
+            gpus,
+            gpu_config: GpuConfig::default(),
+            shared_gpu: None,
+            policy: PlacementPolicy::BalancedLoad,
+            adaptive_sleep: true,
+            fusion: true,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Overrides the GPU configuration (memory size, cost model, ...).
+    pub fn gpu_config(mut self, cfg: GpuConfig) -> Self {
+        self.gpu_config = cfg;
+        self
+    }
+
+    /// Shares an existing GPU runtime instead of creating one.
+    pub fn gpu_runtime(mut self, rt: Arc<GpuRuntime>) -> Self {
+        self.shared_gpu = Some(rt);
+        self
+    }
+
+    /// Overrides the device placement policy (Algorithm 1's packing step).
+    pub fn placement_policy(mut self, p: PlacementPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Disables the adaptive sleep strategy: idle thieves spin forever.
+    /// Ablation baseline; wastes CPU but minimizes wakeup latency.
+    pub fn adaptive_sleep(mut self, on: bool) -> Self {
+        self.adaptive_sleep = on;
+        self
+    }
+
+    /// Enables/disables GPU task fusion (default on): linear chains of
+    /// same-device kernel/push tasks dispatch as one stream submission
+    /// with a single completion callback, cutting per-task scheduling
+    /// overhead (§III-C "task fusing"). The A5 ablation baseline is
+    /// `false`.
+    pub fn task_fusion(mut self, on: bool) -> Self {
+        self.fusion = on;
+        self
+    }
+
+    /// Registers an observer notified around every task execution (e.g.
+    /// [`crate::observer::TraceCollector`] for chrome-trace profiling).
+    /// Fused chain members fold into their head's span.
+    pub fn observer(mut self, obs: Arc<dyn ExecutorObserver>) -> Self {
+        self.observers.push(obs);
+        self
+    }
+
+    /// Builds the executor, spawning worker threads and device engines.
+    pub fn build(self) -> Executor {
+        let cpus = self.cpus.max(1);
+        let gpu = self
+            .shared_gpu
+            .unwrap_or_else(|| Arc::new(GpuRuntime::new(self.gpus, self.gpu_config)));
+
+        let deques: Vec<StealDeque<ItemPtr>> = (0..cpus).map(|_| StealDeque::new()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+
+        let inner = Arc::new(ExecInner {
+            stealers,
+            injector: Mutex::new(VecDeque::new()),
+            notifier: Notifier::new(),
+            done: AtomicBool::new(false),
+            num_actives: AtomicUsize::new(0),
+            num_thieves: AtomicUsize::new(0),
+            num_topologies: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            gpu: Arc::clone(&gpu),
+            policy: self.policy,
+            device_load: Mutex::new(vec![0.0; gpu.num_devices() as usize]),
+            stats: ExecutorStats::new(cpus),
+            adaptive_sleep: self.adaptive_sleep,
+            fusion: self.fusion,
+            observers: self.observers,
+        });
+
+        let threads = deques
+            .into_iter()
+            .enumerate()
+            .map(|(id, deque)| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("hf-worker-{id}"))
+                    .spawn(move || Worker::new(id, deque, inner).run())
+                    .expect("spawn executor worker")
+            })
+            .collect();
+
+        Executor {
+            inner,
+            gpu,
+            threads: Mutex::new(threads),
+        }
+    }
+}
+
+/// The Heteroflow executor. Thread-safe: `run*` may be called from any
+/// thread, concurrently (§III-B).
+pub struct Executor {
+    inner: Arc<ExecInner>,
+    gpu: Arc<GpuRuntime>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("cpus", &self.num_workers())
+            .field("gpus", &self.gpu.num_devices())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates an executor with `cpus` worker threads and `gpus` software
+    /// GPU devices — `hf::Executor executor(8, 4)` in the paper.
+    pub fn new(cpus: usize, gpus: u32) -> Self {
+        ExecutorBuilder::new(cpus, gpus).build()
+    }
+
+    /// Builder for custom configurations.
+    pub fn builder(cpus: usize, gpus: u32) -> ExecutorBuilder {
+        ExecutorBuilder::new(cpus, gpus)
+    }
+
+    /// Number of CPU worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.inner.stealers.len()
+    }
+
+    /// Number of GPU devices.
+    pub fn num_gpus(&self) -> u32 {
+        self.gpu.num_devices()
+    }
+
+    /// The underlying GPU runtime (e.g. for pool statistics in tests).
+    pub fn gpu_runtime(&self) -> &Arc<GpuRuntime> {
+        &self.gpu
+    }
+
+    /// Scheduling statistics (steals, sleeps, executed tasks).
+    pub fn stats(&self) -> &ExecutorStats {
+        &self.inner.stats
+    }
+
+    /// Runs the graph once. Non-blocking; returns a future.
+    pub fn run(&self, hf: &Heteroflow) -> RunFuture {
+        self.run_n(hf, 1)
+    }
+
+    /// Runs the graph `n` times (rounds execute back-to-back).
+    pub fn run_n(&self, hf: &Heteroflow, n: usize) -> RunFuture {
+        let mut remaining = n;
+        self.run_until(hf, move || {
+            if remaining == 0 {
+                true
+            } else {
+                remaining -= 1;
+                false
+            }
+        })
+    }
+
+    /// Runs the graph repeatedly until `stop` returns `true` (checked
+    /// before each round).
+    pub fn run_until<P>(&self, hf: &Heteroflow, stop: P) -> RunFuture
+    where
+        P: FnMut() -> bool + Send + 'static,
+    {
+        if self.inner.done.load(Ordering::Acquire) {
+            return RunFuture::ready(Err(HfError::ExecutorShutDown));
+        }
+        let frozen = match hf.freeze() {
+            Ok(f) => f,
+            Err(e) => return RunFuture::ready(Err(e)),
+        };
+        // Bias packing with a decaying estimate of load already placed on
+        // each device, so concurrent graphs spread across GPUs.
+        let placement = {
+            let mut dl = self.inner.device_load.lock();
+            for l in dl.iter_mut() {
+                *l *= 0.5;
+            }
+            match crate::placement::device_placement_biased(
+                &*frozen,
+                self.gpu.num_devices(),
+                self.inner.policy,
+                &self.gpu_cost_model(),
+                &dl,
+            ) {
+                Ok(p) => {
+                    dl.copy_from_slice(&p.loads);
+                    p
+                }
+                Err(e) => return RunFuture::ready(Err(e)),
+            }
+        };
+
+        let topo = Topology::new(
+            Arc::clone(&hf.shared),
+            frozen,
+            placement,
+            Box::new(stop),
+            self.inner.fusion,
+        );
+        let future = RunFuture {
+            completion: Arc::clone(&topo.completion),
+        };
+
+        self.inner.num_topologies.fetch_add(1, Ordering::SeqCst);
+
+        // Queue behind any active topology of the same graph.
+        let submit_now = {
+            let mut rs = hf.shared.run_state.lock();
+            if rs.active {
+                rs.queued.push_back(Arc::clone(&topo));
+                false
+            } else {
+                rs.active = true;
+                true
+            }
+        };
+        if submit_now {
+            self.inner.start_topology(topo);
+        }
+        future
+    }
+
+    /// Blocks until every topology submitted to this executor (from any
+    /// thread) has finished.
+    pub fn wait_for_all(&self) {
+        let mut g = self.inner.idle_lock.lock();
+        while self.inner.num_topologies.load(Ordering::SeqCst) != 0 {
+            self.inner.idle_cv.wait(&mut g);
+        }
+    }
+
+    fn gpu_cost_model(&self) -> hf_gpu::CostModel {
+        self.gpu
+            .devices()
+            .first()
+            .map(|d| d.cost_model())
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.wait_for_all();
+        self.inner.done.store(true, Ordering::SeqCst);
+        self.inner.notifier.notify_all();
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        // Workers exit with empty deques (all topologies finished), but be
+        // defensive: free anything left behind.
+        for s in &self.inner.stealers {
+            while let Steal::Success(p) = s.steal() {
+                drop(p.unpack());
+            }
+        }
+        for p in self.inner.injector.lock().drain(..) {
+            drop(p.unpack());
+        }
+    }
+}
+
+impl ExecInner {
+    /// Starts a (now-active) topology: checks the stopping predicate and
+    /// either completes immediately or schedules the first round.
+    fn start_topology(&self, topo: Arc<Topology>) {
+        // Check the predicate before the first round (run_n(0) semantics).
+        let stop = (topo.predicate.lock())();
+        if stop || topo.frozen.nodes.is_empty() {
+            self.finish_topology(topo);
+            return;
+        }
+        topo.reset_round();
+        let sources: Vec<usize> = topo.frozen.sources.clone();
+        for id in sources {
+            self.schedule(WorkItem {
+                topo: Arc::clone(&topo),
+                node: id,
+            });
+        }
+    }
+
+    /// Pushes a ready task: to the calling worker's local deque when on a
+    /// worker thread, else to the shared injector. Wakes a thief.
+    fn schedule(&self, item: WorkItem) {
+        let ptr = ItemPtr::pack(item);
+        WORKER_DEQUE.with(|d| {
+            let cell = d.borrow();
+            match cell.as_ref() {
+                Some(local) => local.push(ptr),
+                None => self.injector.lock().push_back(ptr),
+            }
+        });
+        self.notifier.notify_one();
+    }
+
+    /// Completes a topology: settles its promise and promotes the next
+    /// queued topology of the same graph, if any.
+    fn finish_topology(&self, topo: Arc<Topology>) {
+        // Free device allocations made by pull tasks this run.
+        for node in &topo.frozen.nodes {
+            let mut st = node.pull_state.lock();
+            if let Some(ptr) = st.ptr.take() {
+                if let Ok(dev) = self.gpu.device(ptr.device) {
+                    let _ = dev.free(ptr);
+                }
+            }
+        }
+
+        let next = {
+            let mut rs = topo.graph_shared.run_state.lock();
+            match rs.queued.pop_front() {
+                Some(n) => Some(n),
+                None => {
+                    rs.active = false;
+                    None
+                }
+            }
+        };
+
+        topo.completion.complete(topo.result());
+
+        if self.num_topologies.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = self.idle_lock.lock();
+            self.idle_cv.notify_all();
+        }
+
+        if let Some(next) = next {
+            self.start_topology(next);
+        }
+    }
+
+    /// Marks a node finished: releases its successors and, if it was the
+    /// round's last node, ends the round. Called from worker threads
+    /// (synchronous host tasks) and from device engine threads (the
+    /// stream-ordered completion callbacks of GPU tasks).
+    fn finish_node(&self, item: WorkItem) {
+        let topo = item.topo;
+        let node = &topo.frozen.nodes[item.node];
+        for &s in &node.succ {
+            if topo.join[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Fused chain members were dispatched with their head;
+                // whoever finished the head also finishes them in order.
+                if !topo.fused_member[s] {
+                    self.schedule(WorkItem {
+                        topo: Arc::clone(&topo),
+                        node: s,
+                    });
+                }
+            }
+        }
+        if topo.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.end_round(&topo);
+        }
+    }
+
+    /// Called by the worker that finished the last node of a round.
+    fn end_round(&self, topo: &Arc<Topology>) {
+        topo.rounds.fetch_add(1, Ordering::Relaxed);
+        self.stats.rounds.incr(0);
+
+        // Pull allocations persist across rounds (sizes usually repeat);
+        // they are reclaimed at topology completion.
+        let stop = topo.cancelled.load(Ordering::Acquire) || (topo.predicate.lock())();
+        if stop {
+            self.finish_topology(Arc::clone(topo));
+        } else {
+            topo.reset_round();
+            for &id in &topo.frozen.sources {
+                self.schedule(WorkItem {
+                    topo: Arc::clone(topo),
+                    node: id,
+                });
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// The owning side of the current worker's deque, when the thread is
+    /// an executor worker.
+    static WORKER_DEQUE: std::cell::RefCell<Option<Arc<StealDeque<ItemPtr>>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+struct Worker {
+    id: usize,
+    deque: Arc<StealDeque<ItemPtr>>,
+    inner: Arc<ExecInner>,
+    /// Lazily created per-device streams — "each worker keeps a
+    /// per-thread CUDA stream" (§III-C).
+    streams: Vec<Option<Stream>>,
+    /// xorshift state for victim selection.
+    rng: u64,
+}
+
+impl Worker {
+    fn new(id: usize, deque: StealDeque<ItemPtr>, inner: Arc<ExecInner>) -> Self {
+        let n_gpus = inner.gpu.num_devices() as usize;
+        Self {
+            id,
+            deque: Arc::new(deque),
+            inner,
+            streams: (0..n_gpus).map(|_| None).collect(),
+            rng: 0x9E3779B97F4A7C15 ^ (id as u64 + 1),
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn stream(&mut self, device: u32) -> Stream {
+        let slot = &mut self.streams[device as usize];
+        if slot.is_none() {
+            let dev = self
+                .inner
+                .gpu
+                .device(device)
+                .expect("placement produced a valid device id");
+            *slot = Some(Stream::new(&dev));
+        }
+        slot.clone().expect("just created")
+    }
+
+    fn run(mut self) {
+        WORKER_DEQUE.with(|d| *d.borrow_mut() = Some(Arc::clone(&self.deque)));
+        loop {
+            // Exploit: drain the local queue.
+            while let Some(ptr) = self.deque.pop() {
+                self.execute(ptr.unpack());
+            }
+            // Explore: steal, or sleep when the system is quiet.
+            match self.wait_for_task() {
+                Some(ptr) => self.execute(ptr.unpack()),
+                None => break,
+            }
+        }
+        WORKER_DEQUE.with(|d| *d.borrow_mut() = None);
+    }
+
+    /// Steal loop with the adaptive wake/sleep strategy. Returns `None`
+    /// on shutdown.
+    fn wait_for_task(&mut self) -> Option<ItemPtr> {
+        let inner = Arc::clone(&self.inner);
+        inner.num_thieves.fetch_add(1, Ordering::SeqCst);
+        loop {
+            // Bounded stealing sweep.
+            let mut backoff = hf_sync::Backoff::new();
+            while !backoff.is_completed() {
+                if let Some(ptr) = self.try_steal_once() {
+                    // If this was the last thief, wake a peer so one thief
+                    // remains while we turn active (paper's invariant).
+                    if inner.num_thieves.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        inner.notifier.notify_one();
+                    }
+                    return Some(ptr);
+                }
+                backoff.snooze();
+            }
+
+            if !inner.adaptive_sleep {
+                // Ablation mode: spin forever (still honor shutdown).
+                if inner.done.load(Ordering::Acquire) {
+                    inner.num_thieves.fetch_sub(1, Ordering::SeqCst);
+                    return None;
+                }
+                continue;
+            }
+
+            // Two-phase sleep: prepare, re-check, commit.
+            let token = inner.notifier.prepare_wait();
+            if inner.done.load(Ordering::Acquire) {
+                inner.notifier.cancel_wait(token);
+                inner.num_thieves.fetch_sub(1, Ordering::SeqCst);
+                return None;
+            }
+            if self.work_visible() {
+                inner.notifier.cancel_wait(token);
+                continue;
+            }
+            // Keep one thief alive while any worker is active.
+            if inner.num_actives.load(Ordering::SeqCst) > 0
+                && inner.num_thieves.load(Ordering::SeqCst) == 1
+            {
+                inner.notifier.cancel_wait(token);
+                continue;
+            }
+            inner.stats.sleeps.incr(self.id);
+            inner.notifier.commit_wait(token);
+            inner.stats.wakeups.incr(self.id);
+        }
+    }
+
+    /// One randomized steal attempt across victims and the injector.
+    fn try_steal_once(&mut self) -> Option<ItemPtr> {
+        let inner = Arc::clone(&self.inner);
+        let n = inner.stealers.len();
+        // Injector first with probability 1/(n+1): treat it as victim n.
+        let v = (self.next_rand() % (n as u64 + 1)) as usize;
+        inner.stats.steal_attempts.incr(self.id);
+        if v == n {
+            if let Some(ptr) = inner.injector.lock().pop_front() {
+                inner.stats.steals.incr(self.id);
+                return Some(ptr);
+            }
+        } else if v != self.id {
+            match inner.stealers[v].steal() {
+                Steal::Success(ptr) => {
+                    inner.stats.steals.incr(self.id);
+                    return Some(ptr);
+                }
+                Steal::Retry | Steal::Empty => {}
+            }
+        }
+        None
+    }
+
+    /// True if any queue plausibly holds work (used to re-check before
+    /// sleeping).
+    fn work_visible(&self) -> bool {
+        if !self.inner.injector.lock().is_empty() {
+            return true;
+        }
+        self.inner.stealers.iter().any(|s| !s.is_empty())
+    }
+
+    /// Executes a work item — the visitor dispatch of §III-C. Host tasks
+    /// complete synchronously on this worker; GPU tasks are *dispatched*
+    /// asynchronously to the device stream (the worker is immediately
+    /// free, so one core can drive many GPUs concurrently), with a
+    /// stream-ordered completion callback releasing the successors — the
+    /// fully asynchronous pattern of Listing 13.
+    fn execute(&mut self, item: WorkItem) {
+        let inner = Arc::clone(&self.inner);
+        inner.num_actives.fetch_add(1, Ordering::SeqCst);
+        // Ensure a thief exists while we are active.
+        if inner.num_thieves.load(Ordering::SeqCst) == 0 {
+            inner.notifier.notify_one();
+        }
+
+        let observed = !inner.observers.is_empty();
+        if observed {
+            let meta = self.task_meta(&item);
+            for o in &inner.observers {
+                o.on_task_begin(&meta);
+            }
+        }
+
+        let mut dispatched_async = false;
+        if !item.topo.cancelled.load(Ordering::Acquire) {
+            match self.invoke(&item.topo, item.node) {
+                Ok(is_async) => dispatched_async = is_async,
+                Err(e) => item.topo.fail(e),
+            }
+        }
+        inner.stats.tasks_executed.incr(self.id);
+
+        if observed {
+            let meta = self.task_meta(&item);
+            for o in &inner.observers {
+                o.on_task_end(&meta);
+            }
+        }
+
+        if !dispatched_async {
+            // Finish this node and any fused chain hanging off it (chain
+            // members are never scheduled individually, so a cancelled or
+            // failed head must finish them here).
+            let topo = item.topo;
+            let mut node = item.node;
+            loop {
+                let next = topo.fused_next[node];
+                inner.finish_node(WorkItem {
+                    topo: Arc::clone(&topo),
+                    node,
+                });
+                match next {
+                    Some(nxt) => node = nxt as usize,
+                    None => break,
+                }
+            }
+        }
+        inner.num_actives.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Builds the observer metadata for a work item.
+    fn task_meta<'a>(&self, item: &'a WorkItem) -> TaskMeta<'a> {
+        let node = &item.topo.frozen.nodes[item.node];
+        TaskMeta {
+            worker: self.id,
+            name: &node.name,
+            kind: node.work.kind(),
+            device: item.topo.placement.device_of[item.node],
+            graph: &item.topo.frozen.name,
+        }
+    }
+
+    /// Runs one task body. Returns `Ok(true)` when completion was handed
+    /// to a device stream (asynchronous GPU task), `Ok(false)` when the
+    /// task finished synchronously.
+    fn invoke(&mut self, topo: &Arc<Topology>, id: usize) -> Result<bool, HfError> {
+        let node = &topo.frozen.nodes[id];
+        match &node.work {
+            Work::Empty => Err(HfError::EmptyTask {
+                task: node.name.clone(),
+            }),
+            Work::Host(f) => {
+                let f = Arc::clone(f);
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    (f.lock())()
+                }));
+                res.map(|_| false).map_err(|_| HfError::TaskPanicked {
+                    task: node.name.clone(),
+                })
+            }
+            Work::Pull { .. } | Work::Push { .. } | Work::Kernel { .. } => {
+                self.dispatch_gpu_chain(topo, id)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Dispatches a GPU task and its fused chain (§III-C "task fusing"):
+    /// all ops are prepared first (any error aborts before a single
+    /// enqueue), then submitted to the per-worker stream back-to-back
+    /// with one completion callback finishing every chain node in order.
+    fn dispatch_gpu_chain(&mut self, topo: &Arc<Topology>, head: usize) -> Result<(), HfError> {
+        let dev_id = topo.placement.device_of[head].expect("GPU task placed");
+        let _ctx = ScopedDeviceContext::new(dev_id);
+
+        let mut chain = vec![head];
+        let mut ops = vec![self.prepare_op(topo, head, dev_id)?];
+        let mut cur = head;
+        while let Some(nxt) = topo.fused_next[cur] {
+            let nxt = nxt as usize;
+            ops.push(self.prepare_op(topo, nxt, dev_id)?);
+            chain.push(nxt);
+            cur = nxt;
+        }
+        if chain.len() > 1 {
+            self.inner.stats.fused.add(self.id, (chain.len() - 1) as u64);
+            // Members never pass through `execute`; account for them.
+            self.inner
+                .stats
+                .tasks_executed
+                .add(self.id, (chain.len() - 1) as u64);
+        }
+
+        let stream = self.stream(dev_id);
+        for op in ops {
+            stream.exec(op);
+        }
+        let inner = Arc::clone(&self.inner);
+        let topo2 = Arc::clone(topo);
+        stream.host_fn(move || {
+            for &node in &chain {
+                inner.finish_node(WorkItem {
+                    topo: Arc::clone(&topo2),
+                    node,
+                });
+            }
+        });
+        Ok(())
+    }
+
+    /// Builds the device op for one GPU node (without enqueueing it).
+    /// Pull tasks also (re)allocate their device buffer here.
+    fn prepare_op(
+        &mut self,
+        topo: &Arc<Topology>,
+        id: usize,
+        dev_id: u32,
+    ) -> Result<hf_gpu::stream::ExecFn, HfError> {
+        let frozen: &FrozenGraph = &topo.frozen;
+        let node = &frozen.nodes[id];
+        match &node.work {
+            Work::Pull { source } => {
+                let device = self.inner.gpu.device(dev_id)?;
+                // (Re)allocate to the source's *current* size — stateful.
+                let bytes = source.byte_len();
+                let ptr = {
+                    let mut st = node.pull_state.lock();
+                    match st.ptr {
+                        Some(p) if p.len as usize == bytes => p,
+                        old => {
+                            if let Some(p) = old {
+                                device.free(p)?;
+                            }
+                            let p = device.alloc(bytes)?;
+                            st.ptr = Some(p);
+                            p
+                        }
+                    }
+                };
+                let src = Arc::clone(source);
+                let topo2 = Arc::clone(topo);
+                Ok(Box::new(move |view, cost| {
+                    let data = src.fetch_bytes();
+                    let n = data.len();
+                    if let Err(e) = view.copy_in(ptr, &data) {
+                        topo2.fail(HfError::Gpu(e.clone()));
+                        return Err(e);
+                    }
+                    Ok(OpReport {
+                        duration: cost.h2d(n),
+                        h2d_bytes: n as u64,
+                        ..Default::default()
+                    })
+                }))
+            }
+            Work::Push { source_pull, sink } => {
+                let pull_node = &frozen.nodes[*source_pull];
+                let ptr = pull_node.pull_state.lock().ptr.ok_or_else(|| {
+                    HfError::PushBeforePull {
+                        push: node.name.clone(),
+                        pull: pull_node.name.clone(),
+                    }
+                })?;
+                debug_assert_eq!(dev_id, ptr.device);
+                let sink = Arc::clone(sink);
+                let topo2 = Arc::clone(topo);
+                Ok(Box::new(move |view, cost| {
+                    let bytes = match view.bytes(ptr) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            topo2.fail(HfError::Gpu(e.clone()));
+                            return Err(e);
+                        }
+                    };
+                    let n = bytes.len();
+                    sink.store_bytes(bytes);
+                    Ok(OpReport {
+                        duration: cost.d2h(n),
+                        d2h_bytes: n as u64,
+                        ..Default::default()
+                    })
+                }))
+            }
+            Work::Kernel { func, sources } => {
+                let mut ptrs = Vec::with_capacity(sources.len());
+                for &s in sources {
+                    let pull_node = &frozen.nodes[s];
+                    let p = pull_node.pull_state.lock().ptr.ok_or_else(|| {
+                        HfError::SourceNotPulled {
+                            kernel: node.name.clone(),
+                            pull: pull_node.name.clone(),
+                        }
+                    })?;
+                    debug_assert_eq!(
+                        p.device, dev_id,
+                        "placement must co-locate kernels with their pulls"
+                    );
+                    ptrs.push(p);
+                }
+                let cfg: LaunchConfig = node.cfg;
+                let work_units = if node.work_units > 0.0 {
+                    node.work_units
+                } else {
+                    cfg.total_threads() as f64
+                };
+                let func = Arc::clone(func);
+                let topo2 = Arc::clone(topo);
+                let task_name = node.name.clone();
+                Ok(Box::new(move |view, cost| {
+                    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut args = KernelArgs::new(view, &ptrs);
+                        func(&cfg, &mut args);
+                    }));
+                    if res.is_err() {
+                        topo2.fail(HfError::TaskPanicked {
+                            task: task_name.clone(),
+                        });
+                    }
+                    Ok(OpReport {
+                        duration: cost.kernel(work_units),
+                        kernels: 1,
+                        ..Default::default()
+                    })
+                }))
+            }
+            Work::Empty | Work::Host(_) => unreachable!("not a GPU task"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::HostVec;
+    use crate::graph::Heteroflow;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn empty_graph_completes_immediately() {
+        let ex = Executor::new(2, 1);
+        let g = Heteroflow::new("empty");
+        assert!(ex.run(&g).wait().is_ok());
+    }
+
+    #[test]
+    fn host_only_chain_runs_in_order() {
+        let ex = Executor::new(4, 0);
+        let g = Heteroflow::new("chain");
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut prev: Option<crate::task::HostTask> = None;
+        for i in 0..10 {
+            let log = Arc::clone(&log);
+            let t = g.host(&format!("t{i}"), move || log.lock().push(i));
+            if let Some(p) = &prev {
+                p.precede(&t);
+            }
+            prev = Some(t);
+        }
+        ex.run(&g).wait().unwrap();
+        assert_eq!(&*log.lock(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn diamond_respects_dependencies() {
+        let ex = Executor::new(4, 0);
+        let g = Heteroflow::new("diamond");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let snap = Arc::new(Mutex::new((0usize, 0usize)));
+        let (c1, c2, c3) = (Arc::clone(&counter), Arc::clone(&counter), Arc::clone(&counter));
+        let s1 = Arc::clone(&snap);
+        let a = g.host("a", move || {
+            c1.fetch_add(1, Ordering::SeqCst);
+        });
+        let b = g.host("b", {
+            let c = Arc::clone(&counter);
+            move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        let c = g.host("c", move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        let d = g.host("d", move || {
+            let v = c3.load(Ordering::SeqCst);
+            *s1.lock() = (v, 3);
+        });
+        a.precede(&b).precede(&c);
+        d.succeed(&b).succeed(&c);
+        ex.run(&g).wait().unwrap();
+        assert_eq!(*snap.lock(), (3, 3), "d saw all three predecessors");
+    }
+
+    #[test]
+    fn run_n_repeats() {
+        let ex = Executor::new(2, 0);
+        let g = Heteroflow::new("rep");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        g.host("inc", move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        ex.run_n(&g, 100).wait().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn run_n_zero_is_noop() {
+        let ex = Executor::new(2, 0);
+        let g = Heteroflow::new("zero");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        g.host("inc", move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        ex.run_n(&g, 0).wait().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let ex = Executor::new(2, 0);
+        let g = Heteroflow::new("until");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        g.host("inc", move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let c2 = Arc::clone(&counter);
+        ex.run_until(&g, move || c2.load(Ordering::SeqCst) >= 7)
+            .wait()
+            .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn panicking_host_task_reports_error() {
+        let ex = Executor::new(2, 0);
+        let g = Heteroflow::new("boom");
+        g.host("boom", || panic!("intentional"));
+        let res = ex.run(&g).wait();
+        assert_eq!(
+            res,
+            Err(HfError::TaskPanicked {
+                task: "boom".into()
+            })
+        );
+        // Executor still works afterwards.
+        let g2 = Heteroflow::new("ok");
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        g2.host("fine", move || {
+            r.store(1, Ordering::SeqCst);
+        });
+        ex.run(&g2).wait().unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_runs_of_same_graph_queue_up() {
+        let ex = Executor::new(4, 0);
+        let g = Heteroflow::new("queued");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        g.host("inc", move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let futs: Vec<_> = (0..8).map(|_| ex.run(&g)).collect();
+        for f in futs {
+            f.wait().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn wait_for_all_drains_everything() {
+        let ex = Executor::new(4, 0);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let graphs: Vec<Heteroflow> = (0..5)
+            .map(|i| {
+                let g = Heteroflow::new(&format!("g{i}"));
+                let c = Arc::clone(&counter);
+                g.host("inc", move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+                g
+            })
+            .collect();
+        for g in &graphs {
+            ex.run_n(g, 3);
+        }
+        ex.wait_for_all();
+        assert_eq!(counter.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn wide_fanout_exercises_stealing() {
+        let ex = Executor::new(4, 0);
+        let g = Heteroflow::new("fan");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let root = g.host("root", || {});
+        for i in 0..200 {
+            let c = Arc::clone(&counter);
+            let t = g.host(&format!("leaf{i}"), move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            root.precede(&t);
+        }
+        ex.run(&g).wait().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+        assert!(ex.stats().tasks_executed.sum() >= 201);
+    }
+
+    #[test]
+    fn placeholder_execution_is_an_error() {
+        let ex = Executor::new(2, 0);
+        let g = Heteroflow::new("ph");
+        g.placeholder("nothing");
+        assert!(matches!(
+            ex.run(&g).wait(),
+            Err(HfError::EmptyTask { .. })
+        ));
+    }
+
+    #[test]
+    fn gpu_graph_without_gpus_errors() {
+        let ex = Executor::new(2, 0);
+        let g = Heteroflow::new("gpu");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1, 2, 3]);
+        g.pull("px", &x);
+        assert!(matches!(ex.run(&g).wait(), Err(HfError::NoGpus { .. })));
+    }
+
+    #[test]
+    fn non_adaptive_mode_still_works() {
+        let ex = Executor::builder(3, 0).adaptive_sleep(false).build();
+        let g = Heteroflow::new("spin");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        g.host("inc", move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        ex.run_n(&g, 10).wait().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+}

@@ -1,0 +1,593 @@
+//! The task dependency graph: construction ("builder") and the frozen,
+//! executable form.
+//!
+//! A [`Heteroflow`] is a DAG whose nodes are *host*, *pull*, *push*, and
+//! *kernel* tasks and whose edges are explicit dependency constraints
+//! (§III-A). Users build it through [`Heteroflow::host`],
+//! [`Heteroflow::pull`], [`Heteroflow::push`], [`Heteroflow::kernel`] and
+//! the `precede`/`succeed` methods on the returned task handles, then hand
+//! it to an [`crate::Executor`].
+//!
+//! Internally construction happens on a mutable builder; submitting the
+//! graph *freezes* it into an immutable [`FrozenGraph`] shared with the
+//! executor's worker threads. Re-submitting an unmodified graph reuses the
+//! frozen form.
+
+use crate::data::{HostSink, HostSource};
+use crate::error::HfError;
+use crate::task::{HostTask, KernelTask, PullTask, PushTask, TaskRef};
+use hf_gpu::{DevicePtr, KernelFn, LaunchConfig};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// The four task categories of the Heteroflow programming model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Runs a callable on a CPU core.
+    Host,
+    /// Copies data from the host to a GPU (H2D).
+    Pull,
+    /// Copies data from a GPU back to the host (D2H).
+    Push,
+    /// Offloads computation to a GPU.
+    Kernel,
+    /// A placeholder not yet assigned work.
+    Placeholder,
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TaskKind::Host => "host",
+            TaskKind::Pull => "pull",
+            TaskKind::Push => "push",
+            TaskKind::Kernel => "kernel",
+            TaskKind::Placeholder => "placeholder",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shareable host-task callable.
+pub(crate) type HostFn = Arc<Mutex<Box<dyn FnMut() + Send>>>;
+
+/// Work payload of a node (builder and frozen forms share it; closures are
+/// behind `Arc` so freezing clones cheaply).
+pub(crate) enum Work {
+    Empty,
+    Host(HostFn),
+    Pull {
+        source: Arc<dyn HostSource>,
+    },
+    Push {
+        source_pull: usize,
+        sink: Arc<dyn HostSink>,
+    },
+    Kernel {
+        func: KernelFn,
+        sources: Vec<usize>,
+    },
+}
+
+impl Work {
+    pub(crate) fn kind(&self) -> TaskKind {
+        match self {
+            Work::Empty => TaskKind::Placeholder,
+            Work::Host(_) => TaskKind::Host,
+            Work::Pull { .. } => TaskKind::Pull,
+            Work::Push { .. } => TaskKind::Push,
+            Work::Kernel { .. } => TaskKind::Kernel,
+        }
+    }
+
+    fn clone_payload(&self) -> Work {
+        match self {
+            Work::Empty => Work::Empty,
+            Work::Host(f) => Work::Host(Arc::clone(f)),
+            Work::Pull { source } => Work::Pull {
+                source: Arc::clone(source),
+            },
+            Work::Push { source_pull, sink } => Work::Push {
+                source_pull: *source_pull,
+                sink: Arc::clone(sink),
+            },
+            Work::Kernel { func, sources } => Work::Kernel {
+                func: Arc::clone(func),
+                sources: sources.clone(),
+            },
+        }
+    }
+}
+
+/// A node in the builder.
+pub(crate) struct BuildNode {
+    pub(crate) name: String,
+    pub(crate) work: Work,
+    pub(crate) succ: Vec<usize>,
+    pub(crate) pred: Vec<usize>,
+    /// Kernel launch configuration (kernels only).
+    pub(crate) cfg: LaunchConfig,
+    /// Declared kernel cost in abstract work units (kernels only).
+    pub(crate) work_units: f64,
+}
+
+pub(crate) struct Builder {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<BuildNode>,
+    pub(crate) dirty: bool,
+}
+
+impl Builder {
+    fn add(&mut self, name: &str, work: Work) -> usize {
+        self.dirty = true;
+        self.nodes.push(BuildNode {
+            name: name.to_owned(),
+            work,
+            succ: Vec::new(),
+            pred: Vec::new(),
+            cfg: LaunchConfig::default(),
+            work_units: 0.0,
+        });
+        self.nodes.len() - 1
+    }
+
+    pub(crate) fn add_edge(&mut self, from: usize, to: usize) {
+        // Ignore duplicate edges: precede(a); precede(a) must not double
+        // the join counter.
+        if self.nodes[from].succ.contains(&to) {
+            return;
+        }
+        self.dirty = true;
+        self.nodes[from].succ.push(to);
+        self.nodes[to].pred.push(from);
+    }
+}
+
+/// Runtime (per-execution) state of a pull node: its current device
+/// allocation.
+#[derive(Debug, Default)]
+pub(crate) struct PullState {
+    pub(crate) ptr: Option<DevicePtr>,
+}
+
+/// An immutable, executable snapshot of the graph.
+pub struct FrozenGraph {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<FrozenNode>,
+    /// Node ids with no predecessors (the round's initial ready set).
+    pub(crate) sources: Vec<usize>,
+}
+
+pub(crate) struct FrozenNode {
+    pub(crate) name: String,
+    pub(crate) work: Work,
+    pub(crate) succ: Vec<usize>,
+    pub(crate) num_deps: usize,
+    pub(crate) cfg: LaunchConfig,
+    pub(crate) work_units: f64,
+    pub(crate) pull_state: Mutex<PullState>,
+}
+
+impl FrozenGraph {
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Graph name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Task category of node `id`.
+    pub fn kind(&self, id: usize) -> TaskKind {
+        self.nodes[id].work.kind()
+    }
+
+    /// Verifies acyclicity via Kahn's algorithm. Returns the name of a
+    /// task on a cycle, if any.
+    fn find_cycle(nodes: &[FrozenNode]) -> Option<String> {
+        let mut indeg: Vec<usize> = nodes.iter().map(|n| n.num_deps).collect();
+        let mut queue: Vec<usize> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in &nodes[u].succ {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if seen == nodes.len() {
+            None
+        } else {
+            indeg
+                .iter()
+                .position(|&d| d > 0)
+                .map(|i| nodes[i].name.clone())
+        }
+    }
+}
+
+/// State of queued/active executions of one graph. Only one topology of a
+/// graph runs at a time; further `run` calls queue behind it (the paper's
+/// topology list, §III-C).
+pub(crate) struct RunState {
+    /// True while a topology of this graph is executing.
+    pub(crate) active: bool,
+    /// Topologies waiting for the active one to finish.
+    pub(crate) queued: std::collections::VecDeque<Arc<crate::topology::Topology>>,
+}
+
+pub(crate) struct GraphShared {
+    pub(crate) builder: Mutex<Builder>,
+    pub(crate) frozen: Mutex<Option<Arc<FrozenGraph>>>,
+    pub(crate) run_state: Mutex<RunState>,
+}
+
+/// A CPU-GPU task dependency graph.
+///
+/// Mirrors the paper's `hf::Heteroflow` object: an object-oriented
+/// container for tasks and dependencies, independent of any executor.
+/// Cloning the handle shares the same underlying graph.
+///
+/// ```
+/// use hf_core::{Heteroflow, data::HostVec};
+/// let g = Heteroflow::new("demo");
+/// let x: HostVec<i32> = HostVec::new();
+/// let h = g.host("make_x", {
+///     let x = x.clone();
+///     move || x.write().resize(16, 1)
+/// });
+/// let p = g.pull("pull_x", &x);
+/// h.precede(&p);
+/// assert_eq!(g.num_tasks(), 2);
+/// ```
+#[derive(Clone)]
+pub struct Heteroflow {
+    pub(crate) shared: Arc<GraphShared>,
+}
+
+impl fmt::Debug for Heteroflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.shared.builder.lock();
+        f.debug_struct("Heteroflow")
+            .field("name", &b.name)
+            .field("num_tasks", &b.nodes.len())
+            .finish()
+    }
+}
+
+impl Heteroflow {
+    /// Creates an empty graph.
+    pub fn new(name: &str) -> Self {
+        Self {
+            shared: Arc::new(GraphShared {
+                builder: Mutex::new(Builder {
+                    name: name.to_owned(),
+                    nodes: Vec::new(),
+                    dirty: true,
+                }),
+                frozen: Mutex::new(None),
+                run_state: Mutex::new(RunState {
+                    active: false,
+                    queued: std::collections::VecDeque::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Graph name.
+    pub fn name(&self) -> String {
+        self.shared.builder.lock().name.clone()
+    }
+
+    /// Number of tasks created so far.
+    pub fn num_tasks(&self) -> usize {
+        self.shared.builder.lock().nodes.len()
+    }
+
+    /// True if no tasks have been created.
+    pub fn is_empty(&self) -> bool {
+        self.num_tasks() == 0
+    }
+
+    /// Number of dependency links created so far.
+    pub fn num_dependencies(&self) -> usize {
+        self.shared
+            .builder
+            .lock()
+            .nodes
+            .iter()
+            .map(|n| n.succ.len())
+            .sum()
+    }
+
+    /// Number of tasks of each kind `(host, pull, push, kernel,
+    /// placeholder)` — a quick structural fingerprint.
+    pub fn kind_counts(&self) -> (usize, usize, usize, usize, usize) {
+        let b = self.shared.builder.lock();
+        let mut c = (0, 0, 0, 0, 0);
+        for n in &b.nodes {
+            match n.work.kind() {
+                TaskKind::Host => c.0 += 1,
+                TaskKind::Pull => c.1 += 1,
+                TaskKind::Push => c.2 += 1,
+                TaskKind::Kernel => c.3 += 1,
+                TaskKind::Placeholder => c.4 += 1,
+            }
+        }
+        c
+    }
+
+    fn task_ref(&self, id: usize) -> TaskRef {
+        TaskRef {
+            graph: Arc::clone(&self.shared),
+            id,
+        }
+    }
+
+    /// Creates a *host* task running `f` on a CPU core (Listing 2).
+    pub fn host<F>(&self, name: &str, f: F) -> HostTask
+    where
+        F: FnMut() + Send + 'static,
+    {
+        let id = self
+            .shared
+            .builder
+            .lock()
+            .add(name, Work::Host(Arc::new(Mutex::new(Box::new(f)))));
+        HostTask(self.task_ref(id))
+    }
+
+    /// Creates a *pull* task copying `source`'s bytes host→device
+    /// (Listing 3). The copy is *stateful*: the bytes are read when the
+    /// task executes, so preceding host tasks may resize or fill the data.
+    pub fn pull(&self, name: &str, source: &(impl HostSource + Clone)) -> PullTask {
+        self.pull_source(name, Arc::new(source.clone()))
+    }
+
+    /// `pull` with an explicit type-erased source.
+    pub fn pull_source(&self, name: &str, source: Arc<dyn HostSource>) -> PullTask {
+        let id = self
+            .shared
+            .builder
+            .lock()
+            .add(name, Work::Pull { source });
+        PullTask(self.task_ref(id))
+    }
+
+    /// Creates a *push* task copying `pull`'s device data back into
+    /// `sink` (Listing 5).
+    pub fn push(
+        &self,
+        name: &str,
+        pull: &PullTask,
+        sink: &(impl HostSink + Clone),
+    ) -> PushTask {
+        self.push_sink(name, pull, Arc::new(sink.clone()))
+    }
+
+    /// `push` with an explicit type-erased sink.
+    pub fn push_sink(&self, name: &str, pull: &PullTask, sink: Arc<dyn HostSink>) -> PushTask {
+        assert!(
+            Arc::ptr_eq(&pull.0.graph, &self.shared),
+            "push source pull task belongs to a different Heteroflow"
+        );
+        let id = self.shared.builder.lock().add(
+            name,
+            Work::Push {
+                source_pull: pull.0.id,
+                sink,
+            },
+        );
+        PushTask(self.task_ref(id))
+    }
+
+    /// Creates a *kernel* task offloading `f` to a GPU (Listing 7). The
+    /// pull tasks in `sources` are the kernel's device-data gateways; the
+    /// scheduler unions them with the kernel for device placement
+    /// (Algorithm 1). Dependencies remain explicit: the caller must still
+    /// add `pull.precede(&kernel)` edges.
+    pub fn kernel<F>(&self, name: &str, sources: &[&PullTask], f: F) -> KernelTask
+    where
+        F: Fn(&LaunchConfig, &mut hf_gpu::KernelArgs<'_, '_>) + Send + Sync + 'static,
+    {
+        for s in sources {
+            assert!(
+                Arc::ptr_eq(&s.0.graph, &self.shared),
+                "kernel source pull task belongs to a different Heteroflow"
+            );
+        }
+        let ids = sources.iter().map(|s| s.0.id).collect();
+        let id = self.shared.builder.lock().add(
+            name,
+            Work::Kernel {
+                func: Arc::new(f),
+                sources: ids,
+            },
+        );
+        KernelTask(self.task_ref(id))
+    }
+
+    /// Creates an empty placeholder task (§III-A.1): a node whose work is
+    /// assigned later via [`TaskRef::assign_host`]. Executing it
+    /// unassigned is an error.
+    pub fn placeholder(&self, name: &str) -> TaskRef {
+        let id = self.shared.builder.lock().add(name, Work::Empty);
+        self.task_ref(id)
+    }
+
+    /// Freezes the graph for execution, verifying acyclicity. Reuses the
+    /// previous snapshot when nothing changed. Fails with
+    /// [`HfError::GraphBusy`] if the graph was modified while a topology
+    /// is still running.
+    pub fn freeze(&self) -> Result<Arc<FrozenGraph>, HfError> {
+        let mut b = self.shared.builder.lock();
+        if !b.dirty {
+            if let Some(f) = self.shared.frozen.lock().as_ref() {
+                return Ok(Arc::clone(f));
+            }
+        }
+        if self.shared.run_state.lock().active {
+            return Err(HfError::GraphBusy);
+        }
+        let nodes: Vec<FrozenNode> = b
+            .nodes
+            .iter()
+            .map(|n| FrozenNode {
+                name: n.name.clone(),
+                work: n.work.clone_payload(),
+                succ: n.succ.clone(),
+                num_deps: n.pred.len(),
+                cfg: n.cfg,
+                work_units: n.work_units,
+                pull_state: Mutex::new(PullState::default()),
+            })
+            .collect();
+        if let Some(task) = FrozenGraph::find_cycle(&nodes) {
+            return Err(HfError::CycleDetected { task });
+        }
+        let sources = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.num_deps == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let frozen = Arc::new(FrozenGraph {
+            name: b.name.clone(),
+            nodes,
+            sources,
+        });
+        *self.shared.frozen.lock() = Some(Arc::clone(&frozen));
+        b.dirty = false;
+        Ok(frozen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::HostVec;
+
+    #[test]
+    fn build_saxpy_shape() {
+        let g = Heteroflow::new("saxpy");
+        let x: HostVec<i32> = HostVec::new();
+        let y: HostVec<i32> = HostVec::new();
+        let hx = g.host("host_x", {
+            let x = x.clone();
+            move || x.write().resize(64, 1)
+        });
+        let hy = g.host("host_y", {
+            let y = y.clone();
+            move || y.write().resize(64, 2)
+        });
+        let px = g.pull("pull_x", &x);
+        let py = g.pull("pull_y", &y);
+        let k = g.kernel("saxpy", &[&px, &py], |_, _| {});
+        let sx = g.push("push_x", &px, &x);
+        let sy = g.push("push_y", &py, &y);
+        hx.precede(&px);
+        hy.precede(&py);
+        k.succeed(&px).succeed(&py);
+        k.precede(&sx).precede(&sy);
+        assert_eq!(g.num_tasks(), 7);
+        let f = g.freeze().unwrap();
+        assert_eq!(f.num_tasks(), 7);
+        assert_eq!(f.sources, vec![0, 1]);
+        assert_eq!(f.kind(4), TaskKind::Kernel);
+        assert_eq!(f.nodes[4].num_deps, 2);
+        assert_eq!(f.nodes[4].succ, vec![5, 6]);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let g = Heteroflow::new("cyc");
+        let a = g.host("a", || {});
+        let b = g.host("b", || {});
+        let c = g.host("c", || {});
+        a.precede(&b);
+        b.precede(&c);
+        c.precede(&a);
+        assert!(matches!(g.freeze(), Err(HfError::CycleDetected { .. })));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = Heteroflow::new("dup");
+        let a = g.host("a", || {});
+        let b = g.host("b", || {});
+        a.precede(&b);
+        a.precede(&b);
+        b.succeed(&a);
+        let f = g.freeze().unwrap();
+        assert_eq!(f.nodes[0].succ, vec![1]);
+        assert_eq!(f.nodes[1].num_deps, 1);
+    }
+
+    #[test]
+    fn structural_counters() {
+        let g = Heteroflow::new("counts");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1; 8]);
+        let h = g.host("h", || {});
+        let p = g.pull("p", &x);
+        let k = g.kernel("k", &[&p], |_, _| {});
+        let s = g.push("s", &p, &x);
+        g.placeholder("ph");
+        h.precede(&p);
+        p.precede(&k);
+        k.precede(&s);
+        assert_eq!(g.num_dependencies(), 3);
+        assert_eq!(g.kind_counts(), (1, 1, 1, 1, 1));
+    }
+
+    #[test]
+    fn freeze_is_cached_until_dirty() {
+        let g = Heteroflow::new("cache");
+        g.host("a", || {});
+        let f1 = g.freeze().unwrap();
+        let f2 = g.freeze().unwrap();
+        assert!(Arc::ptr_eq(&f1, &f2));
+        g.host("b", || {});
+        let f3 = g.freeze().unwrap();
+        assert!(!Arc::ptr_eq(&f1, &f3));
+        assert_eq!(f3.num_tasks(), 2);
+    }
+
+    #[test]
+    fn placeholder_then_assign() {
+        let g = Heteroflow::new("ph");
+        let p = g.placeholder("later");
+        assert_eq!(p.kind(), TaskKind::Placeholder);
+        p.assign_host(|| {});
+        assert_eq!(p.kind(), TaskKind::Host);
+        let f = g.freeze().unwrap();
+        assert_eq!(f.kind(0), TaskKind::Host);
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let g = Heteroflow::new("empty");
+        let f = g.freeze().unwrap();
+        assert_eq!(f.num_tasks(), 0);
+        assert!(f.sources.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "different Heteroflow")]
+    fn cross_graph_pull_panics() {
+        let g1 = Heteroflow::new("g1");
+        let g2 = Heteroflow::new("g2");
+        let x: HostVec<i32> = HostVec::new();
+        let p1 = g1.pull("p", &x);
+        let _k = g2.kernel("k", &[&p1], |_, _| {});
+    }
+}

@@ -1,0 +1,80 @@
+//! Heteroflow core: concurrent CPU-GPU task programming with task
+//! dependency graphs.
+//!
+//! Rust reproduction of *Concurrent CPU-GPU Task Programming using Modern
+//! C++* (Huang & Lin, IPPS 2022). Users express a computation as a DAG of
+//! four task kinds and hand it to an executor:
+//!
+//! * **host** — a callable on a CPU core ([`Heteroflow::host`])
+//! * **pull** — a host→device copy ([`Heteroflow::pull`])
+//! * **push** — a device→host copy ([`Heteroflow::push`])
+//! * **kernel** — a GPU offload ([`Heteroflow::kernel`])
+//!
+//! The saxpy program of the paper's Listing 1:
+//!
+//! ```
+//! use hf_core::{Executor, Heteroflow, data::HostVec};
+//!
+//! const N: usize = 65536;
+//! let x: HostVec<i32> = HostVec::new();
+//! let y: HostVec<i32> = HostVec::new();
+//!
+//! let executor = Executor::new(8, 4);
+//! let g = Heteroflow::new("saxpy");
+//!
+//! let host_x = g.host("host_x", { let x = x.clone(); move || x.write().resize(N, 1) });
+//! let host_y = g.host("host_y", { let y = y.clone(); move || y.write().resize(N, 2) });
+//! let pull_x = g.pull("pull_x", &x);
+//! let pull_y = g.pull("pull_y", &y);
+//! let kernel = g.kernel("saxpy", &[&pull_x, &pull_y], move |cfg, args| {
+//!     let (xs, ys) = args.slice2_mut::<i32, i32>(0, 1).unwrap();
+//!     let a = 2;
+//!     for i in cfg.threads() {
+//!         if i < N { ys[i] = a * xs[i] + ys[i]; }
+//!     }
+//! });
+//! kernel.block_x(256).grid_x((N as u32 + 255) / 256);
+//! let push_x = g.push("push_x", &pull_x, &x);
+//! let push_y = g.push("push_y", &pull_y, &y);
+//!
+//! host_x.precede(&pull_x);
+//! host_y.precede(&pull_y);
+//! kernel.precede_all(&[&push_x, &push_y]);
+//! kernel.succeed_all(&[&pull_x, &pull_y]);
+//!
+//! let future = executor.run(&g);
+//! future.wait().unwrap();
+//! assert!(y.read().iter().all(|&v| v == 4));
+//! ```
+//!
+//! The executor (§III-B/C) spawns N workers over Chase–Lev deques, places
+//! GPU tasks onto devices with Algorithm 1 (union-find grouping +
+//! balanced-load bin packing — [`placement`]), and schedules with
+//! work-stealing under an adaptive wake/sleep strategy.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod dot;
+pub mod error;
+pub mod executor;
+pub mod graph;
+pub mod inspect;
+pub mod observer;
+pub mod placement;
+pub mod stats;
+pub mod task;
+pub(crate) mod topology;
+
+pub use error::HfError;
+pub use executor::{Executor, ExecutorBuilder};
+pub use graph::{FrozenGraph, Heteroflow, TaskKind};
+pub use inspect::{GraphInfo, NodeInfo};
+pub use observer::{ExecutorObserver, TraceCollector};
+pub use placement::{device_placement, Placement, PlacementPolicy};
+pub use stats::ExecutorStats;
+pub use task::{AsTask, HostTask, KernelTask, PullTask, PushTask, TaskRef};
+pub use topology::RunFuture;
+
+// Re-export the GPU substrate types that appear in the public API.
+pub use hf_gpu::{GpuConfig, GpuRuntime, KernelArgs, LaunchConfig};

@@ -1,0 +1,250 @@
+//! Executor observers: task-level tracing hooks and a chrome-trace
+//! profiler.
+//!
+//! An [`ExecutorObserver`] receives a callback around every task
+//! execution (with worker id, task name/kind, and device for GPU tasks).
+//! [`TraceCollector`] is the built-in observer that records spans and
+//! serializes them in the Chrome trace-event format — open the output in
+//! `chrome://tracing` or Perfetto to see the schedule, worker occupancy,
+//! and CPU/GPU overlap.
+
+use crate::graph::TaskKind;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identity of one task execution, passed to observer callbacks.
+#[derive(Debug, Clone)]
+pub struct TaskMeta<'a> {
+    /// Worker running (or dispatching) the task.
+    pub worker: usize,
+    /// Task name.
+    pub name: &'a str,
+    /// Task kind.
+    pub kind: TaskKind,
+    /// Assigned device for GPU tasks.
+    pub device: Option<u32>,
+    /// Graph name.
+    pub graph: &'a str,
+}
+
+/// Hooks invoked by the executor around task execution.
+///
+/// For host tasks, `on_task_end` fires when the callable returns. For
+/// GPU tasks, it fires when the worker finishes *dispatching* (the op
+/// completes asynchronously on the device; device-side timing is
+/// available from [`hf_gpu::Device::busy_time`]).
+pub trait ExecutorObserver: Send + Sync {
+    /// Called before a task's body runs/dispatches.
+    fn on_task_begin(&self, meta: &TaskMeta<'_>);
+    /// Called after a task's body ran / was dispatched.
+    fn on_task_end(&self, meta: &TaskMeta<'_>);
+}
+
+/// One recorded span.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// Worker id (trace "thread").
+    pub worker: usize,
+    /// Task name.
+    pub name: String,
+    /// Task kind.
+    pub kind: TaskKind,
+    /// Device, for GPU tasks.
+    pub device: Option<u32>,
+    /// Microseconds from collector creation.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+struct Pending {
+    worker: usize,
+    start: Instant,
+}
+
+/// Built-in observer recording every task span.
+pub struct TraceCollector {
+    epoch: Instant,
+    spans: Mutex<Vec<TraceSpan>>,
+    // One pending slot per worker (a worker runs one task at a time).
+    pending: Mutex<Vec<Option<Pending>>>,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Shareable handle for [`crate::ExecutorBuilder::observer`].
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Recorded spans so far.
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        self.spans.lock().clone()
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the spans as a Chrome trace-event JSON array
+    /// (`chrome://tracing` / Perfetto compatible).
+    pub fn to_chrome_trace(&self) -> String {
+        let spans = self.spans.lock();
+        let mut out = String::from("[");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let cat = s.kind.to_string();
+            let dev = s
+                .device
+                .map(|d| format!(",\"args\":{{\"device\":{d}}}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}{}}}",
+                s.name.replace('"', "'"),
+                cat,
+                s.start_us,
+                s.dur_us.max(1),
+                s.worker,
+                dev
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl ExecutorObserver for TraceCollector {
+    fn on_task_begin(&self, meta: &TaskMeta<'_>) {
+        let mut pending = self.pending.lock();
+        if pending.len() <= meta.worker {
+            pending.resize_with(meta.worker + 1, || None);
+        }
+        pending[meta.worker] = Some(Pending {
+            worker: meta.worker,
+            start: Instant::now(),
+        });
+    }
+
+    fn on_task_end(&self, meta: &TaskMeta<'_>) {
+        let started = {
+            let mut pending = self.pending.lock();
+            pending
+                .get_mut(meta.worker)
+                .and_then(|slot| slot.take())
+        };
+        if let Some(p) = started {
+            let start_us = p.start.duration_since(self.epoch).as_micros() as u64;
+            let dur_us = p.start.elapsed().as_micros() as u64;
+            self.spans.lock().push(TraceSpan {
+                worker: p.worker,
+                name: meta.name.to_string(),
+                kind: meta.kind,
+                device: meta.device,
+                start_us,
+                dur_us,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::HostVec;
+    use crate::graph::Heteroflow;
+    use crate::Executor;
+
+    fn traced_run(fusion: bool) -> (Arc<TraceCollector>, u64) {
+        let trace = TraceCollector::shared();
+        let ex = Executor::builder(2, 1)
+            .task_fusion(fusion)
+            .observer(Arc::clone(&trace) as Arc<dyn ExecutorObserver>)
+            .build();
+        let g = Heteroflow::new("traced");
+        let d: HostVec<u32> = HostVec::from_vec(vec![0; 64]);
+        let h = g.host("make", || {});
+        let p = g.pull("pull", &d);
+        let k = g.kernel("kernel", &[&p], |_, _| {});
+        k.cover(64, 32);
+        let s = g.push("push", &p, &d);
+        h.precede(&p);
+        p.precede(&k);
+        k.precede(&s);
+        ex.run(&g).wait().expect("runs");
+        let fused = ex.stats().fused.sum();
+        (trace, fused)
+    }
+
+    #[test]
+    fn collects_spans_for_every_task_without_fusion() {
+        let (trace, fused) = traced_run(false);
+        assert_eq!(fused, 0);
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 4, "one span per task");
+        let names: std::collections::HashSet<&str> =
+            spans.iter().map(|s| s.name.as_str()).collect();
+        for n in ["make", "pull", "kernel", "push"] {
+            assert!(names.contains(n), "missing span {n}");
+        }
+        let kernel_span = spans.iter().find(|s| s.name == "kernel").expect("kernel");
+        assert_eq!(kernel_span.kind, TaskKind::Kernel);
+        assert_eq!(kernel_span.device, Some(0));
+    }
+
+    #[test]
+    fn fused_members_fold_into_head_span() {
+        let (trace, fused) = traced_run(true);
+        // pull -> kernel -> push fuse into one dispatch.
+        assert_eq!(fused, 2);
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 2, "host + chain head");
+        let names: std::collections::HashSet<&str> =
+            spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains("make") && names.contains("pull"));
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_json() {
+        let trace = TraceCollector::shared();
+        let ex = Executor::builder(1, 0)
+            .observer(Arc::clone(&trace) as Arc<dyn ExecutorObserver>)
+            .build();
+        let g = Heteroflow::new("j");
+        g.host("a\"quoted\"", || {});
+        ex.run(&g).wait().expect("runs");
+        let json = trace.to_chrome_trace();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(!json.contains("a\"quoted\""), "quotes must be escaped");
+    }
+
+    #[test]
+    fn empty_collector_serializes() {
+        let t = TraceCollector::new();
+        assert!(t.is_empty());
+        assert_eq!(t.to_chrome_trace(), "[]");
+    }
+}

@@ -1,0 +1,458 @@
+//! Device placement — Algorithm 1 of the paper.
+//!
+//! "The key idea is to group each kernel with its source pull tasks and
+//! then pack each unique group to a GPU bin with an optimized cost. By
+//! default, we minimize the load per GPU bins for maximal concurrency but
+//! can expose this strategy to a pluggable interface for custom cost
+//! metrics" (§III-C).
+//!
+//! Grouping uses union-find over the kernel→source-pull relation; packing
+//! assigns each group root to a GPU bin. Push tasks inherit the device of
+//! their source pull task (their stream "is guaranteed to live in the same
+//! GPU context as the source pull task", Listing 6 discussion).
+
+use crate::error::HfError;
+use crate::graph::{FrozenGraph, TaskKind, Work};
+use crate::inspect::GraphInfo;
+use hf_gpu::CostModel;
+use hf_sync::UnionFind;
+
+/// A placement-relevant view of a graph. Implemented by the executable
+/// [`FrozenGraph`] and by the structural [`GraphInfo`] snapshot, so the
+/// identical Algorithm 1 runs both inside the executor and inside the
+/// `hf-sim` performance model.
+pub trait PlacementView {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+    /// Task kind of node `i`.
+    fn kind_of(&self, i: usize) -> TaskKind;
+    /// Source pull tasks of kernel `i` (empty otherwise).
+    fn kernel_sources(&self, i: usize) -> Vec<usize>;
+    /// Source pull task of push `i`.
+    fn push_source(&self, i: usize) -> Option<usize>;
+    /// Node name (for error messages).
+    fn name_of(&self, i: usize) -> String;
+    /// Modeled device-time weight of node `i` for bin packing.
+    fn weight_of(&self, i: usize, cost: &CostModel) -> f64;
+}
+
+impl PlacementView for FrozenGraph {
+    fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn kind_of(&self, i: usize) -> TaskKind {
+        self.nodes[i].work.kind()
+    }
+
+    fn kernel_sources(&self, i: usize) -> Vec<usize> {
+        match &self.nodes[i].work {
+            Work::Kernel { sources, .. } => sources.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn push_source(&self, i: usize) -> Option<usize> {
+        match &self.nodes[i].work {
+            Work::Push { source_pull, .. } => Some(*source_pull),
+            _ => None,
+        }
+    }
+
+    fn name_of(&self, i: usize) -> String {
+        self.nodes[i].name.clone()
+    }
+
+    fn weight_of(&self, i: usize, cost: &CostModel) -> f64 {
+        node_weight(self, i, cost)
+    }
+}
+
+impl PlacementView for GraphInfo {
+    fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn kind_of(&self, i: usize) -> TaskKind {
+        self.nodes[i].kind
+    }
+
+    fn kernel_sources(&self, i: usize) -> Vec<usize> {
+        self.nodes[i].sources.clone()
+    }
+
+    fn push_source(&self, i: usize) -> Option<usize> {
+        self.nodes[i].source_pull
+    }
+
+    fn name_of(&self, i: usize) -> String {
+        self.nodes[i].name.clone()
+    }
+
+    fn weight_of(&self, i: usize, cost: &CostModel) -> f64 {
+        let n = &self.nodes[i];
+        match n.kind {
+            TaskKind::Pull => cost.h2d(n.bytes).as_nanos() as f64,
+            TaskKind::Kernel => cost.kernel(n.effective_work_units()).as_nanos() as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Strategy for packing task groups onto GPU bins. `BalancedLoad` is the
+/// paper's default; the others exist as ablation baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum PlacementPolicy {
+    /// Longest-processing-time greedy: heaviest group to the least-loaded
+    /// bin (minimizes the maximum per-GPU load).
+    #[default]
+    BalancedLoad,
+    /// Groups assigned cyclically in discovery order, ignoring weight.
+    RoundRobin,
+    /// Uniformly random bin per group (deterministic given the seed).
+    Random {
+        /// PRNG seed.
+        seed: u64,
+    },
+}
+
+
+/// Result of device placement for one topology.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Device per node; `None` for host/placeholder tasks.
+    pub device_of: Vec<Option<u32>>,
+    /// Number of kernel/pull groups found.
+    pub num_groups: usize,
+    /// Modeled load per GPU bin after packing, including any initial
+    /// loads passed to [`device_placement_biased`] (nanoseconds).
+    pub loads: Vec<f64>,
+}
+
+impl Placement {
+    /// Max/min bin load ratio — 1.0 is perfectly balanced. Returns 1.0
+    /// when any bin is empty-free (no meaningful ratio).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.loads.iter().cloned().fold(0.0f64, f64::max);
+        let min = self.loads.iter().cloned().fold(f64::INFINITY, f64::min);
+        if min <= 0.0 || !min.is_finite() {
+            1.0
+        } else {
+            max / min
+        }
+    }
+}
+
+/// Modeled weight of one node for bin packing, in nanoseconds of device
+/// time.
+fn node_weight(graph: &FrozenGraph, id: usize, cost: &CostModel) -> f64 {
+    let node = &graph.nodes[id];
+    match &node.work {
+        Work::Pull { source } => cost.h2d(source.byte_len()).as_nanos() as f64,
+        Work::Kernel { .. } => {
+            let units = node.work_units.max(node.cfg.total_threads() as f64);
+            cost.kernel(units).as_nanos() as f64
+        }
+        _ => 0.0,
+    }
+}
+
+/// Runs Algorithm 1 (*DevicePlacement*) on any [`PlacementView`].
+///
+/// Returns [`HfError::NoGpus`] if the graph contains GPU tasks but
+/// `num_gpus == 0`.
+pub fn device_placement<G: PlacementView + ?Sized>(
+    graph: &G,
+    num_gpus: u32,
+    policy: PlacementPolicy,
+    cost: &CostModel,
+) -> Result<Placement, HfError> {
+    device_placement_biased(graph, num_gpus, policy, cost, &[])
+}
+
+/// [`device_placement`] with pre-existing per-device load (nanoseconds).
+///
+/// A live executor runs many topologies; biasing each topology's packing
+/// with the load already placed on each GPU keeps devices balanced
+/// *across* graphs, not just within one. The executor feeds its
+/// cumulative loads here. An empty slice means no initial load.
+pub fn device_placement_biased<G: PlacementView + ?Sized>(
+    graph: &G,
+    num_gpus: u32,
+    policy: PlacementPolicy,
+    cost: &CostModel,
+    initial_loads: &[f64],
+) -> Result<Placement, HfError> {
+    let n = graph.num_nodes();
+    let mut device_of: Vec<Option<u32>> = vec![None; n];
+    let mut loads = vec![0.0f64; num_gpus as usize];
+    for (l, &init) in loads.iter_mut().zip(initial_loads) {
+        *l = init;
+    }
+
+    // Reject GPU work with no GPUs.
+    if num_gpus == 0 {
+        if let Some(id) = (0..n).find(|&i| {
+            matches!(
+                graph.kind_of(i),
+                TaskKind::Pull | TaskKind::Push | TaskKind::Kernel
+            )
+        }) {
+            return Err(HfError::NoGpus {
+                task: graph.name_of(id),
+            });
+        }
+        return Ok(Placement {
+            device_of,
+            num_groups: 0,
+            loads,
+        });
+    }
+
+    // Lines 1-7: union each kernel with its source pull tasks.
+    let mut uf = UnionFind::new(n);
+    for id in 0..n {
+        if graph.kind_of(id) == TaskKind::Kernel {
+            for p in graph.kernel_sources(id) {
+                uf.union(id, p);
+            }
+        }
+    }
+
+    // Lines 8-14: pack each unique group root onto a GPU bin. Collect
+    // groups first so the balanced policy can sort by weight.
+    let mut group_weight: std::collections::HashMap<usize, f64> = Default::default();
+    let mut group_members: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+    for id in 0..n {
+        let k = graph.kind_of(id);
+        if k == TaskKind::Kernel || k == TaskKind::Pull {
+            let root = uf.find(id);
+            *group_weight.entry(root).or_insert(0.0) += graph.weight_of(id, cost);
+            group_members.entry(root).or_default().push(id);
+        }
+    }
+
+    let mut groups: Vec<(usize, f64)> = group_weight.into_iter().collect();
+    // Deterministic order regardless of hash iteration.
+    groups.sort_by_key(|&(root, _)| root);
+
+    match policy {
+        PlacementPolicy::BalancedLoad => {
+            // LPT greedy: heaviest first onto the least-loaded bin.
+            groups.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite"));
+            for (root, w) in groups {
+                let bin = loads
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+                    .map(|(i, _)| i)
+                    .expect("num_gpus > 0");
+                loads[bin] += w;
+                for &m in &group_members[&root] {
+                    device_of[m] = Some(bin as u32);
+                }
+            }
+        }
+        PlacementPolicy::RoundRobin => {
+            for (gi, (root, w)) in groups.iter().enumerate() {
+                let bin = gi % num_gpus as usize;
+                loads[bin] += w;
+                for &m in &group_members[root] {
+                    device_of[m] = Some(bin as u32);
+                }
+            }
+        }
+        PlacementPolicy::Random { seed } => {
+            // splitmix64 stream; deterministic and dependency-free.
+            let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+            let mut next = move || {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            for (root, w) in &groups {
+                let bin = (next() % num_gpus as u64) as usize;
+                loads[bin] += w;
+                for &m in &group_members[root] {
+                    device_of[m] = Some(bin as u32);
+                }
+            }
+        }
+    }
+
+    // Push tasks inherit the device of their source pull.
+    for id in 0..n {
+        if let Some(src) = graph.push_source(id) {
+            device_of[id] = device_of[src];
+        }
+    }
+
+    let num_groups = group_members.len();
+    Ok(Placement {
+        device_of,
+        num_groups,
+        loads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::HostVec;
+    use crate::graph::Heteroflow;
+
+    /// Two kernels sharing a pull task must co-locate with it; an
+    /// unrelated pull/kernel pair forms a second group.
+    #[test]
+    fn kernels_group_with_their_pulls() {
+        let g = Heteroflow::new("grp");
+        let x: HostVec<i32> = HostVec::from_vec(vec![0; 1024]);
+        let y: HostVec<i32> = HostVec::from_vec(vec![0; 1024]);
+        let px = g.pull("px", &x);
+        let py = g.pull("py", &y);
+        let k1 = g.kernel("k1", &[&px], |_, _| {});
+        let k2 = g.kernel("k2", &[&px], |_, _| {});
+        let k3 = g.kernel("k3", &[&py], |_, _| {});
+        px.precede(&k1).precede(&k2);
+        py.precede(&k3);
+        let f = g.freeze().unwrap();
+        let p = device_placement(&*f, 4, PlacementPolicy::BalancedLoad, &CostModel::default())
+            .unwrap();
+        assert_eq!(p.num_groups, 2);
+        let d_px = p.device_of[px.id()].unwrap();
+        assert_eq!(p.device_of[k1.id()], Some(d_px));
+        assert_eq!(p.device_of[k2.id()], Some(d_px));
+        let d_py = p.device_of[py.id()].unwrap();
+        assert_eq!(p.device_of[k3.id()], Some(d_py));
+        // Two groups on 4 GPUs must use two distinct devices (balanced).
+        assert_ne!(d_px, d_py);
+    }
+
+    /// A kernel bridging two pulls merges all three into one group.
+    #[test]
+    fn shared_kernel_merges_groups() {
+        let g = Heteroflow::new("merge");
+        let x: HostVec<i32> = HostVec::from_vec(vec![0; 16]);
+        let px = g.pull("px", &x);
+        let py = g.pull("py", &x);
+        let k = g.kernel("k", &[&px, &py], |_, _| {});
+        px.precede(&k);
+        py.precede(&k);
+        let f = g.freeze().unwrap();
+        let p = device_placement(&*f, 4, PlacementPolicy::BalancedLoad, &CostModel::default())
+            .unwrap();
+        assert_eq!(p.num_groups, 1);
+        let d = p.device_of[k.id()];
+        assert_eq!(p.device_of[px.id()], d);
+        assert_eq!(p.device_of[py.id()], d);
+    }
+
+    #[test]
+    fn push_inherits_pull_device() {
+        let g = Heteroflow::new("push");
+        let x: HostVec<i32> = HostVec::from_vec(vec![0; 16]);
+        let px = g.pull("px", &x);
+        let s = g.push("push_x", &px, &x);
+        px.precede(&s);
+        let f = g.freeze().unwrap();
+        let p = device_placement(&*f, 2, PlacementPolicy::BalancedLoad, &CostModel::default())
+            .unwrap();
+        assert_eq!(p.device_of[s.id()], p.device_of[px.id()]);
+    }
+
+    #[test]
+    fn host_tasks_have_no_device() {
+        let g = Heteroflow::new("h");
+        let h = g.host("h", || {});
+        let f = g.freeze().unwrap();
+        let p = device_placement(&*f, 2, PlacementPolicy::BalancedLoad, &CostModel::default())
+            .unwrap();
+        assert_eq!(p.device_of[h.id()], None);
+        assert_eq!(p.num_groups, 0);
+    }
+
+    #[test]
+    fn gpu_task_with_zero_gpus_errors() {
+        let g = Heteroflow::new("nogpu");
+        let x: HostVec<i32> = HostVec::from_vec(vec![0; 4]);
+        g.pull("px", &x);
+        let f = g.freeze().unwrap();
+        assert!(matches!(
+            device_placement(&*f, 0, PlacementPolicy::BalancedLoad, &CostModel::default()),
+            Err(HfError::NoGpus { .. })
+        ));
+    }
+
+    #[test]
+    fn cpu_only_graph_with_zero_gpus_is_fine() {
+        let g = Heteroflow::new("cpu");
+        g.host("a", || {});
+        let f = g.freeze().unwrap();
+        let p = device_placement(&*f, 0, PlacementPolicy::BalancedLoad, &CostModel::default())
+            .unwrap();
+        assert!(p.device_of.iter().all(|d| d.is_none()));
+    }
+
+    /// Balanced packing of many equal groups spreads them evenly.
+    #[test]
+    fn balanced_load_is_balanced() {
+        let g = Heteroflow::new("bal");
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 4096]);
+        for i in 0..12 {
+            let p = g.pull(&format!("p{i}"), &x);
+            let k = g.kernel(&format!("k{i}"), &[&p], |_, _| {});
+            p.precede(&k);
+        }
+        let f = g.freeze().unwrap();
+        let p = device_placement(&*f, 4, PlacementPolicy::BalancedLoad, &CostModel::default())
+            .unwrap();
+        assert_eq!(p.num_groups, 12);
+        assert!(p.imbalance() < 1.01, "imbalance {}", p.imbalance());
+        // Every device hosts exactly 3 groups' worth of load.
+        let per_dev: Vec<usize> = (0..4)
+            .map(|d| {
+                p.device_of
+                    .iter()
+                    .filter(|x| **x == Some(d as u32))
+                    .count()
+            })
+            .collect();
+        assert_eq!(per_dev, vec![6, 6, 6, 6]); // 3 groups x (pull + kernel)
+    }
+
+    /// Random placement is deterministic for a fixed seed.
+    #[test]
+    fn random_policy_deterministic() {
+        let g = Heteroflow::new("rand");
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 64]);
+        for i in 0..8 {
+            let p = g.pull(&format!("p{i}"), &x);
+            let k = g.kernel(&format!("k{i}"), &[&p], |_, _| {});
+            p.precede(&k);
+        }
+        let f = g.freeze().unwrap();
+        let a = device_placement(&*f, 4, PlacementPolicy::Random { seed: 7 }, &CostModel::default())
+            .unwrap();
+        let b = device_placement(&*f, 4, PlacementPolicy::Random { seed: 7 }, &CostModel::default())
+            .unwrap();
+        assert_eq!(a.device_of, b.device_of);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let g = Heteroflow::new("rr");
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 64]);
+        let mut pulls = Vec::new();
+        for i in 0..6 {
+            pulls.push(g.pull(&format!("p{i}"), &x));
+        }
+        let f = g.freeze().unwrap();
+        let p =
+            device_placement(&*f, 3, PlacementPolicy::RoundRobin, &CostModel::default()).unwrap();
+        let devs: Vec<u32> = pulls.iter().map(|t| p.device_of[t.id()].unwrap()).collect();
+        assert_eq!(devs, vec![0, 1, 2, 0, 1, 2]);
+    }
+}

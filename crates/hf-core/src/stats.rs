@@ -1,0 +1,87 @@
+//! Executor scheduling statistics.
+//!
+//! Exposed for tests and for the A4 ablation (adaptive sleep vs
+//! always-spin): wasted wakeups and sleep counts quantify the strategies.
+
+use hf_sync::ShardedCounter;
+
+/// Counters gathered by the executor's scheduling loop. All counters are
+/// sharded per worker and summed on read; values are exact totals but not
+/// a consistent snapshot.
+#[derive(Debug)]
+pub struct ExecutorStats {
+    /// Tasks executed (all kinds).
+    pub tasks_executed: ShardedCounter,
+    /// Successful steals (from peers or the injector).
+    pub steals: ShardedCounter,
+    /// Steal attempts, successful or not.
+    pub steal_attempts: ShardedCounter,
+    /// Times a worker committed to sleep.
+    pub sleeps: ShardedCounter,
+    /// Times a sleeping worker was woken.
+    pub wakeups: ShardedCounter,
+    /// Graph rounds completed (one per `run`, `n` per `run_n`).
+    pub rounds: ShardedCounter,
+    /// GPU tasks dispatched as fused chain members (scheduling rounds
+    /// saved by task fusion).
+    pub fused: ShardedCounter,
+}
+
+impl ExecutorStats {
+    pub(crate) fn new(workers: usize) -> Self {
+        Self {
+            tasks_executed: ShardedCounter::new(workers),
+            steals: ShardedCounter::new(workers),
+            steal_attempts: ShardedCounter::new(workers),
+            sleeps: ShardedCounter::new(workers),
+            wakeups: ShardedCounter::new(workers),
+            rounds: ShardedCounter::new(workers),
+            fused: ShardedCounter::new(workers),
+        }
+    }
+
+    /// Resets every counter (between benchmark phases).
+    pub fn reset(&self) {
+        self.tasks_executed.reset();
+        self.steals.reset();
+        self.steal_attempts.reset();
+        self.sleeps.reset();
+        self.wakeups.reset();
+        self.rounds.reset();
+        self.fused.reset();
+    }
+
+    /// Steal success rate in `[0, 1]`; 1.0 when no attempts were made.
+    pub fn steal_success_rate(&self) -> f64 {
+        let attempts = self.steal_attempts.sum();
+        if attempts == 0 {
+            1.0
+        } else {
+            self.steals.sum() as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zeroes_all() {
+        let s = ExecutorStats::new(2);
+        s.tasks_executed.incr(0);
+        s.steals.incr(1);
+        s.reset();
+        assert_eq!(s.tasks_executed.sum(), 0);
+        assert_eq!(s.steals.sum(), 0);
+        assert_eq!(s.steal_success_rate(), 1.0);
+    }
+
+    #[test]
+    fn success_rate() {
+        let s = ExecutorStats::new(1);
+        s.steal_attempts.add(0, 10);
+        s.steals.add(0, 4);
+        assert!((s.steal_success_rate() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,328 @@
+//! Topologies: per-submission execution state, and the future returned to
+//! callers.
+//!
+//! "When a graph is submitted to an executor, a special data structure
+//! called *topology* is created to marshal execution parameters and
+//! runtime metadata ... The communication is based on a shared state
+//! managed by a pair of C++ promise and future objects" (§III-C).
+
+use crate::error::HfError;
+use crate::graph::{FrozenGraph, GraphShared};
+use crate::placement::Placement;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Poll, Waker};
+
+/// Shared promise/future state of one submission.
+pub(crate) struct Completion {
+    state: Mutex<CompletionState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct CompletionState {
+    result: Option<Result<(), HfError>>,
+    wakers: Vec<Waker>,
+}
+
+impl Completion {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(CompletionState::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn complete(&self, result: Result<(), HfError>) {
+        let mut st = self.state.lock();
+        if st.result.is_some() {
+            return;
+        }
+        st.result = Some(result);
+        let wakers = std::mem::take(&mut st.wakers);
+        self.cv.notify_all();
+        drop(st);
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    fn wait(&self) -> Result<(), HfError> {
+        let mut st = self.state.lock();
+        while st.result.is_none() {
+            self.cv.wait(&mut st);
+        }
+        st.result.clone().expect("checked above")
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().result.is_some()
+    }
+}
+
+/// Future returned by [`crate::Executor::run`] and friends. All run
+/// methods are non-blocking: "issuing a run on a graph returns immediately
+/// with a C++ future object" (§III-B). Supports both blocking
+/// ([`RunFuture::wait`]) and async (`.await`) consumption.
+#[derive(Clone)]
+pub struct RunFuture {
+    pub(crate) completion: Arc<Completion>,
+}
+
+impl std::fmt::Debug for RunFuture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunFuture")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl RunFuture {
+    /// Blocks until the run finishes; returns its result.
+    pub fn wait(&self) -> Result<(), HfError> {
+        self.completion.wait()
+    }
+
+    /// True once the run has finished (success or error).
+    pub fn is_done(&self) -> bool {
+        self.completion.is_done()
+    }
+
+    /// An already-completed future (empty graphs, zero repeats).
+    pub(crate) fn ready(result: Result<(), HfError>) -> Self {
+        let c = Completion::new();
+        c.complete(result);
+        Self { completion: c }
+    }
+}
+
+impl std::future::Future for RunFuture {
+    type Output = Result<(), HfError>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> Poll<Self::Output> {
+        let mut st = self.completion.state.lock();
+        if let Some(r) = &st.result {
+            Poll::Ready(r.clone())
+        } else {
+            if !st.wakers.iter().any(|w| w.will_wake(cx.waker())) {
+                st.wakers.push(cx.waker().clone());
+            }
+            Poll::Pending
+        }
+    }
+}
+
+/// Per-submission runtime state: join counters, round bookkeeping, device
+/// placement, the stopping predicate, and the completion promise.
+pub(crate) struct Topology {
+    pub(crate) graph_shared: Arc<GraphShared>,
+    pub(crate) frozen: Arc<FrozenGraph>,
+    pub(crate) placement: Placement,
+    /// Remaining unmet dependencies per node, reset each round.
+    pub(crate) join: Vec<AtomicUsize>,
+    /// Nodes not yet finished this round.
+    pub(crate) pending: AtomicUsize,
+    /// Stopping predicate: `true` means stop (checked before each round).
+    pub(crate) predicate: Mutex<Box<dyn FnMut() -> bool + Send>>,
+    pub(crate) completion: Arc<Completion>,
+    /// First error observed during execution.
+    pub(crate) error: Mutex<Option<HfError>>,
+    /// Set once an error occurs: remaining task bodies are skipped while
+    /// the round drains.
+    pub(crate) cancelled: AtomicBool,
+    /// Rounds completed (diagnostic).
+    pub(crate) rounds: AtomicUsize,
+    /// Task fusion (§III-C "task fusing"): `fused_next[v]` chains v to a
+    /// GPU successor dispatched on the same stream submission; members
+    /// of a chain (non-heads) are never scheduled individually.
+    pub(crate) fused_next: Vec<Option<u32>>,
+    /// True for chain members (every node with a fused predecessor).
+    pub(crate) fused_member: Vec<bool>,
+}
+
+impl Topology {
+    pub(crate) fn new(
+        graph_shared: Arc<GraphShared>,
+        frozen: Arc<FrozenGraph>,
+        placement: Placement,
+        predicate: Box<dyn FnMut() -> bool + Send>,
+        fusion: bool,
+    ) -> Arc<Self> {
+        let join = frozen
+            .nodes
+            .iter()
+            .map(|n| AtomicUsize::new(n.num_deps))
+            .collect();
+        let (fused_next, fused_member) = compute_fusion(&frozen, &placement, fusion);
+        Arc::new(Self {
+            graph_shared,
+            frozen: Arc::clone(&frozen),
+            placement,
+            join,
+            pending: AtomicUsize::new(frozen.nodes.len()),
+            predicate: Mutex::new(predicate),
+            completion: Completion::new(),
+            error: Mutex::new(None),
+            cancelled: AtomicBool::new(false),
+            rounds: AtomicUsize::new(0),
+            fused_next,
+            fused_member,
+        })
+    }
+
+    /// Resets per-round counters for the next repetition.
+    pub(crate) fn reset_round(&self) {
+        for (j, n) in self.join.iter().zip(&self.frozen.nodes) {
+            j.store(n.num_deps, Ordering::Relaxed);
+        }
+        self.pending
+            .store(self.frozen.nodes.len(), Ordering::Release);
+    }
+
+    /// Records the first error and cancels remaining bodies.
+    pub(crate) fn fail(&self, e: HfError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// The final result for the completion promise.
+    pub(crate) fn result(&self) -> Result<(), HfError> {
+        match self.error.lock().clone() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Identifies fusible GPU chains: node `v` fuses to its successor `w`
+/// when `v` is a GPU task, `w` is a *kernel or push* task whose only
+/// dependency is `v`, and both are placed on the same device. Pull tasks
+/// are never fused as members (their device allocation sizes bind at
+/// dispatch time and must observe their host-side predecessors).
+fn compute_fusion(
+    frozen: &FrozenGraph,
+    placement: &crate::placement::Placement,
+    enabled: bool,
+) -> (Vec<Option<u32>>, Vec<bool>) {
+    use crate::graph::TaskKind;
+    let n = frozen.nodes.len();
+    let mut fused_next = vec![None; n];
+    let mut fused_member = vec![false; n];
+    if !enabled {
+        return (fused_next, fused_member);
+    }
+    #[allow(clippy::needless_range_loop)] // v indexes three parallel arrays
+    for v in 0..n {
+        let vk = frozen.nodes[v].work.kind();
+        let v_gpu = matches!(vk, TaskKind::Pull | TaskKind::Push | TaskKind::Kernel);
+        if !v_gpu || frozen.nodes[v].succ.len() != 1 {
+            continue;
+        }
+        let w = frozen.nodes[v].succ[0];
+        let wk = frozen.nodes[w].work.kind();
+        let w_fusible = matches!(wk, TaskKind::Push | TaskKind::Kernel);
+        if w_fusible
+            && frozen.nodes[w].num_deps == 1
+            && placement.device_of[v] == placement.device_of[w]
+            && !fused_member[w]
+        {
+            fused_next[v] = Some(w as u32);
+            fused_member[w] = true;
+        }
+    }
+    (fused_next, fused_member)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_wait_and_poll() {
+        let c = Completion::new();
+        let fut = RunFuture {
+            completion: Arc::clone(&c),
+        };
+        assert!(!fut.is_done());
+        c.complete(Ok(()));
+        assert!(fut.is_done());
+        assert!(fut.wait().is_ok());
+        // Second completion is ignored.
+        c.complete(Err(HfError::ExecutorShutDown));
+        assert!(fut.wait().is_ok());
+    }
+
+    #[test]
+    fn ready_future() {
+        let f = RunFuture::ready(Err(HfError::ExecutorShutDown));
+        assert!(f.is_done());
+        assert_eq!(f.wait(), Err(HfError::ExecutorShutDown));
+    }
+
+    #[test]
+    fn future_is_pollable() {
+        // Poll with a no-op waker through a minimal block_on.
+        let c = Completion::new();
+        let fut = RunFuture {
+            completion: Arc::clone(&c),
+        };
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            c2.complete(Ok(()));
+        });
+        let result = pollster_block_on(fut);
+        assert!(result.is_ok());
+        t.join().unwrap();
+    }
+
+    /// Minimal executor for testing `impl Future` without external deps.
+    fn pollster_block_on<F: std::future::Future>(fut: F) -> F::Output {
+        use std::sync::mpsc;
+        use std::task::{Context, RawWaker, RawWakerVTable};
+        let (tx, rx) = mpsc::channel::<()>();
+
+        fn raw(tx: *const ()) -> RawWaker {
+            RawWaker::new(tx, &VTABLE)
+        }
+        unsafe fn clone(tx: *const ()) -> RawWaker {
+            let t = &*(tx as *const mpsc::Sender<()>);
+            let boxed = Box::new(t.clone());
+            raw(Box::into_raw(boxed) as *const ())
+        }
+        unsafe fn wake(tx: *const ()) {
+            let t = Box::from_raw(tx as *mut mpsc::Sender<()>);
+            let _ = t.send(());
+        }
+        unsafe fn wake_by_ref(tx: *const ()) {
+            let t = &*(tx as *const mpsc::Sender<()>);
+            let _ = t.send(());
+        }
+        unsafe fn drop_waker(tx: *const ()) {
+            drop(Box::from_raw(tx as *mut mpsc::Sender<()>));
+        }
+        static VTABLE: RawWakerVTable =
+            RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+
+        let boxed = Box::new(tx);
+        let waker =
+            unsafe { std::task::Waker::from_raw(raw(Box::into_raw(boxed) as *const ())) };
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = std::pin::pin!(fut);
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => {
+                    let _ = rx.recv();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! A software GPU device: memory arena + pool + engine thread.
+
+use crate::arena::{Arena, DevicePtr};
+use crate::cost::{CostModel, SimDuration};
+use crate::error::GpuError;
+use crate::event::Event;
+use crate::pool::{MemoryPool, PoolStats};
+use crate::stream::{Op, OpBody};
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Identifier of a device within a [`crate::GpuRuntime`].
+pub type DeviceId = u32;
+
+/// Aggregate device counters (modeled time, traffic) for tests and
+/// calibration.
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    /// Modeled busy nanoseconds accumulated by executed ops.
+    pub busy_nanos: AtomicU64,
+    /// Host-to-device bytes copied.
+    pub h2d_bytes: AtomicU64,
+    /// Device-to-host bytes copied.
+    pub d2h_bytes: AtomicU64,
+    /// Kernels launched.
+    pub kernels: AtomicU64,
+    /// Total ops executed.
+    pub ops: AtomicU64,
+}
+
+/// One stream's FIFO state inside the engine.
+#[derive(Default)]
+pub(crate) struct StreamQueue {
+    pub(crate) ops: VecDeque<Op>,
+    pub(crate) enqueued: u64,
+    pub(crate) completed: u64,
+}
+
+pub(crate) struct EngineShared {
+    pub(crate) streams: Mutex<Vec<StreamQueue>>,
+    pub(crate) cv: Condvar,
+    pub(crate) shutdown: AtomicBool,
+}
+
+/// Inner state of a device, shared between user handles and the engine
+/// thread.
+pub struct DeviceInner {
+    id: DeviceId,
+    arena: Mutex<Arena>,
+    pool: MemoryPool,
+    cost: CostModel,
+    pub(crate) engine: Arc<EngineShared>,
+    stats: DeviceStats,
+    last_error: Mutex<Option<GpuError>>,
+}
+
+/// A handle to a software GPU device. Clones share the same device.
+#[derive(Clone)]
+pub struct Device {
+    pub(crate) inner: Arc<DeviceInner>,
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device").field("id", &self.inner.id).finish()
+    }
+}
+
+impl Device {
+    pub(crate) fn create(id: DeviceId, mem_capacity: usize, min_block: usize, cost: CostModel) -> (Device, JoinHandle<()>) {
+        let inner = Arc::new(DeviceInner {
+            id,
+            arena: Mutex::new(Arena::new(id, mem_capacity)),
+            pool: MemoryPool::new(id, mem_capacity, min_block),
+            cost,
+            engine: Arc::new(EngineShared {
+                streams: Mutex::new(Vec::new()),
+                cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            stats: DeviceStats::default(),
+            last_error: Mutex::new(None),
+        });
+        let engine_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name(format!("hf-gpu-engine-{id}"))
+            .spawn(move || engine_loop(engine_inner))
+            .expect("spawn device engine thread");
+        (Device { inner }, handle)
+    }
+
+    /// Device id.
+    pub fn id(&self) -> DeviceId {
+        self.inner.id
+    }
+
+    /// Allocates device memory from the pool.
+    pub fn alloc(&self, bytes: usize) -> Result<DevicePtr, GpuError> {
+        self.inner.pool.alloc(bytes)
+    }
+
+    /// Frees a pool allocation.
+    pub fn free(&self, ptr: DevicePtr) -> Result<(), GpuError> {
+        self.inner.pool.free(ptr)
+    }
+
+    /// Memory pool statistics.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.inner.pool.stats()
+    }
+
+    /// Modeled busy time accumulated by this device's ops.
+    pub fn busy_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.inner.stats.busy_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Raw statistics counters.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.inner.stats
+    }
+
+    /// Cost model used by this device.
+    pub fn cost_model(&self) -> CostModel {
+        self.inner.cost
+    }
+
+    /// First op error since the last [`Device::take_error`], if any —
+    /// `cudaGetLastError` semantics.
+    pub fn take_error(&self) -> Option<GpuError> {
+        self.inner.last_error.lock().take()
+    }
+
+    /// Registers a new stream on this device; returns its index.
+    pub(crate) fn register_stream(&self) -> usize {
+        let mut qs = self.inner.engine.streams.lock();
+        qs.push(StreamQueue::default());
+        qs.len() - 1
+    }
+
+    pub(crate) fn enqueue(&self, stream: usize, op: Op) {
+        let eng = &self.inner.engine;
+        {
+            let mut qs = eng.streams.lock();
+            let q = &mut qs[stream];
+            q.ops.push_back(op);
+            q.enqueued += 1;
+        }
+        eng.cv.notify_all();
+    }
+
+    /// Blocks until stream `stream` has executed everything enqueued so far.
+    pub(crate) fn synchronize_stream(&self, stream: usize) {
+        let eng = &self.inner.engine;
+        let mut qs = eng.streams.lock();
+        let target = qs[stream].enqueued;
+        while qs[stream].completed < target {
+            eng.cv.wait(&mut qs);
+        }
+    }
+
+    /// Blocks until every stream on this device has drained.
+    pub fn synchronize(&self) {
+        let eng = &self.inner.engine;
+        let mut qs = eng.streams.lock();
+        loop {
+            let pending = qs.iter().any(|q| q.completed < q.enqueued);
+            if !pending {
+                return;
+            }
+            eng.cv.wait(&mut qs);
+        }
+    }
+
+    /// Runs `f` with a mutable view of this device's memory, synchronously
+    /// on the calling thread (testing/debug aid; real work goes through
+    /// streams).
+    pub fn with_memory<R>(&self, f: impl FnOnce(&mut crate::arena::ArenaView<'_>) -> R) -> R {
+        let mut arena = self.inner.arena.lock();
+        f(&mut arena.view())
+    }
+}
+
+/// The engine loop: drains stream queues in order, honoring event waits.
+/// One engine thread per device serializes that device's ops (a
+/// single-compute-unit GPU); concurrency across devices is real.
+fn engine_loop(dev: Arc<DeviceInner>) {
+    let eng = Arc::clone(&dev.engine);
+    let mut next_start = 0usize;
+    loop {
+        // Find a runnable head op, round-robin across streams for fairness.
+        let mut op: Option<Op> = None;
+        {
+            let mut qs = eng.streams.lock();
+            let n = qs.len();
+            let mut any_pending = false;
+            for k in 0..n {
+                let i = (next_start + k) % n;
+                let q = &mut qs[i];
+                match q.ops.front() {
+                    None => {}
+                    Some(head) => {
+                        any_pending = true;
+                        if head.is_runnable() {
+                            op = Some(q.ops.pop_front().expect("head exists"));
+                            next_start = (i + 1) % n.max(1);
+                            break;
+                        }
+                    }
+                }
+            }
+            if op.is_none() {
+                if eng.shutdown.load(Ordering::Acquire) && !any_pending {
+                    return;
+                }
+                // Timed wait: an event this device is blocked on may be
+                // fired by another device's engine or by the host, which
+                // notifies no one here.
+                eng.cv.wait_for(&mut qs, Duration::from_micros(200));
+                continue;
+            }
+        }
+
+        let op = op.expect("checked above");
+        let stream = op.stream;
+        let dur = execute(&dev, op);
+        dev.stats.busy_nanos.fetch_add(dur.as_nanos(), Ordering::Relaxed);
+        dev.stats.ops.fetch_add(1, Ordering::Relaxed);
+
+        let mut qs = eng.streams.lock();
+        qs[stream].completed += 1;
+        drop(qs);
+        eng.cv.notify_all();
+    }
+}
+
+fn execute(dev: &Arc<DeviceInner>, op: Op) -> SimDuration {
+    match op.body {
+        OpBody::Exec(f) => {
+            let mut arena = dev.arena.lock();
+            let mut view = arena.view();
+            match f(&mut view, &dev.cost) {
+                Ok(report) => {
+                    dev.stats.h2d_bytes.fetch_add(report.h2d_bytes, Ordering::Relaxed);
+                    dev.stats.d2h_bytes.fetch_add(report.d2h_bytes, Ordering::Relaxed);
+                    dev.stats.kernels.fetch_add(report.kernels, Ordering::Relaxed);
+                    report.duration
+                }
+                Err(e) => {
+                    let mut slot = dev.last_error.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    SimDuration::ZERO
+                }
+            }
+        }
+        OpBody::Host(f) => {
+            f();
+            SimDuration::ZERO
+        }
+        OpBody::Record(ev) => {
+            ev.fire();
+            SimDuration::ZERO
+        }
+        // WaitEvent ops are consumed only when already runnable.
+        OpBody::WaitEvent { .. } => SimDuration::ZERO,
+    }
+}
+
+thread_local! {
+    static DEVICE_STACK: RefCell<Vec<DeviceId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII device scope: the software analogue of the paper's
+/// `ScopedDeviceContext` over `cudaSetDevice` (Listing 13). Pushes the
+/// device onto a thread-local stack; [`current_device`] reports the top.
+pub struct ScopedDeviceContext {
+    _private: (),
+}
+
+impl ScopedDeviceContext {
+    /// Enters `device`'s context on this thread.
+    pub fn new(device: DeviceId) -> Self {
+        DEVICE_STACK.with(|s| s.borrow_mut().push(device));
+        Self { _private: () }
+    }
+}
+
+impl Drop for ScopedDeviceContext {
+    fn drop(&mut self) {
+        DEVICE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// The device the calling thread is currently scoped to, if any.
+pub fn current_device() -> Option<DeviceId> {
+    DEVICE_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// An [`Event`] wait marker used inside op queues.
+#[derive(Debug, Clone)]
+pub struct EventWait {
+    pub(crate) event: Event,
+    pub(crate) generation: u64,
+}
+
+impl EventWait {
+    pub(crate) fn ready(&self) -> bool {
+        self.event.reached(self.generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_context_nests() {
+        assert_eq!(current_device(), None);
+        {
+            let _a = ScopedDeviceContext::new(1);
+            assert_eq!(current_device(), Some(1));
+            {
+                let _b = ScopedDeviceContext::new(3);
+                assert_eq!(current_device(), Some(3));
+            }
+            assert_eq!(current_device(), Some(1));
+        }
+        assert_eq!(current_device(), None);
+    }
+}

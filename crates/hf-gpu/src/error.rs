@@ -1,0 +1,90 @@
+//! Error type for the GPU substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the software GPU runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// The device memory pool could not satisfy an allocation.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes currently free in the pool (may be fragmented).
+        free: usize,
+    },
+    /// A device id outside `0..num_devices` was used.
+    InvalidDevice(u32),
+    /// A device pointer was used on a device other than the one that
+    /// allocated it — the software analogue of CUDA's
+    /// `cudaErrorInvalidDevicePointer`.
+    WrongDevice {
+        /// Device owning the pointer.
+        owner: u32,
+        /// Device the operation ran on.
+        used_on: u32,
+    },
+    /// A typed view was requested whose element size/alignment does not
+    /// divide the underlying allocation.
+    TypeMismatch {
+        /// Bytes in the allocation.
+        bytes: usize,
+        /// Element size requested.
+        elem: usize,
+    },
+    /// Copy size exceeds the device allocation or the host buffer.
+    SizeMismatch {
+        /// Bytes the destination can hold.
+        dst: usize,
+        /// Bytes the source provides.
+        src: usize,
+    },
+    /// Operation on a runtime that has been shut down.
+    ShutDown,
+    /// A freed or never-allocated pointer was passed to `free`.
+    InvalidFree(u64),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory { requested, free } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, {free} free"
+            ),
+            GpuError::InvalidDevice(d) => write!(f, "invalid device id {d}"),
+            GpuError::WrongDevice { owner, used_on } => write!(
+                f,
+                "device pointer owned by device {owner} used on device {used_on}"
+            ),
+            GpuError::TypeMismatch { bytes, elem } => write!(
+                f,
+                "allocation of {bytes} bytes cannot be viewed as elements of {elem} bytes"
+            ),
+            GpuError::SizeMismatch { dst, src } => {
+                write!(f, "copy size mismatch: dst {dst} bytes, src {src} bytes")
+            }
+            GpuError::ShutDown => write!(f, "GPU runtime has been shut down"),
+            GpuError::InvalidFree(off) => {
+                write!(f, "invalid free of device offset {off:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GpuError::OutOfMemory {
+            requested: 1024,
+            free: 512,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1024") && s.contains("512"));
+        assert!(GpuError::InvalidDevice(3).to_string().contains('3'));
+    }
+}

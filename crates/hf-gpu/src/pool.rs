@@ -1,0 +1,126 @@
+//! Per-device pooled memory allocator.
+//!
+//! Pull tasks allocate device memory on every execution; the paper
+//! amortizes this with a per-GPU pool over a buddy allocator (§III-C).
+//! [`MemoryPool`] is that pool: a thread-safe wrapper over
+//! [`crate::BuddyAllocator`] that hands out [`DevicePtr`]s.
+
+use crate::arena::DevicePtr;
+use crate::buddy::{BuddyAllocator, BuddyStats};
+use crate::error::GpuError;
+use parking_lot::Mutex;
+
+/// Snapshot of pool health, re-exported from the buddy allocator.
+pub type PoolStats = BuddyStats;
+
+/// Thread-safe device memory pool.
+#[derive(Debug)]
+pub struct MemoryPool {
+    device: u32,
+    buddy: Mutex<BuddyAllocator>,
+}
+
+impl MemoryPool {
+    /// Creates a pool of `capacity` bytes for `device` with the given
+    /// minimum block size.
+    pub fn new(device: u32, capacity: usize, min_block: usize) -> Self {
+        Self {
+            device,
+            buddy: Mutex::new(BuddyAllocator::new(capacity, min_block)),
+        }
+    }
+
+    /// Allocates `bytes` of device memory. The returned pointer's `len` is
+    /// the *requested* length; the pool internally reserves the rounded
+    /// buddy block.
+    pub fn alloc(&self, bytes: usize) -> Result<DevicePtr, GpuError> {
+        let offset = self.buddy.lock().alloc(bytes)?;
+        Ok(DevicePtr {
+            device: self.device,
+            offset,
+            len: bytes as u64,
+        })
+    }
+
+    /// Returns an allocation to the pool.
+    pub fn free(&self, ptr: DevicePtr) -> Result<(), GpuError> {
+        if ptr.device != self.device {
+            return Err(GpuError::WrongDevice {
+                owner: ptr.device,
+                used_on: self.device,
+            });
+        }
+        self.buddy.lock().free(ptr.offset)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.buddy.lock().stats()
+    }
+
+    /// Bytes available (possibly fragmented).
+    pub fn free_bytes(&self) -> usize {
+        self.buddy.lock().free_bytes()
+    }
+
+    /// True when no allocation is live and the arena is fully coalesced.
+    pub fn is_pristine(&self) -> bool {
+        self.buddy.lock().is_pristine()
+    }
+
+    /// Device this pool serves.
+    pub fn device(&self) -> u32 {
+        self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn alloc_carries_device_and_len() {
+        let p = MemoryPool::new(2, 1 << 20, 256);
+        let ptr = p.alloc(1000).unwrap();
+        assert_eq!(ptr.device, 2);
+        assert_eq!(ptr.len, 1000);
+        p.free(ptr).unwrap();
+        assert!(p.is_pristine());
+    }
+
+    #[test]
+    fn wrong_device_free_rejected() {
+        let p = MemoryPool::new(0, 1 << 16, 256);
+        let bad = DevicePtr { device: 1, offset: 0, len: 16 };
+        assert!(matches!(p.free(bad), Err(GpuError::WrongDevice { .. })));
+    }
+
+    #[test]
+    fn concurrent_alloc_free_no_overlap() {
+        let p = Arc::new(MemoryPool::new(0, 1 << 22, 256));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                thread::spawn(move || {
+                    let mut ptrs = Vec::new();
+                    for i in 0..200 {
+                        ptrs.push(p.alloc(256 + (i % 7) * 100).unwrap());
+                        if i % 3 == 0 {
+                            p.free(ptrs.swap_remove(0)).unwrap();
+                        }
+                    }
+                    for ptr in ptrs {
+                        p.free(ptr).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(p.is_pristine());
+        assert_eq!(p.stats().allocs, 800);
+    }
+}

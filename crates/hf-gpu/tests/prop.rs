@@ -1,0 +1,117 @@
+//! Property-based tests for the GPU substrate.
+
+use hf_gpu::buddy::BuddyAllocator;
+use hf_gpu::{GpuConfig, GpuRuntime, Stream};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// Random interleavings of alloc/free: live allocations never overlap,
+    /// and freeing everything restores the pristine single-block state.
+    #[test]
+    fn buddy_never_overlaps_and_fully_coalesces(
+        ops in proptest::collection::vec((any::<bool>(), 1usize..5000), 1..200)
+    ) {
+        let mut b = BuddyAllocator::new(1 << 16, 64);
+        let mut live: Vec<(u64, usize)> = Vec::new();
+        for (is_alloc, sz) in ops {
+            if is_alloc || live.is_empty() {
+                if let Ok(off) = b.alloc(sz) {
+                    let len = b.allocation_size(off).unwrap();
+                    for &(po, plen) in &live {
+                        let disjoint = off + len as u64 <= po || po + plen as u64 <= off;
+                        prop_assert!(disjoint, "overlap ({off},{len}) vs ({po},{plen})");
+                    }
+                    prop_assert!(off as usize + len <= b.capacity());
+                    // Naturally aligned to its block size.
+                    prop_assert_eq!(off as usize % len, 0);
+                    live.push((off, len));
+                }
+            } else {
+                let idx = sz % live.len();
+                let (off, _) = live.swap_remove(idx);
+                b.free(off).unwrap();
+            }
+        }
+        let in_use: usize = live.iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(b.stats().bytes_in_use, in_use);
+        for (off, _) in live {
+            b.free(off).unwrap();
+        }
+        prop_assert!(b.is_pristine(), "did not coalesce back to one block");
+    }
+
+    /// Rounded sizes are powers of two >= max(min_block, size).
+    #[test]
+    fn buddy_rounding_is_power_of_two(sz in 1usize..100_000) {
+        let b = BuddyAllocator::new(1 << 20, 128);
+        if let Some(r) = b.rounded_size(sz) {
+            prop_assert!(r.is_power_of_two());
+            prop_assert!(r >= sz);
+            prop_assert!(r >= 128);
+            prop_assert!(r < 2 * sz.max(128), "rounded more than 2x");
+        } else {
+            prop_assert!(sz.next_power_of_two() > 1 << 20);
+        }
+    }
+
+    /// `slice2_mut` accepts exactly the disjoint pointer pairs and
+    /// rejects every overlapping pair, for arbitrary ranges.
+    #[test]
+    fn split_views_respect_disjointness(
+        a_off in 0u64..200, a_len in 1u64..64,
+        b_off in 0u64..200, b_len in 1u64..64,
+    ) {
+        use hf_gpu::arena::{Arena, DevicePtr};
+        let mut arena = Arena::new(0, 512);
+        let mut view = arena.view();
+        let pa = DevicePtr { device: 0, offset: a_off, len: a_len };
+        let pb = DevicePtr { device: 0, offset: b_off, len: b_len };
+        let overlap = a_off < b_off + b_len && b_off < a_off + a_len;
+        let res = view.slice2_mut::<u8, u8>(pa, pb);
+        if overlap {
+            prop_assert!(res.is_err(), "overlap accepted: {pa:?} {pb:?}");
+        } else {
+            let (sa, sb) = res.expect("disjoint ranges accepted");
+            prop_assert_eq!(sa.len() as u64, a_len);
+            prop_assert_eq!(sb.len() as u64, b_len);
+            // Writes through one view never bleed into the other.
+            sa.fill(0xAA);
+            sb.fill(0x55);
+            prop_assert!(sa.iter().all(|&x| x == 0xAA));
+        }
+    }
+
+    /// Any sequence of H2D copies followed by D2H reads returns exactly
+    /// the bytes written, for random sizes and devices.
+    #[test]
+    fn stream_copies_round_trip(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..512), 1..8),
+        dev_id in 0u32..2,
+    ) {
+        let rt = GpuRuntime::new(2, GpuConfig::default());
+        let dev = rt.device(dev_id).unwrap();
+        let s = Stream::new(&dev);
+        let mut ptrs = Vec::new();
+        for c in &chunks {
+            let p = dev.alloc(c.len()).unwrap();
+            s.h2d_async(p, c.clone());
+            ptrs.push(p);
+        }
+        let results: Vec<Arc<parking_lot::Mutex<Vec<u8>>>> =
+            (0..chunks.len()).map(|_| Arc::new(parking_lot::Mutex::new(Vec::new()))).collect();
+        for (p, r) in ptrs.iter().zip(&results) {
+            let r = Arc::clone(r);
+            s.d2h_with(*p, move |b| r.lock().extend_from_slice(b));
+        }
+        s.synchronize();
+        prop_assert!(dev.take_error().is_none());
+        for (c, r) in chunks.iter().zip(&results) {
+            prop_assert_eq!(&*r.lock(), c);
+        }
+        for p in ptrs {
+            dev.free(p).unwrap();
+        }
+        prop_assert!(dev.pool_stats().bytes_in_use == 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Bookshelf-style placement reader/writer (`.nodes` / `.pl` / `.nets`).
+//!
+//! DREAMPlace consumes the ISPD Bookshelf benchmark suite (bigblue4 et
+//! al.); this module reads/writes the subset of the format the detailed
+//! placer needs — unit-site cells, fixed terminals, positions, and
+//! multi-pin nets:
+//!
+//! ```text
+//! # .nodes                 # .pl                   # .nets
+//! NumNodes : 3             o0 0 0 : N              NumNets : 1
+//! o0 1 1                   o1 4 2 : N              NetDegree : 2 n0
+//! o1 1 1                   o2 7 7 : N                o0 I
+//! o2 1 1 terminal                                    o1 O
+//! ```
+
+use crate::db::{Cell, Net, PlacementDb};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse failure with file kind and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BookshelfError {
+    /// Which of the three inputs failed ("nodes", "pl", "nets").
+    pub file: &'static str,
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for BookshelfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".{} line {}: {}", self.file, self.line, self.message)
+    }
+}
+
+impl std::error::Error for BookshelfError {}
+
+fn err(file: &'static str, line: usize, message: impl Into<String>) -> BookshelfError {
+    BookshelfError {
+        file,
+        line,
+        message: message.into(),
+    }
+}
+
+fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines().enumerate().filter_map(|(i, l)| {
+        let l = l.split('#').next().unwrap_or("").trim();
+        if l.is_empty() || l.starts_with("UCLA") {
+            None
+        } else {
+            Some((i + 1, l))
+        }
+    })
+}
+
+/// Parses the three Bookshelf sections into a [`PlacementDb`].
+pub fn parse_bookshelf(
+    nodes: &str,
+    pl: &str,
+    nets: &str,
+) -> Result<PlacementDb, BookshelfError> {
+    // --- .nodes: names, order, fixedness. ---
+    let mut names: Vec<String> = Vec::new();
+    let mut fixed: Vec<bool> = Vec::new();
+    for (lineno, l) in content_lines(nodes) {
+        if l.starts_with("NumNodes") || l.starts_with("NumTerminals") {
+            continue;
+        }
+        let mut it = l.split_whitespace();
+        let name = it.next().ok_or_else(|| err("nodes", lineno, "empty node line"))?;
+        // width/height accepted but must be 1x1 (unit sites).
+        let w: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("nodes", lineno, "missing width"))?;
+        let h: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("nodes", lineno, "missing height"))?;
+        if w != 1 || h != 1 {
+            return Err(err(
+                "nodes",
+                lineno,
+                format!("only unit cells supported, got {w}x{h}"),
+            ));
+        }
+        let is_fixed = it.next().is_some_and(|t| t.eq_ignore_ascii_case("terminal"));
+        names.push(name.to_string());
+        fixed.push(is_fixed);
+    }
+    if names.is_empty() {
+        return Err(err("nodes", 0, "no nodes declared"));
+    }
+    let index: HashMap<&str, u32> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i as u32))
+        .collect();
+    if index.len() != names.len() {
+        return Err(err("nodes", 0, "duplicate node names"));
+    }
+
+    // --- .pl: positions. ---
+    let mut cells: Vec<Option<Cell>> = vec![None; names.len()];
+    for (lineno, l) in content_lines(pl) {
+        let mut it = l.split_whitespace();
+        let name = it.next().ok_or_else(|| err("pl", lineno, "empty line"))?;
+        let id = *index
+            .get(name)
+            .ok_or_else(|| err("pl", lineno, format!("unknown node '{name}'")))?;
+        let x: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("pl", lineno, "missing x"))?;
+        let y: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("pl", lineno, "missing y"))?;
+        cells[id as usize] = Some(Cell {
+            x,
+            y,
+            fixed: fixed[id as usize],
+        });
+    }
+    let cells: Vec<Cell> = cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| c.ok_or_else(|| err("pl", 0, format!("node '{}' has no position", names[i]))))
+        .collect::<Result<_, _>>()?;
+
+    // --- .nets: pin lists. ---
+    let mut nets_v: Vec<Net> = Vec::new();
+    let mut current: Option<(usize, Vec<u32>)> = None; // (expected degree, pins)
+    for (lineno, l) in content_lines(nets) {
+        if l.starts_with("NumNets") || l.starts_with("NumPins") {
+            continue;
+        }
+        if let Some(rest) = l.strip_prefix("NetDegree") {
+            if let Some((deg, pins)) = current.take() {
+                if pins.len() != deg {
+                    return Err(err(
+                        "nets",
+                        lineno,
+                        format!("net declared degree {deg} but has {} pins", pins.len()),
+                    ));
+                }
+                nets_v.push(Net { pins });
+            }
+            let deg: usize = rest
+                .trim_start()
+                .trim_start_matches(':')
+                .split_whitespace()
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("nets", lineno, "malformed NetDegree"))?;
+            current = Some((deg, Vec::new()));
+            continue;
+        }
+        let (_, pins) = current
+            .as_mut()
+            .ok_or_else(|| err("nets", lineno, "pin before any NetDegree"))?;
+        let name = l
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| err("nets", lineno, "empty pin line"))?;
+        let id = *index
+            .get(name)
+            .ok_or_else(|| err("nets", lineno, format!("unknown node '{name}'")))?;
+        if !pins.contains(&id) {
+            pins.push(id);
+        }
+    }
+    if let Some((deg, pins)) = current.take() {
+        if pins.len() != deg {
+            return Err(err(
+                "nets",
+                0,
+                format!("net declared degree {deg} but has {} pins", pins.len()),
+            ));
+        }
+        nets_v.push(Net { pins });
+    }
+
+    // Derived layout extents and incidence lists.
+    let max_x = cells.iter().map(|c| c.x).max().unwrap_or(0);
+    let max_y = cells.iter().map(|c| c.y).max().unwrap_or(0);
+    let mut nets_of: Vec<Vec<u32>> = vec![Vec::new(); cells.len()];
+    for (ni, net) in nets_v.iter().enumerate() {
+        for &p in &net.pins {
+            nets_of[p as usize].push(ni as u32);
+        }
+    }
+
+    let db = PlacementDb {
+        cells,
+        nets: nets_v,
+        nets_of,
+        num_rows: max_y + 1,
+        sites_per_row: max_x + 1,
+    };
+    db.check_legal()
+        .map_err(|m| err("pl", 0, format!("illegal placement: {m}")))?;
+    Ok(db)
+}
+
+/// Serializes a [`PlacementDb`] to the three Bookshelf sections
+/// `(.nodes, .pl, .nets)`. Cells are named `o<i>`.
+pub fn write_bookshelf(db: &PlacementDb) -> (String, String, String) {
+    let mut nodes = format!("NumNodes : {}\n", db.cells.len());
+    let mut pl = String::new();
+    for (i, c) in db.cells.iter().enumerate() {
+        let term = if c.fixed { " terminal" } else { "" };
+        nodes.push_str(&format!("o{i} 1 1{term}\n"));
+        pl.push_str(&format!("o{i} {} {} : N\n", c.x, c.y));
+    }
+    let mut nets = format!("NumNets : {}\n", db.nets.len());
+    for (ni, net) in db.nets.iter().enumerate() {
+        nets.push_str(&format!("NetDegree : {} n{ni}\n", net.pins.len()));
+        for &p in &net.pins {
+            nets.push_str(&format!("  o{p} I\n"));
+        }
+    }
+    (nodes, pl, nets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::PlacementConfig;
+
+    #[test]
+    fn parses_minimal_example() {
+        let nodes = "NumNodes : 3\no0 1 1\no1 1 1\no2 1 1 terminal\n";
+        let pl = "o0 0 0 : N\no1 4 2 : N\no2 7 7 : N\n";
+        let nets = "NumNets : 1\nNetDegree : 2 n0\n  o0 I\n  o1 O\n";
+        let db = parse_bookshelf(nodes, pl, nets).expect("valid");
+        assert_eq!(db.num_cells(), 3);
+        assert!(db.cells[2].fixed);
+        assert_eq!(db.nets.len(), 1);
+        assert_eq!(db.net_hpwl(&db.nets[0]), 4 + 2);
+        assert_eq!(db.sites_per_row, 8);
+        assert_eq!(db.num_rows, 8);
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let orig = PlacementDb::synthesize(&PlacementConfig {
+            num_cells: 400,
+            num_nets: 450,
+            ..Default::default()
+        });
+        let (nodes, pl, nets) = write_bookshelf(&orig);
+        let back = parse_bookshelf(&nodes, &pl, &nets).expect("own output parses");
+        assert_eq!(back.cells, orig.cells);
+        assert_eq!(back.nets, orig.nets);
+        assert_eq!(back.total_hpwl(), orig.total_hpwl());
+    }
+
+    #[test]
+    fn detailed_placement_runs_on_parsed_db() {
+        let orig = PlacementDb::synthesize(&PlacementConfig {
+            num_cells: 200,
+            num_nets: 220,
+            ..Default::default()
+        });
+        let (nodes, pl, nets) = write_bookshelf(&orig);
+        let db = parse_bookshelf(&nodes, &pl, &nets).expect("valid");
+        let out = crate::algo::detailed_place_sequential(
+            db,
+            crate::algo::PlaceConfig {
+                iterations: 2,
+                ..Default::default()
+            },
+        );
+        assert!(out.hpwl_after <= out.hpwl_before);
+        out.db.check_legal().expect("legal");
+    }
+
+    #[test]
+    fn errors_name_file_and_line() {
+        let e = parse_bookshelf("o0 2 1\n", "", "").unwrap_err();
+        assert_eq!(e.file, "nodes");
+        assert!(e.message.contains("unit"));
+
+        let e = parse_bookshelf("o0 1 1\n", "oX 0 0 : N\n", "").unwrap_err();
+        assert_eq!(e.file, "pl");
+        assert!(e.message.contains("oX"));
+
+        let e = parse_bookshelf("o0 1 1\n", "o0 0 0 : N\n", "o0 I\n").unwrap_err();
+        assert_eq!(e.file, "nets");
+        assert!(e.message.contains("NetDegree"));
+    }
+
+    #[test]
+    fn degree_mismatch_rejected() {
+        let nodes = "o0 1 1\no1 1 1\n";
+        let pl = "o0 0 0 : N\no1 1 0 : N\n";
+        let nets = "NetDegree : 3 n0\n o0 I\n o1 O\n";
+        let e = parse_bookshelf(nodes, pl, nets).unwrap_err();
+        assert!(e.message.contains("degree 3"));
+    }
+
+    #[test]
+    fn overlapping_placement_rejected() {
+        let nodes = "o0 1 1\no1 1 1\n";
+        let pl = "o0 0 0 : N\no1 0 0 : N\n";
+        let e = parse_bookshelf(nodes, pl, "").unwrap_err();
+        assert!(e.message.contains("illegal"));
+    }
+
+    #[test]
+    fn missing_position_rejected() {
+        let e = parse_bookshelf("o0 1 1\n", "", "").unwrap_err();
+        assert!(e.message.contains("no position"));
+    }
+}

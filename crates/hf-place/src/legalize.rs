@@ -1,0 +1,311 @@
+//! Legalization: snapping desired (possibly fractional, overlapping)
+//! cell positions onto distinct row/site locations.
+//!
+//! Detailed placement *refines a legalized placement solution* (§IV-B);
+//! in the DREAMPlace pipeline a legalizer sits between analytical global
+//! placement and detailed placement. This module implements the classic
+//! Tetris-style greedy: process cells in x-order and pack each into the
+//! nearest free site across candidate rows, minimizing displacement.
+
+use crate::db::{Cell, PlacementDb};
+
+/// A desired (pre-legalization) position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Target {
+    /// Desired x (site units, fractional).
+    pub x: f32,
+    /// Desired y (row units, fractional).
+    pub y: f32,
+}
+
+/// Outcome metrics of a legalization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegalizeStats {
+    /// Total Manhattan displacement between desired and final positions.
+    pub total_displacement: f64,
+    /// Largest single-cell displacement.
+    pub max_displacement: f64,
+    /// Cells moved (desired site differed from final).
+    pub cells_moved: usize,
+}
+
+/// Per-row fill state: next free site in each row (Tetris packing).
+struct RowFill {
+    next_free: Vec<u32>,
+}
+
+impl RowFill {
+    fn new(rows: u32) -> Self {
+        Self {
+            next_free: vec![0; rows as usize],
+        }
+    }
+}
+
+/// Legalizes `targets` onto the grid of `rows x sites`. Fixed cells in
+/// `fixed_at` keep their exact (legal) positions and block their sites.
+///
+/// Returns the legal positions (same order as `targets`) and stats.
+///
+/// # Panics
+/// If the grid cannot hold all cells, or a fixed position is off-grid or
+/// duplicated.
+pub fn legalize(
+    targets: &[Target],
+    fixed_at: &[Option<(u32, u32)>],
+    rows: u32,
+    sites: u32,
+) -> (Vec<(u32, u32)>, LegalizeStats) {
+    let n = targets.len();
+    assert_eq!(fixed_at.len(), n, "one fixed slot per cell");
+    assert!(
+        (rows as u64) * (sites as u64) >= n as u64,
+        "grid too small for {n} cells"
+    );
+
+    let mut occupied = std::collections::HashSet::new();
+    let mut result: Vec<Option<(u32, u32)>> = vec![None; n];
+
+    // Fixed cells first: they block sites.
+    for (i, f) in fixed_at.iter().enumerate() {
+        if let Some((x, y)) = f {
+            assert!(*x < sites && *y < rows, "fixed cell {i} off grid");
+            assert!(occupied.insert((*x, *y)), "fixed cells overlap at ({x},{y})");
+            result[i] = Some((*x, *y));
+        }
+    }
+
+    // Movable cells in ascending desired-x order (Tetris sweep).
+    let mut order: Vec<usize> = (0..n).filter(|&i| fixed_at[i].is_none()).collect();
+    order.sort_by(|&a, &b| {
+        targets[a]
+            .x
+            .partial_cmp(&targets[b].x)
+            .expect("finite targets")
+            .then_with(|| a.cmp(&b))
+    });
+
+    let mut fill = RowFill::new(rows);
+    for &i in &order {
+        let t = targets[i];
+        let want_row = (t.y.round().max(0.0) as u32).min(rows - 1);
+        // Try rows by increasing distance from the desired row; in each,
+        // the candidate site is the max of the desired x and the row's
+        // packing frontier, skipping fixed blockages.
+        let mut best: Option<(u64, u32, u32)> = None; // (cost, x, y)
+        for dr in 0..rows {
+            for row in candidate_rows(want_row, dr, rows) {
+                let mut x = (t.x.round().max(0.0) as u32)
+                    .min(sites - 1)
+                    .max(fill.next_free[row as usize]);
+                while x < sites && occupied.contains(&(x, row)) {
+                    x += 1;
+                }
+                if x >= sites {
+                    continue;
+                }
+                let cost = (f64::from(x) - f64::from(t.x)).abs() as u64
+                    + (f64::from(row) - f64::from(t.y)).abs() as u64;
+                if best.is_none_or(|(bc, _, _)| cost < bc) {
+                    best = Some((cost, x, row));
+                }
+            }
+            // Early exit: the best cost found cannot be beaten by rows
+            // further than it.
+            if let Some((bc, _, _)) = best {
+                if (dr as u64) > bc {
+                    break;
+                }
+            }
+        }
+        let (_, x, y) = match best {
+            Some(b) => b,
+            None => {
+                // The packing frontier only moves right and can strand
+                // free sites to its left; fall back to a full scan for
+                // the min-cost free site (rare, so O(grid) is fine).
+                let mut fb: Option<(u64, u32, u32)> = None;
+                for row in 0..rows {
+                    for x in 0..sites {
+                        if occupied.contains(&(x, row)) {
+                            continue;
+                        }
+                        let cost = (f64::from(x) - f64::from(t.x)).abs() as u64
+                            + (f64::from(row) - f64::from(t.y)).abs() as u64;
+                        if fb.is_none_or(|(bc, _, _)| cost < bc) {
+                            fb = Some((cost, x, row));
+                        }
+                    }
+                }
+                fb.expect("grid has capacity")
+            }
+        };
+        occupied.insert((x, y));
+        fill.next_free[y as usize] = fill.next_free[y as usize].max(x + 1);
+        result[i] = Some((x, y));
+    }
+
+    let result: Vec<(u32, u32)> = result.into_iter().map(|r| r.expect("placed")).collect();
+    let mut total = 0.0f64;
+    let mut max_d = 0.0f64;
+    let mut moved = 0usize;
+    for (i, &(x, y)) in result.iter().enumerate() {
+        let d = (f64::from(x) - f64::from(targets[i].x)).abs()
+            + (f64::from(y) - f64::from(targets[i].y)).abs();
+        total += d;
+        max_d = max_d.max(d);
+        if d > 0.5 {
+            moved += 1;
+        }
+    }
+    (
+        result,
+        LegalizeStats {
+            total_displacement: total,
+            max_displacement: max_d,
+            cells_moved: moved,
+        },
+    )
+}
+
+/// Rows at distance `dr` from `want` (one or two candidates).
+fn candidate_rows(want: u32, dr: u32, rows: u32) -> impl Iterator<Item = u32> {
+    let lo = want.checked_sub(dr);
+    let hi = if dr > 0 && want + dr < rows {
+        Some(want + dr)
+    } else {
+        None
+    };
+    lo.into_iter().chain(hi)
+}
+
+/// Builds a legal [`PlacementDb`] from desired positions and a netlist.
+pub fn legalize_into_db(
+    targets: &[Target],
+    fixed: &[bool],
+    nets: Vec<crate::db::Net>,
+    rows: u32,
+    sites: u32,
+) -> (PlacementDb, LegalizeStats) {
+    let fixed_at: Vec<Option<(u32, u32)>> = targets
+        .iter()
+        .zip(fixed)
+        .map(|(t, &f)| {
+            f.then(|| {
+                (
+                    (t.x.round().max(0.0) as u32).min(sites - 1),
+                    (t.y.round().max(0.0) as u32).min(rows - 1),
+                )
+            })
+        })
+        .collect();
+    let (pos, stats) = legalize(targets, &fixed_at, rows, sites);
+    let cells: Vec<Cell> = pos
+        .iter()
+        .zip(fixed)
+        .map(|(&(x, y), &f)| Cell { x, y, fixed: f })
+        .collect();
+    let mut nets_of = vec![Vec::new(); cells.len()];
+    for (ni, net) in nets.iter().enumerate() {
+        for &p in &net.pins {
+            nets_of[p as usize].push(ni as u32);
+        }
+    }
+    let db = PlacementDb {
+        cells,
+        nets,
+        nets_of,
+        num_rows: rows,
+        sites_per_row: sites,
+    };
+    db.check_legal().expect("legalizer produced overlap");
+    (db, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn already_legal_targets_stay_put() {
+        let targets: Vec<Target> = (0..16)
+            .map(|i| Target {
+                x: (i % 4) as f32,
+                y: (i / 4) as f32,
+            })
+            .collect();
+        let fixed = vec![None; 16];
+        let (pos, stats) = legalize(&targets, &fixed, 4, 4);
+        for (i, &(x, y)) in pos.iter().enumerate() {
+            assert_eq!((x, y), ((i % 4) as u32, (i / 4) as u32));
+        }
+        assert_eq!(stats.total_displacement, 0.0);
+        assert_eq!(stats.cells_moved, 0);
+    }
+
+    #[test]
+    fn overlapping_targets_get_spread() {
+        // All cells want the same site.
+        let targets = vec![Target { x: 2.0, y: 2.0 }; 9];
+        let fixed = vec![None; 9];
+        let (pos, stats) = legalize(&targets, &fixed, 5, 5);
+        let unique: std::collections::HashSet<_> = pos.iter().collect();
+        assert_eq!(unique.len(), 9, "overlap remained");
+        assert!(stats.cells_moved >= 8);
+        // Everything stays near the hotspot.
+        assert!(stats.max_displacement <= 6.0, "{stats:?}");
+    }
+
+    #[test]
+    fn fixed_cells_block_their_sites() {
+        let targets = vec![Target { x: 0.0, y: 0.0 }, Target { x: 0.0, y: 0.0 }];
+        let fixed_at = vec![Some((0u32, 0u32)), None];
+        let (pos, _) = legalize(&targets, &fixed_at, 2, 2);
+        assert_eq!(pos[0], (0, 0));
+        assert_ne!(pos[1], (0, 0));
+    }
+
+    #[test]
+    fn fractional_targets_round_sanely() {
+        let targets = vec![Target { x: 1.4, y: 0.6 }, Target { x: 3.9, y: 1.2 }];
+        let (pos, stats) = legalize(&targets, &[None, None], 3, 5);
+        assert_eq!(pos[0], (1, 1));
+        assert_eq!(pos[1], (4, 1));
+        assert!(stats.total_displacement < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn overfull_grid_rejected() {
+        let targets = vec![Target { x: 0.0, y: 0.0 }; 5];
+        legalize(&targets, &[None; 5], 2, 2);
+    }
+
+    #[test]
+    fn legalize_into_db_is_legal_and_placeable() {
+        // Clustered random-ish targets with a couple of nets.
+        let targets: Vec<Target> = (0..60)
+            .map(|i| Target {
+                x: (i as f32 * 0.37) % 9.0,
+                y: (i as f32 * 0.73) % 9.0,
+            })
+            .collect();
+        let fixed = vec![false; 60];
+        let nets = (0..50)
+            .map(|i| crate::db::Net {
+                pins: vec![i as u32, ((i * 7 + 3) % 60) as u32],
+            })
+            .collect();
+        let (db, stats) = legalize_into_db(&targets, &fixed, nets, 10, 10);
+        assert!(stats.max_displacement < 10.0);
+        // The legalized placement feeds straight into detailed placement.
+        let out = crate::algo::detailed_place_sequential(
+            db,
+            crate::algo::PlaceConfig {
+                iterations: 2,
+                ..Default::default()
+            },
+        );
+        assert!(out.hpwl_after <= out.hpwl_before);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the placement substrate.
+
+use hf_place::matching::{brute_force, hungarian};
+use hf_place::mis::{make_priorities, mis_cpu, verify_mis};
+use hf_place::partition::partition_windows;
+use hf_place::{PlacementConfig, PlacementDb};
+use proptest::prelude::*;
+
+/// Random undirected graph in CSR form.
+fn random_csr(n: usize, edges: &[(usize, usize)]) -> (Vec<u32>, Vec<u32>) {
+    let mut sets: Vec<std::collections::BTreeSet<u32>> =
+        vec![std::collections::BTreeSet::new(); n];
+    for &(a, b) in edges {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            sets[a].insert(b as u32);
+            sets[b].insert(a as u32);
+        }
+    }
+    let mut offsets = vec![0u32];
+    let mut neighbors = Vec::new();
+    for s in &sets {
+        neighbors.extend(s.iter().copied());
+        offsets.push(neighbors.len() as u32);
+    }
+    (offsets, neighbors)
+}
+
+proptest! {
+    /// MIS output on any graph is independent and maximal, for any
+    /// priority seed.
+    #[test]
+    fn mis_always_valid(
+        n in 2usize..80,
+        edges in proptest::collection::vec((0usize..80, 0usize..80), 0..300),
+        seed in any::<u64>(),
+    ) {
+        let (off, nbr) = random_csr(n, &edges);
+        let pri = make_priorities(n, seed);
+        let states = mis_cpu(&off, &nbr, &pri);
+        prop_assert!(verify_mis(&off, &nbr, &states).is_ok());
+    }
+
+    /// Hungarian matches the brute-force optimum on every small matrix
+    /// and always returns a permutation.
+    #[test]
+    fn hungarian_is_optimal(
+        n in 1usize..7,
+        values in proptest::collection::vec(0u64..1000, 49),
+    ) {
+        let cost: Vec<Vec<u64>> = (0..n)
+            .map(|i| (0..n).map(|j| values[i * 7 + j]).collect())
+            .collect();
+        let (asg, total) = hungarian(&cost);
+        prop_assert_eq!(total, brute_force(&cost));
+        let mut seen = vec![false; n];
+        let mut check = 0u64;
+        for (i, &j) in asg.iter().enumerate() {
+            prop_assert!(!seen[j]);
+            seen[j] = true;
+            check += cost[i][j];
+        }
+        prop_assert_eq!(check, total);
+    }
+
+    /// Partitioning covers each movable member exactly once with windows
+    /// within the cap, for random placements and caps.
+    #[test]
+    fn partition_is_a_cover(
+        cells in 50usize..400,
+        cap in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let db = PlacementDb::synthesize(&PlacementConfig {
+            num_cells: cells,
+            num_nets: cells,
+            seed,
+            ..Default::default()
+        });
+        let (off, nbr) = db.conflict_adjacency();
+        let pri = make_priorities(cells, seed ^ 0xF00D);
+        let states = mis_cpu(&off, &nbr, &pri);
+        let windows = partition_windows(&db, &states, cap);
+        let mut seen = std::collections::HashSet::new();
+        for w in &windows {
+            prop_assert!(w.len() >= 2 && w.len() <= cap);
+            for &c in w {
+                prop_assert!(seen.insert(c), "cell {} twice", c);
+            }
+        }
+    }
+
+    /// The full sequential detailed-placement pipeline never increases
+    /// HPWL and always preserves legality.
+    #[test]
+    fn placement_pipeline_invariants(
+        cells in 60usize..250,
+        iters in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let db = PlacementDb::synthesize(&PlacementConfig {
+            num_cells: cells,
+            num_nets: cells + 20,
+            seed,
+            ..Default::default()
+        });
+        let out = hf_place::detailed_place_sequential(
+            db,
+            hf_place::PlaceConfig {
+                iterations: iters,
+                ..Default::default()
+            },
+        );
+        prop_assert!(out.hpwl_after <= out.hpwl_before);
+        let mut prev = out.hpwl_before;
+        for &h in &out.hpwl_trace {
+            prop_assert!(h <= prev, "HPWL increased mid-trace");
+            prev = h;
+        }
+        prop_assert!(out.db.check_legal().is_ok());
+    }
+}

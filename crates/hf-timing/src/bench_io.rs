@@ -1,0 +1,403 @@
+//! ISCAS-89-style `.bench` netlist reader/writer.
+//!
+//! OpenTimer consumes standard benchmark formats; this module gives the
+//! timing substrate the same ability, so users can run the analysis on
+//! real netlists instead of the synthetic generator:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! INPUT(G2)
+//! OUTPUT(G5)
+//! G4 = NAND(G1, G2)
+//! G5 = NOT(G4)
+//! ```
+//!
+//! `OUTPUT(x)` declares signal `x` observed at a primary output; the
+//! parser materializes an explicit [`GateKind::Output`] gate driven by
+//! `x`, matching the in-memory [`Circuit`] invariants.
+
+use crate::netlist::{Circuit, Gate, GateKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse failures with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchParseError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for BenchParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BenchParseError {}
+
+fn gate_kind(name: &str) -> Option<GateKind> {
+    match name.to_ascii_uppercase().as_str() {
+        "NAND" => Some(GateKind::Nand),
+        "NOR" => Some(GateKind::Nor),
+        "NOT" | "INV" => Some(GateKind::Inv),
+        "BUF" | "BUFF" => Some(GateKind::Buf),
+        "AND" => Some(GateKind::And),
+        "OR" => Some(GateKind::Or),
+        "XOR" => Some(GateKind::Xor),
+        _ => None,
+    }
+}
+
+fn kind_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Nand => "NAND",
+        GateKind::Nor => "NOR",
+        GateKind::Inv => "NOT",
+        GateKind::Buf => "BUFF",
+        GateKind::And => "AND",
+        GateKind::Or => "OR",
+        GateKind::Xor => "XOR",
+        GateKind::Input | GateKind::Output => unreachable!("IO written separately"),
+    }
+}
+
+enum Stmt {
+    Input(String),
+    Output(String),
+    Gate {
+        out: String,
+        kind: GateKind,
+        ins: Vec<String>,
+    },
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Option<Stmt>, BenchParseError> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let err = |message: String| BenchParseError {
+        line: lineno,
+        message,
+    };
+
+    // INPUT(x) / OUTPUT(x)
+    for (prefix, make) in [
+        ("INPUT", true),
+        ("OUTPUT", false),
+    ] {
+        if let Some(rest) = line.strip_prefix(prefix) {
+            let inner = rest
+                .trim()
+                .strip_prefix('(')
+                .and_then(|s| s.strip_suffix(')'))
+                .ok_or_else(|| err(format!("malformed {prefix} declaration")))?;
+            let name = inner.trim();
+            if name.is_empty() {
+                return Err(err(format!("{prefix} with empty signal name")));
+            }
+            return Ok(Some(if make {
+                Stmt::Input(name.to_string())
+            } else {
+                Stmt::Output(name.to_string())
+            }));
+        }
+    }
+
+    // out = FUNC(a, b, ...)
+    let (out, rhs) = line
+        .split_once('=')
+        .ok_or_else(|| err("expected '=' in gate definition".into()))?;
+    let rhs = rhs.trim();
+    let open = rhs
+        .find('(')
+        .ok_or_else(|| err("expected '(' after gate function".into()))?;
+    let close = rhs
+        .rfind(')')
+        .ok_or_else(|| err("expected closing ')'".into()))?;
+    let func = rhs[..open].trim();
+    let kind = gate_kind(func).ok_or_else(|| err(format!("unknown gate function '{func}'")))?;
+    let ins: Vec<String> = rhs[open + 1..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if ins.is_empty() {
+        return Err(err("gate with no inputs".into()));
+    }
+    match kind {
+        GateKind::Inv | GateKind::Buf if ins.len() != 1 => {
+            return Err(err(format!("{func} takes exactly one input")));
+        }
+        _ => {}
+    }
+    Ok(Some(Stmt::Gate {
+        out: out.trim().to_string(),
+        kind,
+        ins,
+    }))
+}
+
+/// Parses a `.bench` netlist into a [`Circuit`].
+pub fn parse_bench(text: &str) -> Result<Circuit, BenchParseError> {
+    let mut stmts = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(s) = parse_line(line, i + 1)? {
+            stmts.push((i + 1, s));
+        }
+    }
+
+    // Pass 1: create signal-defining gates (inputs and logic).
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut id_of: HashMap<String, u32> = HashMap::new();
+    let mut logic: Vec<(usize, u32, Vec<String>)> = Vec::new(); // (line, gate, ins)
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    for (line, s) in &stmts {
+        match s {
+            Stmt::Input(name) => {
+                if id_of.contains_key(name) {
+                    return Err(BenchParseError {
+                        line: *line,
+                        message: format!("signal '{name}' defined twice"),
+                    });
+                }
+                id_of.insert(name.clone(), gates.len() as u32);
+                gates.push(Gate {
+                    kind: GateKind::Input,
+                    delay_factor: 1.0,
+                });
+            }
+            Stmt::Gate { out, kind, ins } => {
+                if id_of.contains_key(out) {
+                    return Err(BenchParseError {
+                        line: *line,
+                        message: format!("signal '{out}' defined twice"),
+                    });
+                }
+                id_of.insert(out.clone(), gates.len() as u32);
+                logic.push((*line, gates.len() as u32, ins.clone()));
+                gates.push(Gate {
+                    kind: *kind,
+                    delay_factor: 1.0,
+                });
+            }
+            Stmt::Output(name) => outputs.push((*line, name.clone())),
+        }
+    }
+
+    let n_defined = gates.len();
+    let mut fanin: Vec<Vec<u32>> = vec![Vec::new(); n_defined + outputs.len()];
+    let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n_defined + outputs.len()];
+
+    // Pass 2: connect logic fanins.
+    for (line, gid, ins) in &logic {
+        for name in ins {
+            let src = *id_of.get(name).ok_or_else(|| BenchParseError {
+                line: *line,
+                message: format!("undefined signal '{name}'"),
+            })?;
+            if !fanin[*gid as usize].contains(&src) {
+                fanin[*gid as usize].push(src);
+                fanout[src as usize].push(*gid);
+            }
+        }
+    }
+
+    // Pass 3: materialize output gates.
+    let mut primary_outputs = Vec::with_capacity(outputs.len());
+    for (line, name) in &outputs {
+        let src = *id_of.get(name).ok_or_else(|| BenchParseError {
+            line: *line,
+            message: format!("undefined output signal '{name}'"),
+        })?;
+        let id = gates.len() as u32;
+        gates.push(Gate {
+            kind: GateKind::Output,
+            delay_factor: 1.0,
+        });
+        fanin[id as usize].push(src);
+        fanout[src as usize].push(id);
+        primary_outputs.push(id);
+    }
+
+    let primary_inputs: Vec<u32> = gates
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.kind == GateKind::Input)
+        .map(|(i, _)| i as u32)
+        .collect();
+    if primary_inputs.is_empty() {
+        return Err(BenchParseError {
+            line: 0,
+            message: "netlist has no INPUT declarations".into(),
+        });
+    }
+    if primary_outputs.is_empty() {
+        return Err(BenchParseError {
+            line: 0,
+            message: "netlist has no OUTPUT declarations".into(),
+        });
+    }
+
+    // Cycle check via Kahn (levelize panics on cycles; give an error
+    // instead).
+    {
+        let mut indeg: Vec<usize> = fanin.iter().map(|f| f.len()).collect();
+        let mut queue: Vec<usize> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in &fanout[u] {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v as usize);
+                }
+            }
+        }
+        if seen != gates.len() {
+            return Err(BenchParseError {
+                line: 0,
+                message: "netlist contains a combinational loop".into(),
+            });
+        }
+    }
+
+    Ok(Circuit::from_parts(gates, fanin, fanout, primary_inputs, primary_outputs))
+}
+
+/// Serializes a [`Circuit`] back to `.bench` text. Signals are named
+/// `G<n>` by gate id; output declarations refer to the driving signal.
+pub fn write_bench(c: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# {} gates, {} nets\n",
+        c.num_gates(),
+        c.num_edges()
+    ));
+    for &pi in &c.primary_inputs {
+        out.push_str(&format!("INPUT(G{pi})\n"));
+    }
+    for &po in &c.primary_outputs {
+        let driver = c.fanin[po as usize][0];
+        out.push_str(&format!("OUTPUT(G{driver})\n"));
+    }
+    for (id, g) in c.gates.iter().enumerate() {
+        match g.kind {
+            GateKind::Input | GateKind::Output => continue,
+            kind => {
+                let ins: Vec<String> = c.fanin[id]
+                    .iter()
+                    .map(|&s| format!("G{s}"))
+                    .collect();
+                out.push_str(&format!(
+                    "G{id} = {}({})\n",
+                    kind_name(kind),
+                    ins.join(", ")
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::CircuitConfig;
+
+    const SAMPLE: &str = r"
+# c17-like sample
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G11)
+G10 = NAND(G1, G2)
+G11 = NOR(G10, G3)
+";
+
+    #[test]
+    fn parses_sample() {
+        let c = parse_bench(SAMPLE).expect("valid netlist");
+        assert_eq!(c.primary_inputs.len(), 3);
+        assert_eq!(c.primary_outputs.len(), 1);
+        // 3 inputs + 2 logic + 1 output gate.
+        assert_eq!(c.num_gates(), 6);
+        assert_eq!(c.depth(), 4, "in -> nand -> nor -> out");
+        // The NOR gate has the NAND and G3 as fanins.
+        let nor = 4usize;
+        assert_eq!(c.gates[nor].kind, GateKind::Nor);
+        assert_eq!(c.fanin[nor].len(), 2);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let orig = Circuit::synthesize(&CircuitConfig {
+            num_gates: 300,
+            ..Default::default()
+        });
+        let text = write_bench(&orig);
+        let back = parse_bench(&text).expect("own output parses");
+        assert_eq!(back.num_gates(), orig.num_gates());
+        assert_eq!(back.num_edges(), orig.num_edges());
+        assert_eq!(back.primary_inputs.len(), orig.primary_inputs.len());
+        assert_eq!(back.primary_outputs.len(), orig.primary_outputs.len());
+        assert_eq!(back.depth(), orig.depth());
+        for (a, b) in orig.gates.iter().zip(&back.gates) {
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn sta_runs_on_parsed_netlist() {
+        let c = parse_bench(SAMPLE).expect("valid");
+        let v = &crate::views::make_views(1, 1.0)[0];
+        let r = crate::sta::run_sta(&c, v);
+        let po = c.primary_outputs[0] as usize;
+        assert!(r.arrival[po] > 0.0);
+        assert!(r.slack[po] > 0.0, "loose clock");
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = parse_bench("INPUT(G1)\nG2 = FROB(G1)\nOUTPUT(G2)").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("FROB"));
+
+        let e = parse_bench("INPUT(G1)\nG2 = NAND(G1, GX)\nOUTPUT(G2)").unwrap_err();
+        assert!(e.message.contains("GX"));
+
+        let e = parse_bench("INPUT(G1)\nOUTPUT(G1)\nINPUT(G1)").unwrap_err();
+        assert!(e.message.contains("twice"));
+    }
+
+    #[test]
+    fn combinational_loop_rejected() {
+        let e = parse_bench(
+            "INPUT(G1)\nG2 = NAND(G1, G3)\nG3 = NOT(G2)\nOUTPUT(G3)",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("loop"));
+    }
+
+    #[test]
+    fn missing_io_rejected() {
+        assert!(parse_bench("G2 = NOT(G2)").is_err());
+        let e = parse_bench("INPUT(G1)").unwrap_err();
+        assert!(e.message.contains("OUTPUT"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let c = parse_bench("\n# header\nINPUT(a) # trailing\n\nb = NOT(a)\nOUTPUT(b)\n")
+            .expect("valid");
+        assert_eq!(c.num_gates(), 3);
+    }
+}

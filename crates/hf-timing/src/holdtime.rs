@@ -1,0 +1,172 @@
+//! Early/late (min/max) timing and hold checks.
+//!
+//! Setup analysis (the [`crate::sta`] sweep) uses *latest* arrivals
+//! against the clock period; hold analysis uses *earliest* arrivals
+//! against hold requirements at the endpoints. Under on-chip variation
+//! every gate has an early and a late delay (the OCV split the CPPR
+//! machinery also uses); a complete timer propagates both.
+
+use crate::netlist::Circuit;
+use crate::sta::gate_delay;
+use crate::views::View;
+
+/// Early/late arrival pair per gate, plus hold slack at endpoints.
+#[derive(Debug, Clone)]
+pub struct EarlyLateReport {
+    /// Earliest possible arrival per gate (min path, early delays).
+    pub arrival_early: Vec<f32>,
+    /// Latest possible arrival per gate (max path, late delays).
+    pub arrival_late: Vec<f32>,
+    /// Hold slack per primary output: `arrival_early - hold_requirement`.
+    pub hold_slack: Vec<f32>,
+    /// Worst (most negative) hold slack, 0 when met.
+    pub whs: f32,
+}
+
+/// Early/late delay of a gate under the view's OCV split.
+#[inline]
+pub fn gate_delay_early_late(c: &Circuit, g: usize, view: &View) -> (f32, f32) {
+    let nominal = gate_delay(c, g, view);
+    let ocv = view.corner.ocv;
+    (nominal * (1.0 - ocv), nominal * (1.0 + ocv))
+}
+
+/// Propagates early (min over fanins, early delays) and late (max over
+/// fanins, late delays) arrivals, and checks hold at the endpoints.
+///
+/// `hold_requirement` is the minimum early arrival an endpoint must have
+/// (clock-skew + flop hold time in a real flow).
+pub fn run_early_late(c: &Circuit, view: &View, hold_requirement: f32) -> EarlyLateReport {
+    let n = c.num_gates();
+    let mut early = vec![0.0f32; n];
+    let mut late = vec![0.0f32; n];
+    for level in &c.levels {
+        for &g in level {
+            let g = g as usize;
+            let (de, dl) = gate_delay_early_late(c, g, view);
+            let (mut min_in, mut max_in) = (f32::INFINITY, 0.0f32);
+            for &f in &c.fanin[g] {
+                min_in = min_in.min(early[f as usize]);
+                max_in = max_in.max(late[f as usize]);
+            }
+            if !min_in.is_finite() {
+                min_in = 0.0; // primary input
+            }
+            early[g] = min_in + de;
+            late[g] = max_in + dl;
+        }
+    }
+    let hold_slack: Vec<f32> = c
+        .primary_outputs
+        .iter()
+        .map(|&po| early[po as usize] - hold_requirement)
+        .collect();
+    let whs = hold_slack.iter().cloned().fold(0.0f32, f32::min);
+    EarlyLateReport {
+        arrival_early: early,
+        arrival_late: late,
+        hold_slack,
+        whs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::CircuitConfig;
+    use crate::sta::run_sta;
+    use crate::views::{make_views, Corner, Mode};
+
+    fn view(ocv: f32) -> View {
+        View {
+            corner: Corner {
+                name: "t".into(),
+                delay_scale: 1.0,
+                ocv,
+            },
+            mode: Mode {
+                name: "m".into(),
+                clock_period: 1.0,
+            },
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn early_never_exceeds_late() {
+        let c = Circuit::synthesize(&CircuitConfig {
+            num_gates: 600,
+            ..Default::default()
+        });
+        let r = run_early_late(&c, &view(0.1), 0.0);
+        for g in 0..c.num_gates() {
+            assert!(
+                r.arrival_early[g] <= r.arrival_late[g] + 1e-6,
+                "gate {g}: early {} > late {}",
+                r.arrival_early[g],
+                r.arrival_late[g]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_ocv_late_equals_setup_arrival() {
+        let c = Circuit::synthesize(&CircuitConfig {
+            num_gates: 400,
+            ..Default::default()
+        });
+        let v = view(0.0);
+        let el = run_early_late(&c, &v, 0.0);
+        let setup = run_sta(&c, &v);
+        for g in 0..c.num_gates() {
+            assert!(
+                (el.arrival_late[g] - setup.arrival[g]).abs() < 1e-5,
+                "gate {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_is_min_path_reference() {
+        let c = Circuit::synthesize(&CircuitConfig {
+            num_gates: 300,
+            ..Default::default()
+        });
+        let v = view(0.08);
+        let r = run_early_late(&c, &v, 0.0);
+        // Reference min-path recurrence (ids are topological).
+        let mut reference = vec![0.0f32; c.num_gates()];
+        #[allow(clippy::needless_range_loop)] // builds reference[g] from reference[<g]
+        for g in 0..c.num_gates() {
+            let (de, _) = gate_delay_early_late(&c, g, &v);
+            let min_in = c.fanin[g]
+                .iter()
+                .map(|&f| reference[f as usize])
+                .fold(f32::INFINITY, f32::min);
+            reference[g] = if min_in.is_finite() { min_in } else { 0.0 } + de;
+        }
+        for (g, (a, want)) in r.arrival_early.iter().zip(&reference).enumerate() {
+            assert!((a - want).abs() < 1e-5, "gate {g}");
+        }
+    }
+
+    #[test]
+    fn hold_violations_appear_with_high_requirement() {
+        let c = Circuit::synthesize(&CircuitConfig {
+            num_gates: 400,
+            ..Default::default()
+        });
+        let v = &make_views(1, 1.0)[0];
+        let met = run_early_late(&c, v, 0.0);
+        assert_eq!(met.whs, 0.0, "no hold check, no violation");
+        // Require more early delay than the fastest endpoint has.
+        let min_early = met
+            .hold_slack
+            .iter()
+            .cloned()
+            .fold(f32::INFINITY, f32::min);
+        let violated = run_early_late(&c, v, min_early + 0.1);
+        assert!(violated.whs < 0.0);
+        assert!((violated.whs - (-0.1)).abs() < 1e-4);
+    }
+}

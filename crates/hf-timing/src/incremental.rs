@@ -1,0 +1,364 @@
+//! Incremental static timing analysis.
+//!
+//! OpenTimer 2.0 (paper refs [24][25]) is an *incremental* timing engine:
+//! after a local design change (gate resize/repower = delay change), only
+//! the affected cone is repropagated instead of the whole netlist.
+//! [`IncrementalTimer`] reproduces that capability over the [`Circuit`]
+//! model:
+//!
+//! * **arrival** times repropagate *forward* through the fanout cone of
+//!   each edited gate, level by level, stopping where values stabilize;
+//! * **required** times repropagate *backward* through the fanin cone
+//!   (required depends only on downstream required and edge delays);
+//! * slack/WNS/TNS are derived on demand.
+//!
+//! Equivalence with the full sweep is property-tested.
+
+use crate::netlist::Circuit;
+use crate::sta::{gate_delay, run_sta, TimingReport};
+use crate::views::View;
+use std::collections::{BTreeMap, HashSet};
+
+const EPS: f32 = 1e-6;
+
+/// An incrementally-maintained timer over one view of a circuit.
+pub struct IncrementalTimer {
+    circuit: Circuit,
+    view: View,
+    arrival: Vec<f32>,
+    /// Raw required times: `+inf` where no primary output is reachable
+    /// (exactly the full sweep's internal state; clamped to the clock
+    /// period only at the accessor).
+    required: Vec<f32>,
+    level_of: Vec<u32>,
+    /// Gates whose arrival must be recomputed, bucketed by level.
+    dirty_fwd: BTreeMap<u32, HashSet<u32>>,
+    /// Gates whose required must be recomputed, bucketed by level.
+    dirty_bwd: BTreeMap<u32, HashSet<u32>>,
+    /// Gates touched by the last `update` (diagnostic / test metric).
+    last_touched: usize,
+}
+
+impl IncrementalTimer {
+    /// Builds the timer with a full initial sweep.
+    pub fn new(circuit: Circuit, view: View) -> Self {
+        let full = run_sta(&circuit, &view);
+        let mut level_of = vec![0u32; circuit.num_gates()];
+        for (lv, gs) in circuit.levels.iter().enumerate() {
+            for &g in gs {
+                level_of[g as usize] = lv as u32;
+            }
+        }
+        // Rebuild the *raw* required times (run_sta clamps before
+        // returning): propagate with +inf through unreachable cones.
+        let n = circuit.num_gates();
+        let period = view.mode.clock_period;
+        let mut required = vec![f32::INFINITY; n];
+        for &po in &circuit.primary_outputs {
+            required[po as usize] = period;
+        }
+        for level in circuit.levels.iter().rev() {
+            for &g in level {
+                let g = g as usize;
+                let rq = circuit.fanout[g]
+                    .iter()
+                    .map(|&s| {
+                        let s = s as usize;
+                        required[s] - gate_delay(&circuit, s, &view)
+                    })
+                    .fold(f32::INFINITY, f32::min);
+                if rq < required[g] {
+                    required[g] = rq;
+                }
+            }
+        }
+        Self {
+            circuit,
+            view,
+            arrival: full.arrival,
+            required,
+            level_of,
+            dirty_fwd: BTreeMap::new(),
+            dirty_bwd: BTreeMap::new(),
+            last_touched: 0,
+        }
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Current arrival time at a gate (call [`update`](Self::update)
+    /// after edits).
+    pub fn arrival(&self, gate: u32) -> f32 {
+        self.arrival[gate as usize]
+    }
+
+    /// Current required time at a gate (clamped to the clock period for
+    /// gates that reach no primary output, matching [`run_sta`]).
+    pub fn required(&self, gate: u32) -> f32 {
+        let r = self.required[gate as usize];
+        if r.is_finite() {
+            r
+        } else {
+            self.view.mode.clock_period
+        }
+    }
+
+    /// Current slack at a gate.
+    pub fn slack(&self, gate: u32) -> f32 {
+        self.required(gate) - self.arrival[gate as usize]
+    }
+
+    /// Worst negative slack over primary outputs (0 if timing is met).
+    pub fn wns(&self) -> f32 {
+        self.circuit
+            .primary_outputs
+            .iter()
+            .map(|&po| self.slack(po))
+            .fold(0.0f32, f32::min)
+    }
+
+    /// Gates recomputed by the last [`update`](Self::update).
+    pub fn last_touched(&self) -> usize {
+        self.last_touched
+    }
+
+    /// Edits a gate's delay multiplier (resize/repower) and marks the
+    /// affected cones dirty. Takes effect at the next `update`.
+    pub fn set_delay_factor(&mut self, gate: u32, factor: f32) {
+        self.circuit.gates[gate as usize].delay_factor = factor;
+        // Forward: this gate's own arrival changes.
+        self.mark_fwd(gate);
+        // Backward: required of this gate's fanins depends on
+        // `required[gate] - delay(gate)`, so they must be revisited even
+        // if required[gate] itself is unchanged.
+        for f in self.circuit.fanin[gate as usize].clone() {
+            self.mark_bwd(f);
+        }
+    }
+
+    /// Changes the clock period (mode switch): all endpoint required
+    /// times shift, which is a whole-cone backward update.
+    pub fn set_clock_period(&mut self, period: f32) {
+        self.view.mode.clock_period = period;
+        for po in self.circuit.primary_outputs.clone() {
+            self.required[po as usize] = period;
+            for f in self.circuit.fanin[po as usize].clone() {
+                self.mark_bwd(f);
+            }
+        }
+    }
+
+    fn mark_fwd(&mut self, gate: u32) {
+        self.dirty_fwd
+            .entry(self.level_of[gate as usize])
+            .or_default()
+            .insert(gate);
+    }
+
+    fn mark_bwd(&mut self, gate: u32) {
+        self.dirty_bwd
+            .entry(self.level_of[gate as usize])
+            .or_default()
+            .insert(gate);
+    }
+
+    /// Repropagates the dirty cones; returns the number of gates touched.
+    pub fn update(&mut self) -> usize {
+        let mut touched = 0usize;
+
+        // Forward pass: lowest level first.
+        while let Some((&lv, _)) = self.dirty_fwd.iter().next() {
+            let gates: Vec<u32> = self
+                .dirty_fwd
+                .remove(&lv)
+                .expect("key just observed")
+                .into_iter()
+                .collect();
+            for g in gates {
+                touched += 1;
+                let gi = g as usize;
+                let at_in = self.circuit.fanin[gi]
+                    .iter()
+                    .map(|&f| self.arrival[f as usize])
+                    .fold(0.0f32, f32::max);
+                let new = at_in + gate_delay(&self.circuit, gi, &self.view);
+                if (new - self.arrival[gi]).abs() > EPS {
+                    self.arrival[gi] = new;
+                    for &s in &self.circuit.fanout[gi].clone() {
+                        self.mark_fwd(s);
+                    }
+                }
+            }
+        }
+
+        // Backward pass: highest level first.
+        while let Some((&lv, _)) = self.dirty_bwd.iter().next_back() {
+            let gates: Vec<u32> = self
+                .dirty_bwd
+                .remove(&lv)
+                .expect("key just observed")
+                .into_iter()
+                .collect();
+            for g in gates {
+                touched += 1;
+                let gi = g as usize;
+                if self.circuit.gates[gi].kind == crate::netlist::GateKind::Output {
+                    // Primary outputs are pinned to the clock period.
+                    continue;
+                }
+                // Min over fanouts with raw (+inf-propagating) values;
+                // an empty fanout (dead end) yields +inf, as in the
+                // full sweep.
+                let new = self.circuit.fanout[gi]
+                    .iter()
+                    .map(|&s| {
+                        let si = s as usize;
+                        self.required[si] - gate_delay(&self.circuit, si, &self.view)
+                    })
+                    .fold(f32::INFINITY, f32::min);
+                let changed = match (new.is_finite(), self.required[gi].is_finite()) {
+                    (false, false) => false,
+                    (true, true) => (new - self.required[gi]).abs() > EPS,
+                    _ => true,
+                };
+                if changed {
+                    self.required[gi] = new;
+                    for &f in &self.circuit.fanin[gi].clone() {
+                        self.mark_bwd(f);
+                    }
+                }
+            }
+        }
+
+        self.last_touched = touched;
+        touched
+    }
+
+    /// Full recomputation (oracle for tests; also useful after massive
+    /// edits where incrementality would not pay off).
+    pub fn full_report(&self) -> TimingReport {
+        run_sta(&self.circuit, &self.view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::CircuitConfig;
+    use crate::views::make_views;
+
+    fn setup(n: usize, seed: u64) -> IncrementalTimer {
+        let c = Circuit::synthesize(&CircuitConfig {
+            num_gates: n,
+            seed,
+            ..Default::default()
+        });
+        let v = make_views(1, 0.5)[0].clone();
+        IncrementalTimer::new(c, v)
+    }
+
+    fn assert_matches_full(t: &IncrementalTimer) {
+        let full = t.full_report();
+        for g in 0..t.circuit().num_gates() {
+            assert!(
+                (t.arrival(g as u32) - full.arrival[g]).abs() < 1e-4,
+                "arrival mismatch at {g}: {} vs {}",
+                t.arrival(g as u32),
+                full.arrival[g]
+            );
+            assert!(
+                (t.required(g as u32) - full.required[g]).abs() < 1e-4,
+                "required mismatch at {g}: {} vs {}",
+                t.required(g as u32),
+                full.required[g]
+            );
+        }
+    }
+
+    #[test]
+    fn initial_state_matches_full_sweep() {
+        let t = setup(500, 1);
+        assert_matches_full(&t);
+    }
+
+    #[test]
+    fn single_edit_matches_full_recompute() {
+        let mut t = setup(800, 2);
+        let mid = (t.circuit().num_gates() / 2) as u32;
+        t.set_delay_factor(mid, 3.0);
+        let touched = t.update();
+        assert!(touched > 0);
+        assert_matches_full(&t);
+    }
+
+    #[test]
+    fn local_edit_touches_small_cone() {
+        let mut t = setup(4000, 3);
+        // Edit a gate near the outputs: its forward cone is tiny.
+        let late = (t.circuit().num_gates() - 10) as u32;
+        t.set_delay_factor(late, 1.5);
+        let touched = t.update();
+        assert!(
+            touched < t.circuit().num_gates() / 4,
+            "incremental update touched {touched} of {} gates",
+            t.circuit().num_gates()
+        );
+        assert_matches_full(&t);
+    }
+
+    #[test]
+    fn sequence_of_edits_stays_consistent() {
+        let mut t = setup(600, 4);
+        let n = t.circuit().num_gates() as u32;
+        for (i, factor) in [(n / 3, 2.0f32), (n / 2, 0.5), (2 * n / 3, 4.0), (n / 3, 1.0)] {
+            t.set_delay_factor(i, factor);
+            t.update();
+        }
+        assert_matches_full(&t);
+    }
+
+    #[test]
+    fn batched_edits_before_update() {
+        let mut t = setup(600, 5);
+        let n = t.circuit().num_gates() as u32;
+        for i in [n / 5, n / 4, n / 3, n / 2] {
+            t.set_delay_factor(i, 2.5);
+        }
+        t.update();
+        assert_matches_full(&t);
+    }
+
+    #[test]
+    fn clock_period_change_updates_required() {
+        let mut t = setup(400, 6);
+        let wns_before = t.wns();
+        t.set_clock_period(0.01); // very tight
+        t.update();
+        assert!(t.wns() < wns_before, "tight clock must worsen WNS");
+        assert_matches_full(&t);
+        t.set_clock_period(100.0); // very loose
+        t.update();
+        assert_eq!(t.wns(), 0.0);
+        assert_matches_full(&t);
+    }
+
+    #[test]
+    fn noop_update_touches_nothing() {
+        let mut t = setup(300, 7);
+        assert_eq!(t.update(), 0);
+        // Re-setting the current factor revisits the gate and its fanins
+        // but propagation stops immediately (values unchanged).
+        let c = t.circuit().gates[50].delay_factor;
+        t.set_delay_factor(50, c);
+        let touched = t.update();
+        let fanins = t.circuit().fanin[50].len();
+        assert!(
+            touched <= 1 + fanins,
+            "stable edit propagated: {touched} (fanins {fanins})"
+        );
+        assert_matches_full(&t);
+    }
+}

@@ -1,0 +1,228 @@
+//! Heteroflow-parallel STA: the levelized sweep expressed as a task
+//! graph.
+//!
+//! OpenTimer 2.0 parallelizes its propagation with Taskflow by making
+//! each levelization level a layer of parallel tasks (paper refs
+//! [13][24]). This module does the same with Heteroflow: level `l`'s
+//! gates are split into chunks, one host task per chunk, with
+//! level-to-level dependency edges. Results are identical to
+//! [`run_sta`]; the point is exercising the paper's own runtime on the
+//! paper's motivating workload shape (wide, shallow, irregular layers).
+
+use crate::netlist::Circuit;
+use crate::sta::{gate_delay, run_sta, TimingReport};
+use crate::views::View;
+use hf_core::{Executor, Heteroflow, HfError};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Shared mutable timing state threaded through the chunk tasks.
+///
+/// Each gate's slot is written by exactly one chunk task per phase, and
+/// the level-by-level dependency edges order every read after the write
+/// it needs, so a lock-free `Vec` behind an `RwLock` (locked per chunk,
+/// not per gate) is race-free by construction.
+struct SweepState {
+    arrival: RwLock<Vec<f32>>,
+    required: RwLock<Vec<f32>>,
+}
+
+/// Builds and runs the parallel forward/backward sweep on `executor`.
+///
+/// `chunk` controls task granularity (gates per task; the paper's
+/// million-scale graphs need coarse chunks to amortize scheduling).
+pub fn run_sta_parallel(
+    executor: &Executor,
+    circuit: &Arc<Circuit>,
+    view: &View,
+    chunk: usize,
+) -> Result<TimingReport, HfError> {
+    let n = circuit.num_gates();
+    let chunk = chunk.max(1);
+    let state = Arc::new(SweepState {
+        arrival: RwLock::new(vec![0.0; n]),
+        required: RwLock::new(vec![f32::INFINITY; n]),
+    });
+
+    let g = Heteroflow::new("parallel-sta");
+
+    // Forward phase: one task layer per level.
+    let mut prev_layer: Vec<hf_core::HostTask> = Vec::new();
+    for (lv, gates) in circuit.levels.iter().enumerate() {
+        let mut layer = Vec::new();
+        for (ci, chunk_gates) in gates.chunks(chunk).enumerate() {
+            let task = g.host(&format!("fwd[{lv}][{ci}]"), {
+                let (circuit, view, state) =
+                    (Arc::clone(circuit), view.clone(), Arc::clone(&state));
+                let chunk_gates = chunk_gates.to_vec();
+                move || {
+                    // Reads target lower levels only; writes this chunk.
+                    let mut arrival = state.arrival.write();
+                    for &gt in &chunk_gates {
+                        let gi = gt as usize;
+                        let at = circuit.fanin[gi]
+                            .iter()
+                            .map(|&f| arrival[f as usize])
+                            .fold(0.0f32, f32::max);
+                        arrival[gi] = at + gate_delay(&circuit, gi, &view);
+                    }
+                }
+            });
+            for p in &prev_layer {
+                task.succeed(p);
+            }
+            layer.push(task);
+        }
+        prev_layer = layer;
+    }
+
+    // Backward phase: seeded at endpoints, runs levels in reverse. The
+    // first backward layer succeeds the last forward layer.
+    let period = view.mode.clock_period;
+    let seed = g.host("seed_required", {
+        let (circuit, state) = (Arc::clone(circuit), Arc::clone(&state));
+        move || {
+            let mut required = state.required.write();
+            for &po in &circuit.primary_outputs {
+                required[po as usize] = period;
+            }
+        }
+    });
+    for p in &prev_layer {
+        seed.succeed(p);
+    }
+    let mut prev_layer = vec![seed];
+    for (lv, gates) in circuit.levels.iter().enumerate().rev() {
+        let mut layer = Vec::new();
+        for (ci, chunk_gates) in gates.chunks(chunk).enumerate() {
+            let task = g.host(&format!("bwd[{lv}][{ci}]"), {
+                let (circuit, view, state) =
+                    (Arc::clone(circuit), view.clone(), Arc::clone(&state));
+                let chunk_gates = chunk_gates.to_vec();
+                move || {
+                    let mut required = state.required.write();
+                    for &gt in &chunk_gates {
+                        let gi = gt as usize;
+                        let rq = circuit.fanout[gi]
+                            .iter()
+                            .map(|&s| {
+                                let si = s as usize;
+                                required[si] - gate_delay(&circuit, si, &view)
+                            })
+                            .fold(f32::INFINITY, f32::min);
+                        if rq < required[gi] {
+                            required[gi] = rq;
+                        }
+                    }
+                }
+            });
+            for p in &prev_layer {
+                task.succeed(p);
+            }
+            layer.push(task);
+        }
+        prev_layer = layer;
+    }
+
+    executor.run(&g).wait()?;
+
+    // Assemble the report like run_sta does (clamping unreachable).
+    let arrival = state.arrival.read().clone();
+    let mut required = state.required.read().clone();
+    for r in required.iter_mut() {
+        if !r.is_finite() {
+            *r = period;
+        }
+    }
+    let slack: Vec<f32> = required.iter().zip(&arrival).map(|(r, a)| r - a).collect();
+    let mut wns = 0.0f32;
+    let mut tns = 0.0f32;
+    for &po in &circuit.primary_outputs {
+        let s = slack[po as usize];
+        if s < 0.0 {
+            wns = wns.min(s);
+            tns += s;
+        }
+    }
+    Ok(TimingReport {
+        arrival,
+        required,
+        slack,
+        wns,
+        tns,
+        clock_period: period,
+    })
+}
+
+/// Convenience: compares the parallel sweep with the sequential oracle.
+pub fn verify_against_sequential(
+    executor: &Executor,
+    circuit: &Arc<Circuit>,
+    view: &View,
+    chunk: usize,
+) -> Result<(), String> {
+    let par = run_sta_parallel(executor, circuit, view, chunk)
+        .map_err(|e| format!("parallel sweep failed: {e}"))?;
+    let seq = run_sta(circuit, view);
+    for gi in 0..circuit.num_gates() {
+        if (par.arrival[gi] - seq.arrival[gi]).abs() > 1e-4 {
+            return Err(format!(
+                "arrival mismatch at gate {gi}: {} vs {}",
+                par.arrival[gi], seq.arrival[gi]
+            ));
+        }
+        if (par.required[gi] - seq.required[gi]).abs() > 1e-4 {
+            return Err(format!(
+                "required mismatch at gate {gi}: {} vs {}",
+                par.required[gi], seq.required[gi]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::CircuitConfig;
+    use crate::views::make_views;
+
+    fn circuit(n: usize, seed: u64) -> Arc<Circuit> {
+        Arc::new(Circuit::synthesize(&CircuitConfig {
+            num_gates: n,
+            seed,
+            ..Default::default()
+        }))
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let ex = Executor::new(4, 0);
+        let c = circuit(1200, 1);
+        let v = &make_views(1, 0.4)[0];
+        verify_against_sequential(&ex, &c, v, 64).expect("sweeps agree");
+    }
+
+    #[test]
+    fn various_chunk_sizes_agree() {
+        let ex = Executor::new(3, 0);
+        let c = circuit(600, 2);
+        let v = &make_views(1, 0.3)[0];
+        for chunk in [1, 7, 100, 10_000] {
+            verify_against_sequential(&ex, &c, v, chunk)
+                .unwrap_or_else(|e| panic!("chunk {chunk}: {e}"));
+        }
+    }
+
+    #[test]
+    fn wns_and_tns_match() {
+        let ex = Executor::new(2, 0);
+        let c = circuit(800, 3);
+        let v = &make_views(1, 0.05)[0]; // tight clock: violations exist
+        let par = run_sta_parallel(&ex, &c, v, 32).expect("runs");
+        let seq = run_sta(&c, v);
+        assert!((par.wns - seq.wns).abs() < 1e-4);
+        assert!((par.tns - seq.tns).abs() < 1e-3);
+        assert!(par.wns < 0.0, "expected violations under a tight clock");
+    }
+}

@@ -1,0 +1,176 @@
+//! Human-readable timing reports — the `report_timing` output an STA
+//! tool presents to designers (OpenTimer-style path tables).
+
+use crate::cppr::ClockTree;
+use crate::netlist::Circuit;
+use crate::paths::{k_critical_paths, TimingPath};
+use crate::sta::run_sta;
+use crate::views::View;
+use std::fmt::Write as _;
+
+/// Options for [`report_timing`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReportConfig {
+    /// Paths to report.
+    pub num_paths: usize,
+    /// Apply CPPR credits (requires a clock tree segment delay).
+    pub cppr: Option<f32>,
+    /// Print per-gate arrival breakdown for each path.
+    pub expand_paths: bool,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        Self {
+            num_paths: 5,
+            cppr: Some(0.04),
+            expand_paths: true,
+        }
+    }
+}
+
+/// Renders the top-k critical-path report for one view.
+pub fn report_timing(c: &Circuit, view: &View, cfg: &ReportConfig) -> String {
+    let sta = run_sta(c, view);
+    let mut paths = k_critical_paths(c, view, cfg.num_paths);
+    let credits: Vec<f32> = match cfg.cppr {
+        Some(seg) => {
+            let tree = ClockTree::build(c, seg);
+            crate::cppr::apply_cppr(&mut paths, &tree, view)
+        }
+        None => vec![0.0; paths.len()],
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Timing report — view {}", view.name());
+    let _ = writeln!(
+        out,
+        "circuit: {} gates / {} nets / depth {}   clock {:.4} ns",
+        c.num_gates(),
+        c.num_edges(),
+        c.depth(),
+        view.mode.clock_period
+    );
+    let _ = writeln!(
+        out,
+        "WNS {:.4} ns   TNS {:.4} ns   ({} endpoints)",
+        sta.wns,
+        sta.tns,
+        c.primary_outputs.len()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>4} {:>10} {:>10} {:>10} {:>7}  endpoint",
+        "#", "delay", "cppr", "slack", "gates"
+    );
+    for (i, (p, credit)) in paths.iter().zip(&credits).enumerate() {
+        let endpoint = p.gates.last().expect("non-empty path");
+        let _ = writeln!(
+            out,
+            "{:>4} {:>10.4} {:>10.4} {:>10.4} {:>7}  G{}{}",
+            i + 1,
+            p.delay,
+            credit,
+            p.slack,
+            p.depth(),
+            endpoint,
+            if p.slack < 0.0 { "  (VIOLATED)" } else { "" }
+        );
+        if cfg.expand_paths {
+            let _ = writeln!(out, "{}", expand_path(c, view, p));
+        }
+    }
+    out
+}
+
+/// Per-gate breakdown of one path (point / incr / arrival columns).
+fn expand_path(c: &Circuit, view: &View, p: &TimingPath) -> String {
+    let mut out = String::new();
+    let mut at = 0.0f32;
+    let _ = writeln!(out, "       {:>12} {:>10} {:>10}", "point", "incr", "arrival");
+    for &g in &p.gates {
+        let d = crate::sta::gate_delay(c, g as usize, view);
+        at += d;
+        let _ = writeln!(
+            out,
+            "       {:>12} {:>10.4} {:>10.4}",
+            format!("G{g} ({})", kind_tag(c, g)),
+            d,
+            at
+        );
+    }
+    out
+}
+
+fn kind_tag(c: &Circuit, g: u32) -> &'static str {
+    use crate::netlist::GateKind::*;
+    match c.gates[g as usize].kind {
+        Input => "PI",
+        Output => "PO",
+        Nand => "nand",
+        Nor => "nor",
+        Inv => "inv",
+        Buf => "buf",
+        And => "and",
+        Or => "or",
+        Xor => "xor",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::CircuitConfig;
+    use crate::views::make_views;
+
+    fn circuit() -> Circuit {
+        Circuit::synthesize(&CircuitConfig {
+            num_gates: 400,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn report_contains_paths_and_summary() {
+        let c = circuit();
+        let v = &make_views(1, 0.5)[0];
+        let r = report_timing(&c, v, &ReportConfig::default());
+        assert!(r.contains("Timing report"));
+        assert!(r.contains("WNS"));
+        assert!(r.contains("   1 ")); // first path row
+        assert!(r.contains("arrival")); // expanded breakdown
+    }
+
+    #[test]
+    fn violations_are_flagged_under_tight_clock() {
+        let c = circuit();
+        let v = &make_views(1, 0.01)[0];
+        let r = report_timing(
+            &c,
+            v,
+            &ReportConfig {
+                num_paths: 3,
+                cppr: None,
+                expand_paths: false,
+            },
+        );
+        assert!(r.contains("(VIOLATED)"));
+        assert!(!r.contains("arrival"), "expansion disabled");
+    }
+
+    #[test]
+    fn expanded_arrival_matches_path_delay() {
+        let c = circuit();
+        let v = &make_views(1, 0.5)[0];
+        let paths = k_critical_paths(&c, v, 1);
+        let expansion = expand_path(&c, v, &paths[0]);
+        let last_arrival: f32 = expansion
+            .lines()
+            .last()
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|s| s.parse().ok())
+            .expect("numeric arrival column");
+        assert!((last_arrival - paths[0].delay).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,179 @@
+//! Slew (transition-time) propagation.
+//!
+//! Production timers propagate slews alongside arrivals: a slow input
+//! transition makes a gate slower, and each gate reshapes the slew it
+//! passes on. This module adds a first-order slew model to the sweep:
+//!
+//! * output slew: `intrinsic(kind) * scale + degradation * worst_in`
+//! * effective delay: `delay * (1 + sensitivity * worst_input_slew)`
+//!
+//! With zero sensitivity and degradation the result collapses exactly to
+//! the plain [`crate::sta::run_sta`] arrival times, which the tests use
+//! as the oracle.
+
+use crate::netlist::{Circuit, GateKind};
+use crate::sta::gate_delay;
+use crate::views::View;
+
+/// First-order slew model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlewModel {
+    /// How much one nanosecond of input slew inflates gate delay.
+    pub delay_sensitivity: f32,
+    /// Fraction of the worst input slew surviving through a gate.
+    pub degradation: f32,
+    /// Slew injected at primary inputs (driver transition).
+    pub input_slew: f32,
+}
+
+impl Default for SlewModel {
+    fn default() -> Self {
+        Self {
+            delay_sensitivity: 0.5,
+            degradation: 0.3,
+            input_slew: 0.02,
+        }
+    }
+}
+
+/// Intrinsic output slew per gate kind at the typical corner (ns).
+pub fn intrinsic_slew(kind: GateKind) -> f32 {
+    match kind {
+        GateKind::Input | GateKind::Output => 0.0,
+        GateKind::Inv => 0.006,
+        GateKind::Buf => 0.005,
+        GateKind::Nand => 0.009,
+        GateKind::Nor => 0.011,
+        GateKind::And => 0.012,
+        GateKind::Or => 0.013,
+        GateKind::Xor => 0.018,
+    }
+}
+
+/// Arrival and slew per gate under the slew-aware model.
+#[derive(Debug, Clone)]
+pub struct SlewReport {
+    /// Latest arrival per gate, slew-inflated delays (ns).
+    pub arrival: Vec<f32>,
+    /// Output slew per gate (ns).
+    pub slew: Vec<f32>,
+}
+
+/// Forward sweep with joint arrival/slew propagation.
+pub fn run_sta_with_slew(c: &Circuit, view: &View, model: &SlewModel) -> SlewReport {
+    let n = c.num_gates();
+    let mut arrival = vec![0.0f32; n];
+    let mut slew = vec![0.0f32; n];
+    for level in &c.levels {
+        for &g in level {
+            let g = g as usize;
+            let kind = c.gates[g].kind;
+            let (mut at_in, mut slew_in) = (0.0f32, 0.0f32);
+            for &f in &c.fanin[g] {
+                at_in = at_in.max(arrival[f as usize]);
+                slew_in = slew_in.max(slew[f as usize]);
+            }
+            if c.fanin[g].is_empty() {
+                slew_in = model.input_slew;
+            }
+            let base = gate_delay(c, g, view);
+            arrival[g] = at_in + base * (1.0 + model.delay_sensitivity * slew_in);
+            slew[g] = if matches!(kind, GateKind::Input) {
+                model.input_slew
+            } else {
+                intrinsic_slew(kind) * c.gates[g].delay_factor * view.corner.delay_scale
+                    + model.degradation * slew_in
+            };
+        }
+    }
+    SlewReport { arrival, slew }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::CircuitConfig;
+    use crate::sta::run_sta;
+    use crate::views::make_views;
+
+    fn circuit(seed: u64) -> Circuit {
+        Circuit::synthesize(&CircuitConfig {
+            num_gates: 500,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn zero_model_collapses_to_plain_sta() {
+        let c = circuit(1);
+        let v = &make_views(1, 0.5)[0];
+        let zero = SlewModel {
+            delay_sensitivity: 0.0,
+            degradation: 0.0,
+            input_slew: 0.0,
+        };
+        let slewed = run_sta_with_slew(&c, v, &zero);
+        let plain = run_sta(&c, v);
+        for g in 0..c.num_gates() {
+            assert!(
+                (slewed.arrival[g] - plain.arrival[g]).abs() < 1e-5,
+                "gate {g}: {} vs {}",
+                slewed.arrival[g],
+                plain.arrival[g]
+            );
+        }
+    }
+
+    #[test]
+    fn slew_inflates_arrivals_monotonically() {
+        let c = circuit(2);
+        let v = &make_views(1, 0.5)[0];
+        let plain = run_sta(&c, v);
+        let slewed = run_sta_with_slew(&c, v, &SlewModel::default());
+        for g in 0..c.num_gates() {
+            assert!(
+                slewed.arrival[g] >= plain.arrival[g] - 1e-6,
+                "slew made gate {g} faster"
+            );
+        }
+        // Strictly slower somewhere (the model is not a no-op).
+        let po = c.primary_outputs[0] as usize;
+        assert!(slewed.arrival[po] > plain.arrival[po]);
+    }
+
+    #[test]
+    fn slews_are_bounded_by_geometric_series() {
+        // With degradation d < 1 and intrinsic bounded by S, steady-state
+        // slew is at most S_in + S / (1 - d) for any depth.
+        let c = circuit(3);
+        let v = &make_views(1, 0.5)[0];
+        let m = SlewModel::default();
+        let r = run_sta_with_slew(&c, v, &m);
+        let s_max = 0.018f32 * 1.1 * 2.0; // worst intrinsic * factor * corner headroom
+        let bound = m.input_slew + s_max / (1.0 - m.degradation);
+        for (g, &s) in r.slew.iter().enumerate() {
+            assert!(s >= 0.0);
+            assert!(s <= bound, "gate {g} slew {s} above bound {bound}");
+        }
+    }
+
+    #[test]
+    fn higher_input_slew_never_speeds_things_up() {
+        let c = circuit(4);
+        let v = &make_views(1, 0.5)[0];
+        let slow_drivers = SlewModel {
+            input_slew: 0.1,
+            ..Default::default()
+        };
+        let fast_drivers = SlewModel {
+            input_slew: 0.001,
+            ..Default::default()
+        };
+        let slow = run_sta_with_slew(&c, v, &slow_drivers);
+        let fast = run_sta_with_slew(&c, v, &fast_drivers);
+        for g in 0..c.num_gates() {
+            assert!(slow.arrival[g] >= fast.arrival[g] - 1e-6, "gate {g}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The full physical-design placement flow (Fig 2's "Placement" box):
+//! GPU global placement → legalization → GPU/CPU detailed placement,
+//! every stage running on one Heteroflow executor.
+//!
+//! Run: `cargo run --release --example full_pd_flow -- [cells]`
+
+use heteroflow::place::global::{global_place, GlobalConfig};
+use heteroflow::place::legalize::{legalize_into_db, Target};
+use heteroflow::place::{detailed_place, PlaceConfig, PlacementConfig, PlacementDb};
+use heteroflow::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let cells: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1500);
+
+    // Borrow a synthesized netlist, then scatter the cells uniformly at
+    // random — the state a design is in before placement.
+    let proto = PlacementDb::synthesize(&PlacementConfig {
+        num_cells: cells,
+        num_nets: cells,
+        ..Default::default()
+    });
+    let (rows, sites) = (proto.num_rows, proto.sites_per_row);
+    let mut rng = StdRng::seed_from_u64(42);
+    let scattered: Vec<Target> = (0..cells)
+        .map(|_| Target {
+            x: rng.gen_range(0.0..sites as f32),
+            y: rng.gen_range(0.0..rows as f32),
+        })
+        .collect();
+    let nets = proto.nets.clone();
+
+    let executor = Executor::new(4, 2);
+    println!("flow input: {cells} cells, {} nets, {rows}x{sites} grid", nets.len());
+
+    // Stage 1: global placement (GPU attraction/spreading kernels).
+    let t0 = std::time::Instant::now();
+    let placed = global_place(
+        &executor,
+        &scattered,
+        &nets,
+        rows,
+        sites,
+        GlobalConfig {
+            iterations: 60,
+            attraction: 0.15,
+            spreading: 0.6,
+            bins: 12,
+        },
+    )
+    .expect("global placement runs");
+    println!("1. global placement     {:>10.2?}", t0.elapsed());
+
+    // Stage 2: legalization (Tetris packing).
+    let t1 = std::time::Instant::now();
+    let (db, stats) = legalize_into_db(&placed, &vec![false; cells], nets, rows, sites);
+    println!(
+        "2. legalization         {:>10.2?}   (moved {} cells, max displacement {:.1})",
+        t1.elapsed(),
+        stats.cells_moved,
+        stats.max_displacement
+    );
+    let hpwl_legal = db.total_hpwl();
+
+    // Stage 3: detailed placement (GPU MIS + CPU matching, Fig 8 graph).
+    let t2 = std::time::Instant::now();
+    let out = detailed_place(
+        &executor,
+        db,
+        PlaceConfig {
+            iterations: 4,
+            ..Default::default()
+        },
+    )
+    .expect("detailed placement runs");
+    println!("3. detailed placement   {:>10.2?}", t2.elapsed());
+    out.db.check_legal().expect("flow output is legal");
+
+    // Compare against skipping global placement entirely.
+    let proto2 = PlacementDb::synthesize(&PlacementConfig {
+        num_cells: cells,
+        num_nets: cells,
+        ..Default::default()
+    });
+    let (baseline_db, _) =
+        legalize_into_db(&scattered, &vec![false; cells], proto2.nets, rows, sites);
+    let baseline = baseline_db.total_hpwl();
+
+    println!("\nHPWL:");
+    println!("  scattered, legalized only : {baseline}");
+    println!("  after global placement    : {hpwl_legal}");
+    println!("  after detailed placement  : {}", out.hpwl_after);
+    let gain = 100.0 * (baseline as f64 - out.hpwl_after as f64) / baseline as f64;
+    println!("  total improvement         : {gain:.1}%");
+    assert!(out.hpwl_after < baseline, "the flow must improve wirelength");
+}

@@ -1,0 +1,64 @@
+//! Profiling a Heteroflow schedule with the trace observer.
+//!
+//! Attaches a `TraceCollector` to the executor, runs a small hybrid
+//! pipeline, and writes a Chrome trace-event JSON (open in
+//! `chrome://tracing` or https://ui.perfetto.dev) showing per-worker
+//! task spans and CPU/GPU dispatch overlap.
+//!
+//! Run: `cargo run --example profiling [-- trace.json]`
+
+use heteroflow::core::observer::ExecutorObserver;
+use heteroflow::core::TraceCollector;
+use heteroflow::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let trace = TraceCollector::shared();
+    let executor = Executor::builder(4, 2)
+        .observer(Arc::clone(&trace) as Arc<dyn ExecutorObserver>)
+        .build();
+
+    // A small fan of hybrid pipelines to produce an interesting trace.
+    let g = Heteroflow::new("profiled");
+    for lane in 0..6 {
+        let data: HostVec<f64> = HostVec::new();
+        let n = 4096 * (lane + 1);
+        let h = g.host(&format!("fill{lane}"), {
+            let data = data.clone();
+            move || {
+                let mut w = data.write();
+                w.clear();
+                w.extend((0..n).map(|i| i as f64));
+            }
+        });
+        let p = g.pull(&format!("pull{lane}"), &data);
+        let k = g.kernel(&format!("fma{lane}"), &[&p], move |cfg, args| {
+            let v = args.slice_mut::<f64>(0).expect("data");
+            for t in cfg.threads() {
+                if t < v.len() {
+                    v[t] = v[t].mul_add(1.5, 0.25);
+                }
+            }
+        });
+        k.cover(n, 256);
+        let s = g.push(&format!("push{lane}"), &p, &data);
+        h.precede(&p);
+        p.precede(&k);
+        k.precede(&s);
+    }
+    executor.run_n(&g, 3).wait().expect("profiled graph runs");
+
+    let spans = trace.spans();
+    println!("captured {} task spans over 3 rounds", spans.len());
+    let mut per_worker = std::collections::BTreeMap::<usize, usize>::new();
+    for s in &spans {
+        *per_worker.entry(s.worker).or_default() += 1;
+    }
+    for (w, count) in &per_worker {
+        println!("  worker {w}: {count} tasks");
+    }
+
+    let path = std::env::args().nth(1).unwrap_or_else(|| "trace.json".into());
+    std::fs::write(&path, trace.to_chrome_trace()).expect("write trace");
+    println!("chrome trace written to {path} (open in chrome://tracing)");
+}

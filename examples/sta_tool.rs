@@ -1,0 +1,74 @@
+//! A miniature command-line STA tool over the timing substrate — read a
+//! `.bench` netlist (or synthesize one), run the Heteroflow-parallel
+//! sweep, and print an OpenTimer-style report.
+//!
+//! Run:
+//!   cargo run --release --example sta_tool                 # synthetic circuit
+//!   cargo run --release --example sta_tool -- my.bench 0.5 # file + clock (ns)
+
+use heteroflow::prelude::*;
+use heteroflow::timing::parallel::run_sta_parallel;
+use heteroflow::timing::report::{report_timing, ReportConfig};
+use heteroflow::timing::views::make_views;
+use heteroflow::timing::{parse_bench, write_bench, Circuit, CircuitConfig};
+use std::sync::Arc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let circuit = match args.next() {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).expect("readable netlist");
+            println!("loaded {path}");
+            parse_bench(&text).expect("valid .bench")
+        }
+        None => {
+            let c = Circuit::synthesize(&CircuitConfig {
+                num_gates: 5_000,
+                ..Default::default()
+            });
+            // Show off the writer too: serialize a fragment.
+            let text = write_bench(&c);
+            println!(
+                "synthesized circuit ({} gates); first lines of its .bench form:",
+                c.num_gates()
+            );
+            for l in text.lines().take(4) {
+                println!("  {l}");
+            }
+            c
+        }
+    };
+    let clock: f32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.5);
+
+    let mut view = make_views(1, clock)[0].clone();
+    view.mode.clock_period = clock;
+
+    // Run the sweep in parallel on a Heteroflow executor and
+    // cross-check it against the sequential oracle.
+    let ex = Executor::new(4, 0);
+    let circuit = Arc::new(circuit);
+    let t0 = std::time::Instant::now();
+    let par = run_sta_parallel(&ex, &circuit, &view, 512).expect("parallel sweep runs");
+    let t_par = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let seq = heteroflow::timing::run_sta(&circuit, &view);
+    let t_seq = t1.elapsed();
+    assert!((par.wns - seq.wns).abs() < 1e-4, "sweeps disagree");
+    println!(
+        "parallel sweep {t_par:.2?} vs sequential {t_seq:.2?}  (WNS agrees: {:.4} ns)\n",
+        par.wns
+    );
+
+    print!(
+        "{}",
+        report_timing(
+            &circuit,
+            &view,
+            &ReportConfig {
+                num_paths: 5,
+                expand_paths: circuit.num_gates() < 10_000,
+                ..Default::default()
+            }
+        )
+    );
+}

@@ -1,0 +1,61 @@
+//! # Heteroflow (Rust reproduction)
+//!
+//! A concurrent CPU-GPU task programming system, reproducing *Concurrent
+//! CPU-GPU Task Programming using Modern C++* (Huang & Lin, IPPS 2022) in
+//! Rust. This facade crate re-exports the workspace:
+//!
+//! * [`core`](hf_core) — task graphs, typed task handles, the
+//!   work-stealing executor, and the device-placement scheduler.
+//! * [`gpu`](hf_gpu) — the software GPU substrate (devices, streams,
+//!   events, buddy-allocator memory pools, kernel launches).
+//! * [`sync`](hf_sync) — the lock-free substrate (Chase–Lev deque,
+//!   eventcount notifier, union-find).
+//! * [`sim`](hf_sim) — the discrete-event performance model used to
+//!   regenerate the paper's scaling figures.
+//! * [`timing`](hf_timing) — the VLSI static-timing-analysis application
+//!   (§IV-A).
+//! * [`place`](hf_place) — the VLSI detailed-placement application
+//!   (§IV-B).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use heteroflow::prelude::*;
+//!
+//! let executor = Executor::new(4, 2); // 4 CPU workers, 2 GPUs
+//! let g = Heteroflow::new("demo");
+//! let data: HostVec<f32> = HostVec::from_vec(vec![1.0; 1024]);
+//!
+//! let pull = g.pull("pull", &data);
+//! let kernel = g.kernel("double", &[&pull], |cfg, args| {
+//!     let xs = args.slice_mut::<f32>(0).unwrap();
+//!     for i in cfg.threads() {
+//!         if i < xs.len() { xs[i] *= 2.0; }
+//!     }
+//! });
+//! kernel.cover(1024, 256);
+//! let push = g.push("push", &pull, &data);
+//!
+//! pull.precede(&kernel);
+//! kernel.precede(&push);
+//!
+//! executor.run(&g).wait().unwrap();
+//! assert!(data.read().iter().all(|&v| v == 2.0));
+//! ```
+
+pub use hf_core as core;
+pub use hf_gpu as gpu;
+pub use hf_place as place;
+pub use hf_sim as sim;
+pub use hf_sync as sync;
+pub use hf_timing as timing;
+
+/// The commonly-used types in one import.
+pub mod prelude {
+    pub use hf_core::data::HostVec;
+    pub use hf_core::{
+        AsTask, Executor, ExecutorBuilder, Heteroflow, HfError, HostTask, KernelTask,
+        PlacementPolicy, PullTask, PushTask, RunFuture, TaskKind, TaskRef,
+    };
+    pub use hf_gpu::{GpuConfig, KernelArgs, LaunchConfig};
+}

@@ -1,0 +1,95 @@
+//! Format round-trips through the filesystem, feeding the real
+//! applications — the "load a benchmark, run the tool" path a user hits
+//! first.
+
+use heteroflow::place::{parse_bookshelf, write_bookshelf, PlacementConfig, PlacementDb};
+use heteroflow::prelude::*;
+use heteroflow::timing::views::make_views;
+use heteroflow::timing::{parse_bench, run_sta, write_bench, Circuit, CircuitConfig};
+use std::sync::Arc;
+
+#[test]
+fn bench_file_through_disk_and_parallel_sta() {
+    let dir = std::env::temp_dir().join("hf_fmt_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("circuit.bench");
+
+    let orig = Circuit::synthesize(&CircuitConfig {
+        num_gates: 800,
+        ..Default::default()
+    });
+    std::fs::write(&path, write_bench(&orig)).expect("write netlist");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let loaded = parse_bench(&text).expect("parse own file");
+
+    // The loaded circuit times identically (modulo per-instance variation
+    // the format doesn't carry) under both engines.
+    let view = &make_views(1, 0.5)[0];
+    let seq = run_sta(&loaded, view);
+    let ex = Executor::new(2, 0);
+    let par =
+        heteroflow::timing::parallel::run_sta_parallel(&ex, &Arc::new(loaded), view, 64)
+            .expect("parallel sweep");
+    assert!((par.wns - seq.wns).abs() < 1e-5);
+    for (a, b) in par.arrival.iter().zip(&seq.arrival) {
+        assert!((a - b).abs() < 1e-5);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bookshelf_through_disk_and_detailed_placement() {
+    let dir = std::env::temp_dir().join("hf_fmt_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+
+    let orig = PlacementDb::synthesize(&PlacementConfig {
+        num_cells: 300,
+        num_nets: 350,
+        ..Default::default()
+    });
+    let (nodes, pl, nets) = write_bookshelf(&orig);
+    for (name, content) in [("t.nodes", &nodes), ("t.pl", &pl), ("t.nets", &nets)] {
+        std::fs::write(dir.join(name), content).expect("write bookshelf part");
+    }
+    let read = |n: &str| std::fs::read_to_string(dir.join(n)).expect("read back");
+    let db = parse_bookshelf(&read("t.nodes"), &read("t.pl"), &read("t.nets"))
+        .expect("parse own files");
+    assert_eq!(db.total_hpwl(), orig.total_hpwl());
+
+    // Runs through the real Heteroflow detailed placer.
+    let ex = Executor::new(2, 1);
+    let out = heteroflow::place::detailed_place(
+        &ex,
+        db,
+        heteroflow::place::PlaceConfig {
+            iterations: 2,
+            ..Default::default()
+        },
+    )
+    .expect("placement runs");
+    assert!(out.hpwl_after <= out.hpwl_before);
+    out.db.check_legal().expect("legal");
+    for n in ["t.nodes", "t.pl", "t.nets"] {
+        std::fs::remove_file(dir.join(n)).ok();
+    }
+}
+
+#[test]
+fn dot_dumps_are_renderable_text() {
+    // Both DOT forms for a mixed graph: structurally valid digraph text.
+    let g = Heteroflow::new("dots");
+    let d: HostVec<i32> = HostVec::from_vec(vec![0; 64]);
+    let h = g.host("h", || {});
+    let p = g.pull("p", &d);
+    let k = g.kernel("k", &[&p], |_, _| {});
+    h.precede(&p);
+    p.precede(&k);
+    let plain = g.dump();
+    let placed = g.dump_placed(2).expect("placeable");
+    for dot in [&plain, &placed] {
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+    assert!(placed.contains("cluster_gpu"));
+}

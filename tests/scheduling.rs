@@ -1,0 +1,376 @@
+//! Integration tests of the scheduler: device placement end-to-end,
+//! error propagation, graph queuing, and the Fig 3 reuse pattern.
+
+use heteroflow::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Many independent kernel groups must spread across all devices
+/// (balanced packing) and still compute correctly.
+#[test]
+fn groups_spread_across_devices_and_compute() {
+    const GROUPS: usize = 12;
+    const N: usize = 512;
+    let ex = Executor::new(4, 4);
+    let g = Heteroflow::new("spread");
+    let datas: Vec<HostVec<u32>> = (0..GROUPS)
+        .map(|i| HostVec::from_vec(vec![i as u32; N]))
+        .collect();
+    for (i, d) in datas.iter().enumerate() {
+        let p = g.pull(&format!("p{i}"), d);
+        let k = g.kernel(&format!("k{i}"), &[&p], move |cfg, args| {
+            let v = args.slice_mut::<u32>(0).expect("data");
+            for t in cfg.threads() {
+                if t < v.len() {
+                    v[t] += 100;
+                }
+            }
+        });
+        k.cover(N, 128);
+        let s = g.push(&format!("s{i}"), &p, d);
+        p.precede(&k);
+        k.precede(&s);
+    }
+    ex.run(&g).wait().expect("runs");
+    for (i, d) in datas.iter().enumerate() {
+        assert!(d.read().iter().all(|&v| v == i as u32 + 100));
+    }
+    // Every device got some kernels (12 groups over 4 GPUs, balanced).
+    for dev in ex.gpu_runtime().devices() {
+        let k = dev.stats().kernels.load(Ordering::Relaxed);
+        assert!(k >= 1, "device {} ran no kernels", dev.id());
+    }
+}
+
+/// The Fig 3 pattern: kernel2 reads pull1's device data through a
+/// transitive dependency only.
+#[test]
+fn transitive_data_reuse() {
+    let ex = Executor::new(2, 3);
+    let g = Heteroflow::new("fig3");
+    let v1: HostVec<i32> = HostVec::from_vec(vec![5; 64]);
+    let v2: HostVec<i32> = HostVec::from_vec(vec![7; 64]);
+    let p1 = g.pull("p1", &v1);
+    let p2 = g.pull("p2", &v2);
+    let k1 = g.kernel("k1", &[&p1], |cfg, args| {
+        let v = args.slice_mut::<i32>(0).expect("p1");
+        for t in cfg.threads() {
+            if t < v.len() {
+                v[t] *= 2;
+            }
+        }
+    });
+    k1.cover(64, 32);
+    let k2 = g.kernel("k2", &[&p1, &p2], |cfg, args| {
+        let (a, b) = args.slice2_mut::<i32, i32>(0, 1).expect("disjoint");
+        for t in cfg.threads() {
+            if t < b.len() {
+                b[t] += a[t];
+            }
+        }
+    });
+    k2.cover(64, 32);
+    let s2 = g.push("s2", &p2, &v2);
+    // No direct p1 -> k2 edge: ordering flows through k1.
+    p1.precede(&k1);
+    p2.precede(&k2);
+    k1.precede(&k2);
+    k2.precede(&s2);
+    ex.run(&g).wait().expect("runs");
+    assert!(v2.read().iter().all(|&v| v == 7 + 10), "b = 7 + 2*5");
+}
+
+/// A kernel whose pull dependency was omitted must fail with
+/// SourceNotPulled, not compute garbage.
+#[test]
+fn missing_pull_dependency_is_reported() {
+    let ex = Executor::new(2, 1);
+    let g = Heteroflow::new("missing");
+    let d: HostVec<i32> = HostVec::from_vec(vec![1; 16]);
+    let p = g.pull("pull", &d);
+    let k = g.kernel("kernel", &[&p], |_, _| {});
+    k.cover(16, 16);
+    // Deliberately force kernel BEFORE pull.
+    k.precede(&p);
+    let err = ex.run(&g).wait().expect_err("must fail");
+    assert!(
+        matches!(err, HfError::SourceNotPulled { .. }),
+        "got {err:?}"
+    );
+}
+
+/// A panicking kernel surfaces as TaskPanicked and the executor (and the
+/// device engine) survive to run the next graph.
+#[test]
+fn kernel_panic_is_contained() {
+    let ex = Executor::new(2, 1);
+    let g = Heteroflow::new("boom");
+    let d: HostVec<i32> = HostVec::from_vec(vec![1; 16]);
+    let p = g.pull("pull", &d);
+    let k = g.kernel("kernel", &[&p], |_, _| panic!("kernel bug"));
+    k.cover(16, 16);
+    p.precede(&k);
+    let err = ex.run(&g).wait().expect_err("must fail");
+    assert!(matches!(err, HfError::TaskPanicked { .. }), "got {err:?}");
+
+    // Executor and device still work.
+    let g2 = Heteroflow::new("after");
+    let d2: HostVec<i32> = HostVec::from_vec(vec![3; 16]);
+    let p2 = g2.pull("pull", &d2);
+    let k2 = g2.kernel("kernel", &[&p2], |cfg, args| {
+        let v = args.slice_mut::<i32>(0).expect("data");
+        for t in cfg.threads() {
+            if t < v.len() {
+                v[t] += 1;
+            }
+        }
+    });
+    k2.cover(16, 16);
+    let s2 = g2.push("push", &p2, &d2);
+    p2.precede(&k2);
+    k2.precede(&s2);
+    ex.run(&g2).wait().expect("recovered");
+    assert!(d2.read().iter().all(|&v| v == 4));
+}
+
+/// Cycles are rejected at submission, through the public run API.
+#[test]
+fn cycle_rejected_at_run() {
+    let ex = Executor::new(1, 0);
+    let g = Heteroflow::new("cycle");
+    let a = g.host("a", || {});
+    let b = g.host("b", || {});
+    a.precede(&b);
+    b.precede(&a);
+    assert!(matches!(
+        ex.run(&g).wait(),
+        Err(HfError::CycleDetected { .. })
+    ));
+}
+
+/// Futures from interleaved graphs all complete; wait_for_all drains.
+#[test]
+fn many_graphs_interleaved() {
+    let ex = Executor::new(4, 2);
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut futures = Vec::new();
+    let graphs: Vec<Heteroflow> = (0..10)
+        .map(|i| {
+            let g = Heteroflow::new(&format!("g{i}"));
+            let c = Arc::clone(&counter);
+            let d: HostVec<u8> = HostVec::from_vec(vec![0; 128]);
+            let h = g.host("h", move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            let p = g.pull("p", &d);
+            let k = g.kernel("k", &[&p], |_, _| {});
+            k.cover(128, 64);
+            h.precede(&p);
+            p.precede(&k);
+            g
+        })
+        .collect();
+    for g in &graphs {
+        futures.push(ex.run_n(g, 3));
+    }
+    ex.wait_for_all();
+    for f in &futures {
+        assert!(f.is_done());
+        f.wait().expect("each run succeeds");
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 30);
+}
+
+/// Structurally modifying a graph while a topology is running is caught:
+/// the next `run` reports `GraphBusy` instead of racing the executor.
+#[test]
+fn mutation_while_running_is_rejected() {
+    let ex = Executor::new(2, 0);
+    let g = Heteroflow::new("busy");
+    let gate = Arc::new(std::sync::Barrier::new(2));
+    let first_run = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let (g2, fr) = (Arc::clone(&gate), Arc::clone(&first_run));
+    g.host("slow", move || {
+        // Hold the topology active only on the first run; re-runs of the
+        // (re-frozen) graph must not block on the used-up barrier.
+        if fr.swap(false, Ordering::SeqCst) {
+            g2.wait();
+        }
+    });
+    let fut = ex.run(&g);
+    // The graph is active; mutate it and try to run again.
+    g.host("added-mid-run", || {});
+    let second = ex.run(&g);
+    assert_eq!(second.wait(), Err(HfError::GraphBusy));
+    gate.wait();
+    fut.wait().expect("first run completes");
+    // Once idle, the modified graph runs fine.
+    ex.run(&g).wait().expect("re-freeze after idle");
+}
+
+/// Two executors can share one GPU runtime: both see the same devices,
+/// memory pools, and counters.
+#[test]
+fn executors_share_a_gpu_runtime() {
+    use heteroflow::gpu::{GpuConfig, GpuRuntime};
+    let rt = Arc::new(GpuRuntime::new(2, GpuConfig::default()));
+    let ex1 = Executor::builder(2, 0).gpu_runtime(Arc::clone(&rt)).build();
+    let ex2 = Executor::builder(2, 0).gpu_runtime(Arc::clone(&rt)).build();
+    assert_eq!(ex1.num_gpus(), 2);
+    assert_eq!(ex2.num_gpus(), 2);
+
+    let make = |tag: u32| {
+        let g = Heteroflow::new(&format!("shared{tag}"));
+        let d: HostVec<u32> = HostVec::from_vec(vec![tag; 64]);
+        let p = g.pull("p", &d);
+        let k = g.kernel("k", &[&p], |cfg, args| {
+            let v = args.slice_mut::<u32>(0).expect("data");
+            for t in cfg.threads() {
+                if t < v.len() {
+                    v[t] += 1;
+                }
+            }
+        });
+        k.cover(64, 32);
+        let s = g.push("s", &p, &d);
+        p.precede(&k);
+        k.precede(&s);
+        (g, d)
+    };
+    let (g1, d1) = make(10);
+    let (g2, d2) = make(20);
+    let f1 = ex1.run(&g1);
+    let f2 = ex2.run(&g2);
+    f1.wait().expect("ex1 runs");
+    f2.wait().expect("ex2 runs");
+    assert!(d1.read().iter().all(|&v| v == 11));
+    assert!(d2.read().iter().all(|&v| v == 21));
+    let total_kernels: u64 = rt
+        .devices()
+        .iter()
+        .map(|d| d.stats().kernels.load(Ordering::Relaxed))
+        .sum();
+    assert_eq!(total_kernels, 2);
+}
+
+/// RunFuture implements std Future: graphs can be awaited from async
+/// code.
+#[test]
+fn run_future_is_awaitable() {
+    let ex = Executor::new(2, 0);
+    let g = Heteroflow::new("awaited");
+    let hits = Arc::new(AtomicUsize::new(0));
+    let h = Arc::clone(&hits);
+    g.host("work", move || {
+        h.fetch_add(1, Ordering::SeqCst);
+    });
+
+    // Minimal block_on (no async runtime dependency).
+    fn block_on<F: std::future::Future>(fut: F) -> F::Output {
+        use std::sync::mpsc;
+        use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+        let (tx, rx) = mpsc::channel::<()>();
+        unsafe fn clone(p: *const ()) -> RawWaker {
+            let tx = &*(p as *const mpsc::Sender<()>);
+            RawWaker::new(Box::into_raw(Box::new(tx.clone())) as *const (), &VT)
+        }
+        unsafe fn wake(p: *const ()) {
+            let tx = Box::from_raw(p as *mut mpsc::Sender<()>);
+            let _ = tx.send(());
+        }
+        unsafe fn wake_ref(p: *const ()) {
+            let tx = &*(p as *const mpsc::Sender<()>);
+            let _ = tx.send(());
+        }
+        unsafe fn drop_w(p: *const ()) {
+            drop(Box::from_raw(p as *mut mpsc::Sender<()>));
+        }
+        static VT: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_ref, drop_w);
+        let waker = unsafe {
+            Waker::from_raw(RawWaker::new(
+                Box::into_raw(Box::new(tx)) as *const (),
+                &VT,
+            ))
+        };
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = std::pin::pin!(fut);
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => {
+                    let _ = rx.recv();
+                }
+            }
+        }
+    }
+
+    let fut = ex.run_n(&g, 3);
+    block_on(fut).expect("await succeeds");
+    assert_eq!(hits.load(Ordering::SeqCst), 3);
+}
+
+/// Task fusion must be a pure optimization: identical results with the
+/// chain-heavy MIS-style pattern, and the fused counter reflects it.
+#[test]
+fn fusion_is_transparent() {
+    let run = |fusion: bool| -> (Vec<u64>, u64) {
+        let ex = Executor::builder(2, 2).task_fusion(fusion).build();
+        let g = Heteroflow::new("chainy");
+        let d: HostVec<u64> = HostVec::from_vec((0..256).collect());
+        let p = g.pull("p", &d);
+        let mut prev: TaskRef = p.as_task();
+        for i in 0..12 {
+            let k = g.kernel(&format!("k{i}"), &[&p], |cfg, args| {
+                let v = args.slice_mut::<u64>(0).expect("data");
+                for t in cfg.threads() {
+                    if t < v.len() {
+                        v[t] = v[t].wrapping_mul(3).wrapping_add(1);
+                    }
+                }
+            });
+            k.cover(256, 64);
+            k.succeed(&prev);
+            prev = k.as_task();
+        }
+        let s = g.push("s", &p, &d);
+        s.succeed(&prev);
+        ex.run(&g).wait().expect("runs");
+        (d.to_vec(), ex.stats().fused.sum())
+    };
+    let (with_fusion, fused) = run(true);
+    let (without_fusion, not_fused) = run(false);
+    assert_eq!(with_fusion, without_fusion, "fusion changed results");
+    assert!(fused >= 12, "chain did not fuse: {fused}");
+    assert_eq!(not_fused, 0);
+}
+
+/// The executor's placement spreads load across devices even for
+/// *separate single-group graphs* submitted back-to-back (cross-topology
+/// load bias).
+#[test]
+fn cross_topology_device_balancing() {
+    let ex = Executor::new(2, 4);
+    let mut futures = Vec::new();
+    for i in 0..8 {
+        let g = Heteroflow::new(&format!("solo{i}"));
+        let d: HostVec<u64> = HostVec::from_vec(vec![1; 4096]);
+        let p = g.pull("p", &d);
+        let k = g.kernel("k", &[&p], |_, _| {});
+        k.cover(4096, 256).work_units(1e6);
+        p.precede(&k);
+        futures.push((d, ex.run(&g)));
+    }
+    for (_, f) in &futures {
+        f.wait().expect("runs");
+    }
+    let devices_used = ex
+        .gpu_runtime()
+        .devices()
+        .iter()
+        .filter(|d| d.stats().kernels.load(Ordering::Relaxed) > 0)
+        .count();
+    assert!(
+        devices_used >= 2,
+        "8 single-group graphs all packed onto {devices_used} device(s)"
+    );
+}
