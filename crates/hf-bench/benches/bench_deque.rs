@@ -1,8 +1,9 @@
-//! Microbenchmark: the Chase–Lev work-stealing deque (the executor's
-//! per-worker queue).
+//! Microbenchmarks: the Chase–Lev work-stealing deque (the executor's
+//! per-worker queue) and the segmented lock-free injector (the shared
+//! inbox), including its single-CAS batch operations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hf_sync::{Steal, StealDeque};
+use hf_sync::{Injector, Steal, StealDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -57,5 +58,77 @@ fn contended_steal(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, owner_push_pop, contended_steal);
+fn injector_push_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("injector/single");
+    for &n in &[256usize, 4096] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            let q: Injector<u64> = Injector::new();
+            b.iter(|| {
+                for i in 0..n as u64 {
+                    q.push(i);
+                }
+                while q.pop().is_some() {}
+            });
+        });
+        // The executor's successor-release path: one push_batch spray,
+        // drained with batched pops (the thief refill path).
+        g.bench_with_input(BenchmarkId::new("batch_32", n), &n, |b, &n| {
+            let q: Injector<u64> = Injector::new();
+            let chunk: Vec<u64> = (0..32).collect();
+            b.iter(|| {
+                let mut pushed = 0;
+                while pushed < n {
+                    q.push_batch(&chunk);
+                    pushed += chunk.len();
+                }
+                let mut sink = 0u64;
+                while q.pop_batch(16, |v| sink = sink.wrapping_add(v)) > 0 {}
+                sink
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Producer thread vs consumer thread through the shared inbox — the
+/// contention pattern of external submissions racing thief refills.
+fn injector_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("injector/contended");
+    g.sample_size(10);
+    g.bench_function("spmc_batch", |b| {
+        b.iter_custom(|iters| {
+            let q: Arc<Injector<u64>> = Arc::new(Injector::new());
+            let stop = Arc::new(AtomicBool::new(false));
+            let (q2, stop2) = (Arc::clone(&q), Arc::clone(&stop));
+            let consumer = std::thread::spawn(move || {
+                let mut got = 0u64;
+                while !stop2.load(Ordering::Relaxed) {
+                    got += q2.pop_batch(16, |_| {}) as u64;
+                }
+                got
+            });
+            let chunk: Vec<u64> = (0..32).collect();
+            let t0 = std::time::Instant::now();
+            let mut pushed = 0u64;
+            while pushed < iters {
+                q.push_batch(&chunk);
+                pushed += chunk.len() as u64;
+            }
+            let el = t0.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            let _ = consumer.join();
+            el
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    owner_push_pop,
+    contended_steal,
+    injector_push_pop,
+    injector_contended
+);
 criterion_main!(benches);

@@ -143,5 +143,80 @@ fn run_n_batching(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, throughput, ablation_a4, ablation_a5, run_n_batching);
+/// The scheduling cache: resubmitting an unchanged graph should skip the
+/// freeze + placement + fusion preamble entirely. `cached` hits the cache
+/// every iteration; `replanned` alternates the same graph between two
+/// executors so every submission re-plans (the cache is keyed by
+/// executor), isolating the preamble cost at identical task work.
+fn resubmit_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor/resubmit");
+    g.sample_size(10);
+    let n = 64usize;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("cached", |b| {
+        let ex = Executor::new(2, 0);
+        let graph = chain_graph(n);
+        ex.run(&graph).wait().expect("warm-up");
+        b.iter(|| ex.run(&graph).wait().expect("runs"));
+    });
+    g.bench_function("replanned", |b| {
+        let ex1 = Executor::new(2, 0);
+        let ex2 = Executor::new(2, 0);
+        let graph = chain_graph(n);
+        b.iter(|| {
+            ex1.run(&graph).wait().expect("runs");
+            ex2.run(&graph).wait().expect("runs");
+        });
+    });
+    g.finish();
+
+    // Counter sanity, printed once outside timing.
+    let ex = Executor::new(2, 0);
+    let graph = chain_graph(n);
+    for _ in 0..10 {
+        ex.run(&graph).wait().expect("runs");
+    }
+    eprintln!(
+        "[cache] misses={} hits={} rounds={}",
+        ex.stats().topo_cache_misses.sum(),
+        ex.stats().topo_cache_hits.sum(),
+        ex.stats().rounds.sum(),
+    );
+}
+
+/// End-to-end tasks/sec on a task-heavy graph: a root fanning out to many
+/// tiny host tasks, re-run many rounds. This is the steady-state hot path
+/// (token scheduling, batched release, injector sprays) in one number.
+fn tasks_per_sec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor/tasks_per_sec");
+    g.sample_size(10);
+    const WIDTH: usize = 256;
+    const ROUNDS: usize = 20;
+    g.throughput(Throughput::Elements((WIDTH as u64 + 1) * ROUNDS as u64));
+    g.bench_function("wide_256x20", |b| {
+        let ex = Executor::new(4, 0);
+        let (graph, _) = wide_graph(WIDTH);
+        b.iter(|| ex.run_n(&graph, ROUNDS).wait().expect("runs"));
+    });
+    let ex = Executor::new(4, 0);
+    let (graph, _) = wide_graph(WIDTH);
+    ex.run_n(&graph, ROUNDS).wait().expect("runs");
+    eprintln!(
+        "[hot-path] tasks={} injector_batches={} notify_coalesced={} steals={}",
+        ex.stats().tasks_executed.sum(),
+        ex.stats().injector_batches.sum(),
+        ex.stats().notify_coalesced.sum(),
+        ex.stats().steals.sum(),
+    );
+}
+
+criterion_group!(
+    benches,
+    throughput,
+    ablation_a4,
+    ablation_a5,
+    run_n_batching,
+    resubmit_cache,
+    tasks_per_sec
+);
 criterion_main!(benches);

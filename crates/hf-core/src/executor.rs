@@ -11,52 +11,195 @@
 //! random victims when empty. The adaptive strategy keeps "one thief
 //! alive as long as an active worker is running a task"; otherwise idle
 //! workers sleep on an eventcount.
+//!
+//! The hot path is engineered to stay allocation- and lock-free in steady
+//! state:
+//!
+//! * queued work items are packed `(topology-slot, node)` integer tokens
+//!   resolved through a lock-free slot registry — no per-task `Box`;
+//! * the shared inbox is a lock-free segmented [`Injector`] with batch
+//!   push/pop instead of a `Mutex<VecDeque>`;
+//! * releasing successors batches all newly-ready nodes into one injector
+//!   spray plus one coalesced `notify_n` wakeup;
+//! * re-running an unchanged graph reuses the cached freeze + placement +
+//!   fusion plan (see [`crate::graph::SchedCache`]).
 
 use crate::error::HfError;
-use crate::graph::{FrozenGraph, Heteroflow, Work};
+use crate::graph::{FrozenGraph, Heteroflow, SchedCache, Work};
 use crate::observer::{ExecutorObserver, TaskMeta};
 use crate::placement::PlacementPolicy;
 use crate::stats::ExecutorStats;
-use crate::topology::{RunFuture, Topology};
+use crate::topology::{FusionPlan, RunFuture, Topology};
 use hf_gpu::{
     GpuConfig, GpuRuntime, KernelArgs, LaunchConfig, OpReport, ScopedDeviceContext, Stream,
 };
-use hf_sync::{Notifier, Steal, StealDeque, Stealer};
+use hf_sync::{Injector, Notifier, Steal, StealDeque, Stealer};
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// One schedulable unit: a node of a running topology.
-struct WorkItem {
-    topo: Arc<Topology>,
-    node: usize,
+/// A schedulable unit, packed into one integer: the topology's registry
+/// slot in the high 32 bits, the node index in the low 32. Tokens are
+/// `Copy` and carry no ownership, so pushing work touches no allocator.
+type Token = u64;
+
+#[inline]
+fn pack(slot: u32, node: usize) -> Token {
+    debug_assert!(node <= u32::MAX as usize);
+    ((slot as u64) << 32) | node as u64
 }
 
-/// Raw work-item pointer stored in the Copy-only work-stealing deques.
-/// Ownership transfers exactly once (deque guarantees no loss/duplication);
-/// poppers/stealers reconstitute the `Box`.
-#[derive(Clone, Copy)]
-struct ItemPtr(*mut WorkItem);
-// Safety: WorkItem is Send (Arc + usize); the pointer is a linear token.
-unsafe impl Send for ItemPtr {}
+#[inline]
+fn unpack(token: Token) -> (u32, usize) {
+    ((token >> 32) as u32, (token & 0xFFFF_FFFF) as usize)
+}
 
-impl ItemPtr {
-    fn pack(item: WorkItem) -> Self {
-        Self(Box::into_raw(Box::new(item)))
+/// Newly-ready nodes are dispatched in chunks of this size: one chunk is
+/// one injector spray and one coalesced wakeup.
+const RELEASE_BATCH: usize = 32;
+
+/// Tokens a thief claims from the injector in one batched pop; extras are
+/// banked in its local deque.
+const STEAL_BATCH: usize = 16;
+
+/// First registry segment size; segment `i` holds `SEG0 << i` slots.
+const SEG0: usize = 64;
+/// Segment count: `64 * (2^26 - 1)` slots covers every packable id.
+const SEGS: usize = 26;
+
+/// Lock-free registry mapping slot ids to in-flight topologies.
+///
+/// Registration/deregistration (once per submission) take a mutex; token
+/// resolution on the execute path is two atomic loads plus a refcount
+/// bump. Slots live in lazily-allocated, geometrically-growing segments
+/// published through a fixed directory, so resolution never races a
+/// reallocation.
+///
+/// Safety invariant: a slot's strong reference is released only in
+/// `deregister`, which the executor calls after the topology's last round
+/// fully drained — at that point no token referencing the slot exists in
+/// any deque or the injector, so resolution never observes a freed slot.
+struct TopoRegistry {
+    /// Directory of segments; entry `i` points at `SEG0 << i` slots.
+    segments: [AtomicPtr<AtomicPtr<Topology>>; SEGS],
+    alloc: Mutex<RegistryAlloc>,
+}
+
+#[derive(Default)]
+struct RegistryAlloc {
+    free: Vec<u32>,
+    next: u32,
+}
+
+/// Segment index, slot offset within it, and segment length for a slot id.
+#[inline]
+fn locate(slot: u32) -> (usize, usize, usize) {
+    let x = slot / SEG0 as u32 + 1;
+    let seg = (31 - x.leading_zeros()) as usize;
+    let start = SEG0 * ((1usize << seg) - 1);
+    (seg, slot as usize - start, SEG0 << seg)
+}
+
+impl TopoRegistry {
+    fn new() -> Self {
+        Self {
+            segments: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            alloc: Mutex::new(RegistryAlloc::default()),
+        }
     }
 
-    fn unpack(self) -> WorkItem {
-        // Safety: each ItemPtr is unpacked exactly once (deque/injector
-        // hand it to a single consumer).
-        *unsafe { Box::from_raw(self.0) }
+    /// Assigns a slot to `topo`, stores a strong reference in it, and
+    /// records the slot id in `topo.slot`.
+    fn register(&self, topo: &Arc<Topology>) -> u32 {
+        let mut a = self.alloc.lock();
+        let slot = a.free.pop().unwrap_or_else(|| {
+            let s = a.next;
+            a.next = a.next.checked_add(1).expect("registry slot ids exhausted");
+            s
+        });
+        let (seg, off, len) = locate(slot);
+        let mut seg_ptr = self.segments[seg].load(Ordering::Acquire);
+        if seg_ptr.is_null() {
+            let boxed: Box<[AtomicPtr<Topology>]> = (0..len)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect();
+            seg_ptr = Box::into_raw(boxed) as *mut AtomicPtr<Topology>;
+            self.segments[seg].store(seg_ptr, Ordering::Release);
+        }
+        let ptr = Arc::into_raw(Arc::clone(topo)) as *mut Topology;
+        // Safety: `off < len` by construction and the segment was just
+        // published (or already was); only this mutex-holding thread
+        // writes a null slot.
+        unsafe { (*seg_ptr.add(off)).store(ptr, Ordering::Release) };
+        topo.slot.store(slot, Ordering::Release);
+        slot
+    }
+
+    /// Resolves a token's slot to its topology. Lock-free.
+    fn resolve(&self, slot: u32) -> Arc<Topology> {
+        let (seg, off, _) = locate(slot);
+        let seg_ptr = self.segments[seg].load(Ordering::Acquire);
+        debug_assert!(!seg_ptr.is_null(), "token for unregistered segment");
+        // Safety: tokens only exist between register and deregister (see
+        // the struct invariant), so the segment exists and the slot holds
+        // a live strong reference we can borrow a count from.
+        unsafe {
+            let ptr = (*seg_ptr.add(off)).load(Ordering::Acquire);
+            debug_assert!(!ptr.is_null(), "token for unregistered topology");
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        }
+    }
+
+    /// Releases a slot's strong reference and recycles the id.
+    fn deregister(&self, slot: u32) {
+        let (seg, off, _) = locate(slot);
+        let seg_ptr = self.segments[seg].load(Ordering::Acquire);
+        let ptr = unsafe { (*seg_ptr.add(off)).swap(std::ptr::null_mut(), Ordering::AcqRel) };
+        if !ptr.is_null() {
+            // Safety: ownership of the registration count transfers here.
+            unsafe { drop(Arc::from_raw(ptr)) };
+        }
+        self.alloc.lock().free.push(slot);
     }
 }
+
+impl Drop for TopoRegistry {
+    fn drop(&mut self) {
+        for (i, seg) in self.segments.iter().enumerate() {
+            let seg_ptr = seg.load(Ordering::Acquire);
+            if seg_ptr.is_null() {
+                continue;
+            }
+            let len = SEG0 << i;
+            // Safety: reconstructs the Box created in `register`; any
+            // still-registered topology (defensive — normally none) drops
+            // its strong count with the slots.
+            unsafe {
+                let slots = Box::from_raw(std::ptr::slice_from_raw_parts_mut(seg_ptr, len));
+                for s in slots.iter() {
+                    let p = s.load(Ordering::Acquire);
+                    if !p.is_null() {
+                        drop(Arc::from_raw(p));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Executor identities for keying per-graph scheduling caches.
+static NEXT_EXEC_ID: AtomicU64 = AtomicU64::new(0);
 
 struct ExecInner {
-    stealers: Vec<Stealer<ItemPtr>>,
-    injector: Mutex<VecDeque<ItemPtr>>,
+    /// Process-unique id keying [`SchedCache`] entries.
+    id: u64,
+    stealers: Vec<Stealer<Token>>,
+    /// Shared lock-free inbox for work scheduled off worker threads and
+    /// for batched successor sprays.
+    injector: Injector<Token>,
+    registry: TopoRegistry,
     notifier: Notifier,
     done: AtomicBool,
     num_actives: AtomicUsize,
@@ -170,12 +313,14 @@ impl ExecutorBuilder {
             .shared_gpu
             .unwrap_or_else(|| Arc::new(GpuRuntime::new(self.gpus, self.gpu_config)));
 
-        let deques: Vec<StealDeque<ItemPtr>> = (0..cpus).map(|_| StealDeque::new()).collect();
+        let deques: Vec<StealDeque<Token>> = (0..cpus).map(|_| StealDeque::new()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
 
         let inner = Arc::new(ExecInner {
+            id: NEXT_EXEC_ID.fetch_add(1, Ordering::Relaxed),
             stealers,
-            injector: Mutex::new(VecDeque::new()),
+            injector: Injector::new(),
+            registry: TopoRegistry::new(),
             notifier: Notifier::new(),
             done: AtomicBool::new(false),
             num_actives: AtomicUsize::new(0),
@@ -281,36 +426,80 @@ impl Executor {
 
     /// Runs the graph repeatedly until `stop` returns `true` (checked
     /// before each round).
+    ///
+    /// The scheduling preamble (freeze, Algorithm 1 placement, fusion
+    /// planning) is cached per graph: resubmitting an unchanged graph
+    /// reuses the previous plan and only refreshes the decaying
+    /// device-load bias. Any mutation invalidates the cache via the
+    /// builder epoch.
     pub fn run_until<P>(&self, hf: &Heteroflow, stop: P) -> RunFuture
     where
         P: FnMut() -> bool + Send + 'static,
     {
-        if self.inner.done.load(Ordering::Acquire) {
+        let inner = &self.inner;
+        if inner.done.load(Ordering::Acquire) {
             return RunFuture::ready(Err(HfError::ExecutorShutDown));
         }
-        let frozen = match hf.freeze() {
+        let (frozen, epoch) = match hf.freeze_with_epoch() {
             Ok(f) => f,
             Err(e) => return RunFuture::ready(Err(e)),
         };
-        // Bias packing with a decaying estimate of load already placed on
-        // each device, so concurrent graphs spread across GPUs.
-        let placement = {
-            let mut dl = self.inner.device_load.lock();
-            for l in dl.iter_mut() {
-                *l *= 0.5;
-            }
-            match crate::placement::device_placement_biased(
-                &*frozen,
-                self.gpu.num_devices(),
-                self.inner.policy,
-                &self.gpu_cost_model(),
-                &dl,
-            ) {
-                Ok(p) => {
-                    dl.copy_from_slice(&p.loads);
-                    p
+
+        // Scheduling cache: reuse placement + fusion when this executor
+        // already planned this epoch of the graph.
+        let cached = {
+            let c = hf.shared.sched_cache.lock();
+            c.as_ref()
+                .filter(|sc| sc.exec_id == inner.id && sc.epoch == epoch)
+                .map(|sc| {
+                    (
+                        Arc::clone(&sc.placement),
+                        Arc::clone(&sc.fusion),
+                        sc.own_loads.clone(),
+                    )
+                })
+        };
+        let (placement, fusion) = match cached {
+            Some((placement, fusion, own_loads)) => {
+                inner.stats.topo_cache_hits.incr();
+                // Keep the cross-graph bias fresh: decay, then re-apply
+                // this graph's own modeled load.
+                let mut dl = inner.device_load.lock();
+                for (l, own) in dl.iter_mut().zip(&own_loads) {
+                    *l = *l * 0.5 + own;
                 }
-                Err(e) => return RunFuture::ready(Err(e)),
+                (placement, fusion)
+            }
+            None => {
+                inner.stats.topo_cache_misses.incr();
+                let mut dl = inner.device_load.lock();
+                for l in dl.iter_mut() {
+                    *l *= 0.5;
+                }
+                let p = match crate::placement::device_placement_biased(
+                    &*frozen,
+                    self.gpu.num_devices(),
+                    inner.policy,
+                    &self.gpu_cost_model(),
+                    &dl,
+                ) {
+                    Ok(p) => p,
+                    Err(e) => return RunFuture::ready(Err(e)),
+                };
+                let own_loads: Vec<f64> =
+                    p.loads.iter().zip(dl.iter()).map(|(l, b)| l - b).collect();
+                dl.copy_from_slice(&p.loads);
+                drop(dl);
+                let placement = Arc::new(p);
+                let fusion = Arc::new(FusionPlan::compute(&frozen, &placement, inner.fusion));
+                *hf.shared.sched_cache.lock() = Some(SchedCache {
+                    exec_id: inner.id,
+                    epoch,
+                    placement: Arc::clone(&placement),
+                    fusion: Arc::clone(&fusion),
+                    own_loads,
+                });
+                (placement, fusion)
             }
         };
 
@@ -318,14 +507,15 @@ impl Executor {
             Arc::clone(&hf.shared),
             frozen,
             placement,
+            fusion,
             Box::new(stop),
-            self.inner.fusion,
         );
         let future = RunFuture {
             completion: Arc::clone(&topo.completion),
         };
 
-        self.inner.num_topologies.fetch_add(1, Ordering::SeqCst);
+        inner.registry.register(&topo);
+        inner.num_topologies.fetch_add(1, Ordering::SeqCst);
 
         // Queue behind any active topology of the same graph.
         let submit_now = {
@@ -339,7 +529,7 @@ impl Executor {
             }
         };
         if submit_now {
-            self.inner.start_topology(topo);
+            inner.start_topology(topo);
         }
         future
     }
@@ -370,16 +560,12 @@ impl Drop for Executor {
         for t in self.threads.lock().drain(..) {
             let _ = t.join();
         }
-        // Workers exit with empty deques (all topologies finished), but be
-        // defensive: free anything left behind.
+        // Queues hold plain integer tokens (no ownership); draining is
+        // purely defensive hygiene.
         for s in &self.inner.stealers {
-            while let Steal::Success(p) = s.steal() {
-                drop(p.unpack());
-            }
+            while let Steal::Success(_) = s.steal() {}
         }
-        for p in self.inner.injector.lock().drain(..) {
-            drop(p.unpack());
-        }
+        while self.inner.injector.pop().is_some() {}
     }
 }
 
@@ -394,27 +580,53 @@ impl ExecInner {
             return;
         }
         topo.reset_round();
-        let sources: Vec<usize> = topo.frozen.sources.clone();
-        for id in sources {
-            self.schedule(WorkItem {
-                topo: Arc::clone(&topo),
-                node: id,
-            });
-        }
+        self.schedule_sources(&topo);
     }
 
-    /// Pushes a ready task: to the calling worker's local deque when on a
-    /// worker thread, else to the shared injector. Wakes a thief.
-    fn schedule(&self, item: WorkItem) {
-        let ptr = ItemPtr::pack(item);
-        WORKER_DEQUE.with(|d| {
-            let cell = d.borrow();
-            match cell.as_ref() {
-                Some(local) => local.push(ptr),
-                None => self.injector.lock().push_back(ptr),
+    /// Schedules the round's source nodes in injector-spray batches.
+    fn schedule_sources(&self, topo: &Arc<Topology>) {
+        let slot = topo.slot.load(Ordering::Relaxed);
+        let mut buf = [0 as Token; RELEASE_BATCH];
+        let mut n = 0;
+        for &id in &topo.frozen.sources {
+            if n == RELEASE_BATCH {
+                self.dispatch_batch(&buf);
+                n = 0;
             }
+            buf[n] = pack(slot, id);
+            n += 1;
+        }
+        self.dispatch_batch(&buf[..n]);
+    }
+
+    /// Dispatches a batch of ready tokens: the first goes to the calling
+    /// worker's local deque (when on a worker thread), the rest are
+    /// sprayed across the injector in one lock-free batch push; thieves
+    /// are woken with a single coalesced notification proportional to the
+    /// batch size.
+    fn dispatch_batch(&self, tokens: &[Token]) {
+        let k = tokens.len();
+        if k == 0 {
+            return;
+        }
+        let local_took = WORKER_DEQUE.with(|d| match d.borrow().as_ref() {
+            Some(local) => {
+                local.push(tokens[0]);
+                true
+            }
+            None => false,
         });
-        self.notifier.notify_one();
+        let rest = if local_took { &tokens[1..] } else { tokens };
+        if !rest.is_empty() {
+            self.injector.push_batch(rest);
+            if rest.len() > 1 {
+                self.stats.injector_batches.incr();
+            }
+        }
+        if k > 1 {
+            self.stats.notify_coalesced.add((k - 1) as u64);
+        }
+        self.notifier.notify_n(k);
     }
 
     /// Completes a topology: settles its promise and promotes the next
@@ -428,6 +640,14 @@ impl ExecInner {
                     let _ = dev.free(ptr);
                 }
             }
+        }
+
+        // Release the registry slot: every token of this topology has
+        // been consumed (the round fully drained), so none can resolve
+        // this slot anymore.
+        let slot = topo.slot.swap(u32::MAX, Ordering::AcqRel);
+        if slot != u32::MAX {
+            self.registry.deregister(slot);
         }
 
         let next = {
@@ -453,34 +673,40 @@ impl ExecInner {
         }
     }
 
-    /// Marks a node finished: releases its successors and, if it was the
-    /// round's last node, ends the round. Called from worker threads
-    /// (synchronous host tasks) and from device engine threads (the
-    /// stream-ordered completion callbacks of GPU tasks).
-    fn finish_node(&self, item: WorkItem) {
-        let topo = item.topo;
-        let node = &topo.frozen.nodes[item.node];
-        for &s in &node.succ {
+    /// Marks a node finished: releases its successors (batched) and, if
+    /// it was the round's last node, ends the round. Called from worker
+    /// threads (synchronous host tasks) and from device engine threads
+    /// (the stream-ordered completion callbacks of GPU tasks).
+    fn finish_node(&self, topo: &Arc<Topology>, node: usize) {
+        let slot = topo.slot.load(Ordering::Relaxed);
+        let mut buf = [0 as Token; RELEASE_BATCH];
+        let mut n = 0;
+        for &s in &topo.frozen.nodes[node].succ {
             if topo.join[s].fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Fused chain members were dispatched with their head;
                 // whoever finished the head also finishes them in order.
-                if !topo.fused_member[s] {
-                    self.schedule(WorkItem {
-                        topo: Arc::clone(&topo),
-                        node: s,
-                    });
+                if !topo.fusion.member[s] {
+                    if n == RELEASE_BATCH {
+                        self.dispatch_batch(&buf);
+                        n = 0;
+                    }
+                    buf[n] = pack(slot, s);
+                    n += 1;
                 }
             }
         }
+        if n > 0 {
+            self.dispatch_batch(&buf[..n]);
+        }
         if topo.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.end_round(&topo);
+            self.end_round(topo);
         }
     }
 
     /// Called by the worker that finished the last node of a round.
     fn end_round(&self, topo: &Arc<Topology>) {
         topo.rounds.fetch_add(1, Ordering::Relaxed);
-        self.stats.rounds.incr(0);
+        self.stats.rounds.incr();
 
         // Pull allocations persist across rounds (sizes usually repeat);
         // they are reclaimed at topology completion.
@@ -489,12 +715,7 @@ impl ExecInner {
             self.finish_topology(Arc::clone(topo));
         } else {
             topo.reset_round();
-            for &id in &topo.frozen.sources {
-                self.schedule(WorkItem {
-                    topo: Arc::clone(topo),
-                    node: id,
-                });
-            }
+            self.schedule_sources(topo);
         }
     }
 }
@@ -502,13 +723,13 @@ impl ExecInner {
 thread_local! {
     /// The owning side of the current worker's deque, when the thread is
     /// an executor worker.
-    static WORKER_DEQUE: std::cell::RefCell<Option<Arc<StealDeque<ItemPtr>>>> =
+    static WORKER_DEQUE: std::cell::RefCell<Option<Arc<StealDeque<Token>>>> =
         const { std::cell::RefCell::new(None) };
 }
 
 struct Worker {
     id: usize,
-    deque: Arc<StealDeque<ItemPtr>>,
+    deque: Arc<StealDeque<Token>>,
     inner: Arc<ExecInner>,
     /// Lazily created per-device streams — "each worker keeps a
     /// per-thread CUDA stream" (§III-C).
@@ -518,7 +739,7 @@ struct Worker {
 }
 
 impl Worker {
-    fn new(id: usize, deque: StealDeque<ItemPtr>, inner: Arc<ExecInner>) -> Self {
+    fn new(id: usize, deque: StealDeque<Token>, inner: Arc<ExecInner>) -> Self {
         let n_gpus = inner.gpu.num_devices() as usize;
         Self {
             id,
@@ -556,12 +777,12 @@ impl Worker {
         WORKER_DEQUE.with(|d| *d.borrow_mut() = Some(Arc::clone(&self.deque)));
         loop {
             // Exploit: drain the local queue.
-            while let Some(ptr) = self.deque.pop() {
-                self.execute(ptr.unpack());
+            while let Some(token) = self.deque.pop() {
+                self.execute(token);
             }
             // Explore: steal, or sleep when the system is quiet.
             match self.wait_for_task() {
-                Some(ptr) => self.execute(ptr.unpack()),
+                Some(token) => self.execute(token),
                 None => break,
             }
         }
@@ -570,20 +791,20 @@ impl Worker {
 
     /// Steal loop with the adaptive wake/sleep strategy. Returns `None`
     /// on shutdown.
-    fn wait_for_task(&mut self) -> Option<ItemPtr> {
+    fn wait_for_task(&mut self) -> Option<Token> {
         let inner = Arc::clone(&self.inner);
         inner.num_thieves.fetch_add(1, Ordering::SeqCst);
         loop {
             // Bounded stealing sweep.
             let mut backoff = hf_sync::Backoff::new();
             while !backoff.is_completed() {
-                if let Some(ptr) = self.try_steal_once() {
+                if let Some(token) = self.try_steal_once() {
                     // If this was the last thief, wake a peer so one thief
                     // remains while we turn active (paper's invariant).
                     if inner.num_thieves.fetch_sub(1, Ordering::SeqCst) == 1 {
                         inner.notifier.notify_one();
                     }
-                    return Some(ptr);
+                    return Some(token);
                 }
                 backoff.snooze();
             }
@@ -622,22 +843,33 @@ impl Worker {
     }
 
     /// One randomized steal attempt across victims and the injector.
-    fn try_steal_once(&mut self) -> Option<ItemPtr> {
+    /// Our own id maps to the injector, so every draw is a real attempt
+    /// (no wasted self-steal); injector hits claim a whole batch and bank
+    /// the extras in the local deque.
+    fn try_steal_once(&mut self) -> Option<Token> {
         let inner = Arc::clone(&self.inner);
         let n = inner.stealers.len();
-        // Injector first with probability 1/(n+1): treat it as victim n.
-        let v = (self.next_rand() % (n as u64 + 1)) as usize;
         inner.stats.steal_attempts.incr(self.id);
-        if v == n {
-            if let Some(ptr) = inner.injector.lock().pop_front() {
+        let v = (self.next_rand() % n as u64) as usize;
+        if v == self.id {
+            let mut first = None;
+            let deque = &self.deque;
+            let got = inner.injector.pop_batch(STEAL_BATCH, |t| {
+                if first.is_none() {
+                    first = Some(t);
+                } else {
+                    deque.push(t);
+                }
+            });
+            if got > 0 {
                 inner.stats.steals.incr(self.id);
-                return Some(ptr);
+                return first;
             }
-        } else if v != self.id {
+        } else {
             match inner.stealers[v].steal() {
-                Steal::Success(ptr) => {
+                Steal::Success(token) => {
                     inner.stats.steals.incr(self.id);
-                    return Some(ptr);
+                    return Some(token);
                 }
                 Steal::Retry | Steal::Empty => {}
             }
@@ -646,21 +878,23 @@ impl Worker {
     }
 
     /// True if any queue plausibly holds work (used to re-check before
-    /// sleeping).
+    /// sleeping). Lock-free: probes the injector and deque tops.
     fn work_visible(&self) -> bool {
-        if !self.inner.injector.lock().is_empty() {
+        if !self.inner.injector.is_empty() {
             return true;
         }
         self.inner.stealers.iter().any(|s| !s.is_empty())
     }
 
-    /// Executes a work item — the visitor dispatch of §III-C. Host tasks
+    /// Executes a work token — the visitor dispatch of §III-C. Host tasks
     /// complete synchronously on this worker; GPU tasks are *dispatched*
     /// asynchronously to the device stream (the worker is immediately
     /// free, so one core can drive many GPUs concurrently), with a
     /// stream-ordered completion callback releasing the successors — the
     /// fully asynchronous pattern of Listing 13.
-    fn execute(&mut self, item: WorkItem) {
+    fn execute(&mut self, token: Token) {
+        let (slot, node) = unpack(token);
+        let topo = self.inner.registry.resolve(slot);
         let inner = Arc::clone(&self.inner);
         inner.num_actives.fetch_add(1, Ordering::SeqCst);
         // Ensure a thief exists while we are active.
@@ -670,23 +904,23 @@ impl Worker {
 
         let observed = !inner.observers.is_empty();
         if observed {
-            let meta = self.task_meta(&item);
+            let meta = self.task_meta(&topo, node);
             for o in &inner.observers {
                 o.on_task_begin(&meta);
             }
         }
 
         let mut dispatched_async = false;
-        if !item.topo.cancelled.load(Ordering::Acquire) {
-            match self.invoke(&item.topo, item.node) {
+        if !topo.cancelled.load(Ordering::Acquire) {
+            match self.invoke(&topo, node) {
                 Ok(is_async) => dispatched_async = is_async,
-                Err(e) => item.topo.fail(e),
+                Err(e) => topo.fail(e),
             }
         }
         inner.stats.tasks_executed.incr(self.id);
 
         if observed {
-            let meta = self.task_meta(&item);
+            let meta = self.task_meta(&topo, node);
             for o in &inner.observers {
                 o.on_task_end(&meta);
             }
@@ -696,14 +930,10 @@ impl Worker {
             // Finish this node and any fused chain hanging off it (chain
             // members are never scheduled individually, so a cancelled or
             // failed head must finish them here).
-            let topo = item.topo;
-            let mut node = item.node;
+            let mut node = node;
             loop {
-                let next = topo.fused_next[node];
-                inner.finish_node(WorkItem {
-                    topo: Arc::clone(&topo),
-                    node,
-                });
+                let next = topo.fusion.next[node];
+                inner.finish_node(&topo, node);
                 match next {
                     Some(nxt) => node = nxt as usize,
                     None => break,
@@ -713,15 +943,15 @@ impl Worker {
         inner.num_actives.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Builds the observer metadata for a work item.
-    fn task_meta<'a>(&self, item: &'a WorkItem) -> TaskMeta<'a> {
-        let node = &item.topo.frozen.nodes[item.node];
+    /// Builds the observer metadata for a work token.
+    fn task_meta<'a>(&self, topo: &'a Arc<Topology>, node: usize) -> TaskMeta<'a> {
+        let n = &topo.frozen.nodes[node];
         TaskMeta {
             worker: self.id,
-            name: &node.name,
-            kind: node.work.kind(),
-            device: item.topo.placement.device_of[item.node],
-            graph: &item.topo.frozen.name,
+            name: &n.name,
+            kind: n.work.kind(),
+            device: topo.placement.device_of[node],
+            graph: &topo.frozen.name,
         }
     }
 
@@ -761,7 +991,7 @@ impl Worker {
         let mut chain = vec![head];
         let mut ops = vec![self.prepare_op(topo, head, dev_id)?];
         let mut cur = head;
-        while let Some(nxt) = topo.fused_next[cur] {
+        while let Some(nxt) = topo.fusion.next[cur] {
             let nxt = nxt as usize;
             ops.push(self.prepare_op(topo, nxt, dev_id)?);
             chain.push(nxt);
@@ -784,10 +1014,7 @@ impl Worker {
         let topo2 = Arc::clone(topo);
         stream.host_fn(move || {
             for &node in &chain {
-                inner.finish_node(WorkItem {
-                    topo: Arc::clone(&topo2),
-                    node,
-                });
+                inner.finish_node(&topo2, node);
             }
         });
         Ok(())
@@ -919,6 +1146,24 @@ mod tests {
     use crate::data::HostVec;
     use crate::graph::Heteroflow;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn token_roundtrip() {
+        let t = pack(7, 123);
+        assert_eq!(unpack(t), (7, 123));
+        let t = pack(u32::MAX - 1, u32::MAX as usize);
+        assert_eq!(unpack(t), (u32::MAX - 1, u32::MAX as usize));
+    }
+
+    #[test]
+    fn registry_locate_covers_segments() {
+        // First ids of the first three segments, plus their last ids.
+        assert_eq!(locate(0), (0, 0, 64));
+        assert_eq!(locate(63), (0, 63, 64));
+        assert_eq!(locate(64), (1, 0, 128));
+        assert_eq!(locate(191), (1, 127, 128));
+        assert_eq!(locate(192), (2, 0, 256));
+    }
 
     #[test]
     fn empty_graph_completes_immediately() {
@@ -1093,6 +1338,10 @@ mod tests {
         ex.run(&g).wait().unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 200);
         assert!(ex.stats().tasks_executed.sum() >= 201);
+        // 200 successors released at once must have been sprayed across
+        // the injector in batched pushes, not item-by-item.
+        assert!(ex.stats().injector_batches.sum() >= 1);
+        assert!(ex.stats().notify_coalesced.sum() >= 1);
     }
 
     #[test]
@@ -1126,5 +1375,68 @@ mod tests {
         });
         ex.run_n(&g, 10).wait().unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn unchanged_graph_reuses_cached_placement() {
+        let ex = Executor::new(2, 1);
+        let g = Heteroflow::new("cached");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1; 64]);
+        let p = g.pull("p", &x);
+        let k = g.kernel("k", &[&p], |_, _| {});
+        let s = g.push("s", &p, &x);
+        p.precede(&k);
+        k.precede(&s);
+
+        for _ in 0..10 {
+            ex.run(&g).wait().unwrap();
+        }
+        // Exactly one freeze + placement for the unchanged graph.
+        assert_eq!(ex.stats().topo_cache_misses.sum(), 1);
+        assert_eq!(ex.stats().topo_cache_hits.sum(), 9);
+
+        // Mutating the graph invalidates the cache.
+        g.host("extra", || {});
+        ex.run(&g).wait().unwrap();
+        assert_eq!(ex.stats().topo_cache_misses.sum(), 2);
+        assert_eq!(ex.stats().topo_cache_hits.sum(), 9);
+        // And the new epoch caches again.
+        ex.run(&g).wait().unwrap();
+        assert_eq!(ex.stats().topo_cache_misses.sum(), 2);
+        assert_eq!(ex.stats().topo_cache_hits.sum(), 10);
+    }
+
+    #[test]
+    fn run_n_of_unchanged_graph_is_one_placement() {
+        let ex = Executor::new(2, 0);
+        let g = Heteroflow::new("repeat");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        g.host("inc", move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        ex.run_n(&g, 50).wait().unwrap();
+        ex.run_n(&g, 50).wait().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(ex.stats().rounds.sum(), 100);
+        // Two submissions, one graph version: one miss, one hit.
+        assert_eq!(ex.stats().topo_cache_misses.sum(), 1);
+        assert_eq!(ex.stats().topo_cache_hits.sum(), 1);
+    }
+
+    #[test]
+    fn second_executor_evicts_cache_entry() {
+        let g = Heteroflow::new("two-ex");
+        g.host("t", || {});
+        let ex1 = Executor::new(1, 0);
+        let ex2 = Executor::new(1, 0);
+        ex1.run(&g).wait().unwrap();
+        ex1.run(&g).wait().unwrap();
+        assert_eq!(ex1.stats().topo_cache_misses.sum(), 1);
+        assert_eq!(ex1.stats().topo_cache_hits.sum(), 1);
+        // A different executor must not reuse ex1's plan.
+        ex2.run(&g).wait().unwrap();
+        assert_eq!(ex2.stats().topo_cache_misses.sum(), 1);
+        assert_eq!(ex2.stats().topo_cache_hits.sum(), 0);
     }
 }

@@ -116,11 +116,22 @@ pub(crate) struct Builder {
     pub(crate) name: String,
     pub(crate) nodes: Vec<BuildNode>,
     pub(crate) dirty: bool,
+    /// Monotonic mutation counter: every structural or payload change
+    /// bumps it, invalidating the per-executor scheduling cache keyed on
+    /// it (freeze + placement + fusion of the unchanged graph).
+    pub(crate) epoch: u64,
 }
 
 impl Builder {
-    fn add(&mut self, name: &str, work: Work) -> usize {
+    /// Marks the graph mutated: stales the frozen snapshot and advances
+    /// the epoch so cached placements are not reused.
+    pub(crate) fn touch(&mut self) {
         self.dirty = true;
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    fn add(&mut self, name: &str, work: Work) -> usize {
+        self.touch();
         self.nodes.push(BuildNode {
             name: name.to_owned(),
             work,
@@ -138,7 +149,7 @@ impl Builder {
         if self.nodes[from].succ.contains(&to) {
             return;
         }
-        self.dirty = true;
+        self.touch();
         self.nodes[from].succ.push(to);
         self.nodes[to].pred.push(from);
     }
@@ -226,10 +237,31 @@ pub(crate) struct RunState {
     pub(crate) queued: std::collections::VecDeque<Arc<crate::topology::Topology>>,
 }
 
+/// Cached result of the per-submission scheduling preamble (freeze +
+/// Algorithm 1 placement + fusion planning) for one executor. Valid while
+/// the builder epoch matches; any mutation bumps the epoch and the next
+/// submission recomputes.
+pub(crate) struct SchedCache {
+    /// Identity of the executor the placement was computed for (device
+    /// count, policy, cost model and fusion flag are per-executor).
+    pub(crate) exec_id: u64,
+    /// Builder epoch the cache was computed at.
+    pub(crate) epoch: u64,
+    pub(crate) placement: Arc<crate::placement::Placement>,
+    pub(crate) fusion: Arc<crate::topology::FusionPlan>,
+    /// This graph's own modeled load per device (placement loads minus
+    /// the bias snapshot they were computed against), re-applied to the
+    /// executor's decaying device-load estimate on cache hits.
+    pub(crate) own_loads: Vec<f64>,
+}
+
 pub(crate) struct GraphShared {
     pub(crate) builder: Mutex<Builder>,
     pub(crate) frozen: Mutex<Option<Arc<FrozenGraph>>>,
     pub(crate) run_state: Mutex<RunState>,
+    /// Single-entry scheduling cache (graphs overwhelmingly run on one
+    /// executor at a time; a second executor simply evicts the entry).
+    pub(crate) sched_cache: Mutex<Option<SchedCache>>,
 }
 
 /// A CPU-GPU task dependency graph.
@@ -274,12 +306,14 @@ impl Heteroflow {
                     name: name.to_owned(),
                     nodes: Vec::new(),
                     dirty: true,
+                    epoch: 0,
                 }),
                 frozen: Mutex::new(None),
                 run_state: Mutex::new(RunState {
                     active: false,
                     queued: std::collections::VecDeque::new(),
                 }),
+                sched_cache: Mutex::new(None),
             }),
         }
     }
@@ -430,10 +464,17 @@ impl Heteroflow {
     /// [`HfError::GraphBusy`] if the graph was modified while a topology
     /// is still running.
     pub fn freeze(&self) -> Result<Arc<FrozenGraph>, HfError> {
+        self.freeze_with_epoch().map(|(f, _)| f)
+    }
+
+    /// [`Heteroflow::freeze`] plus the builder epoch the snapshot belongs
+    /// to, read atomically under the builder lock. The executor keys its
+    /// placement cache on the epoch.
+    pub(crate) fn freeze_with_epoch(&self) -> Result<(Arc<FrozenGraph>, u64), HfError> {
         let mut b = self.shared.builder.lock();
         if !b.dirty {
             if let Some(f) = self.shared.frozen.lock().as_ref() {
-                return Ok(Arc::clone(f));
+                return Ok((Arc::clone(f), b.epoch));
             }
         }
         if self.shared.run_state.lock().active {
@@ -468,7 +509,7 @@ impl Heteroflow {
         });
         *self.shared.frozen.lock() = Some(Arc::clone(&frozen));
         b.dirty = false;
-        Ok(frozen)
+        Ok((frozen, b.epoch))
     }
 }
 

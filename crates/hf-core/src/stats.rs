@@ -2,12 +2,15 @@
 //!
 //! Exposed for tests and for the A4 ablation (adaptive sleep vs
 //! always-spin): wasted wakeups and sleep counts quantify the strategies.
+//! The hot-path counters (injector batches, cache hits, coalesced
+//! notifications) make the batched-scheduling optimizations observable.
 
-use hf_sync::ShardedCounter;
+use hf_sync::{GlobalCounter, ShardedCounter};
 
-/// Counters gathered by the executor's scheduling loop. All counters are
-/// sharded per worker and summed on read; values are exact totals but not
-/// a consistent snapshot.
+/// Counters gathered by the executor's scheduling loop. Per-worker events
+/// are sharded and summed on read; events raised from arbitrary threads
+/// (submission path, device engine callbacks) use plain global counters.
+/// Values are exact totals but not a consistent snapshot.
 #[derive(Debug)]
 pub struct ExecutorStats {
     /// Tasks executed (all kinds).
@@ -20,11 +23,25 @@ pub struct ExecutorStats {
     pub sleeps: ShardedCounter,
     /// Times a sleeping worker was woken.
     pub wakeups: ShardedCounter,
-    /// Graph rounds completed (one per `run`, `n` per `run_n`).
-    pub rounds: ShardedCounter,
+    /// Graph rounds completed (one per `run`, `n` per `run_n`). A round
+    /// ends on whichever thread finishes the last node, so this is a
+    /// global counter, not a per-worker one.
+    pub rounds: GlobalCounter,
     /// GPU tasks dispatched as fused chain members (scheduling rounds
     /// saved by task fusion).
     pub fused: ShardedCounter,
+    /// Multi-item sprays pushed to the shared injector in one batched
+    /// operation (successor release / round start).
+    pub injector_batches: GlobalCounter,
+    /// Wakeup notifications saved by coalescing: for every batched
+    /// `notify_n(k)` this grows by `k - 1` relative to issuing `k`
+    /// serialized `notify_one` calls.
+    pub notify_coalesced: GlobalCounter,
+    /// Submissions that reused the cached freeze + placement + fusion plan
+    /// of an unchanged graph.
+    pub topo_cache_hits: GlobalCounter,
+    /// Submissions that had to (re)run freeze + Algorithm 1 placement.
+    pub topo_cache_misses: GlobalCounter,
 }
 
 impl ExecutorStats {
@@ -35,8 +52,12 @@ impl ExecutorStats {
             steal_attempts: ShardedCounter::new(workers),
             sleeps: ShardedCounter::new(workers),
             wakeups: ShardedCounter::new(workers),
-            rounds: ShardedCounter::new(workers),
+            rounds: GlobalCounter::new(),
             fused: ShardedCounter::new(workers),
+            injector_batches: GlobalCounter::new(),
+            notify_coalesced: GlobalCounter::new(),
+            topo_cache_hits: GlobalCounter::new(),
+            topo_cache_misses: GlobalCounter::new(),
         }
     }
 
@@ -49,6 +70,10 @@ impl ExecutorStats {
         self.wakeups.reset();
         self.rounds.reset();
         self.fused.reset();
+        self.injector_batches.reset();
+        self.notify_coalesced.reset();
+        self.topo_cache_hits.reset();
+        self.topo_cache_misses.reset();
     }
 
     /// Steal success rate in `[0, 1]`; 1.0 when no attempts were made.
@@ -71,9 +96,15 @@ mod tests {
         let s = ExecutorStats::new(2);
         s.tasks_executed.incr(0);
         s.steals.incr(1);
+        s.rounds.incr();
+        s.injector_batches.incr();
+        s.topo_cache_hits.incr();
         s.reset();
         assert_eq!(s.tasks_executed.sum(), 0);
         assert_eq!(s.steals.sum(), 0);
+        assert_eq!(s.rounds.sum(), 0);
+        assert_eq!(s.injector_batches.sum(), 0);
+        assert_eq!(s.topo_cache_hits.sum(), 0);
         assert_eq!(s.steal_success_rate(), 1.0);
     }
 

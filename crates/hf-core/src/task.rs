@@ -104,7 +104,7 @@ impl TaskRef {
     pub fn rename(&self, name: &str) -> &Self {
         let mut b = self.graph.builder.lock();
         b.nodes[self.id].name = name.to_owned();
-        b.dirty = true;
+        b.touch();
         self
     }
 
@@ -123,7 +123,7 @@ impl TaskRef {
             node.name
         );
         node.work = Work::Host(Arc::new(Mutex::new(Box::new(f))));
-        b.dirty = true;
+        b.touch();
         self
     }
 }
@@ -191,7 +191,7 @@ impl KernelTask {
     fn with_cfg(&self, f: impl FnOnce(&mut hf_gpu::LaunchConfig)) -> &Self {
         let mut b = self.0.graph.builder.lock();
         f(&mut b.nodes[self.0.id].cfg);
-        b.dirty = true;
+        b.touch();
         self
     }
 
@@ -251,7 +251,7 @@ impl KernelTask {
     pub fn work_units(&self, units: f64) -> &Self {
         let mut b = self.0.graph.builder.lock();
         b.nodes[self.0.id].work_units = units;
-        b.dirty = true;
+        b.touch();
         self
     }
 

@@ -10,7 +10,7 @@ use crate::error::HfError;
 use crate::graph::{FrozenGraph, GraphShared};
 use crate::placement::Placement;
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::task::{Poll, Waker};
 
@@ -121,7 +121,9 @@ impl std::future::Future for RunFuture {
 pub(crate) struct Topology {
     pub(crate) graph_shared: Arc<GraphShared>,
     pub(crate) frozen: Arc<FrozenGraph>,
-    pub(crate) placement: Placement,
+    /// Shared with the graph's scheduling cache: unchanged graphs reuse
+    /// the same placement across submissions.
+    pub(crate) placement: Arc<Placement>,
     /// Remaining unmet dependencies per node, reset each round.
     pub(crate) join: Vec<AtomicUsize>,
     /// Nodes not yet finished this round.
@@ -136,28 +138,28 @@ pub(crate) struct Topology {
     pub(crate) cancelled: AtomicBool,
     /// Rounds completed (diagnostic).
     pub(crate) rounds: AtomicUsize,
-    /// Task fusion (§III-C "task fusing"): `fused_next[v]` chains v to a
-    /// GPU successor dispatched on the same stream submission; members
-    /// of a chain (non-heads) are never scheduled individually.
-    pub(crate) fused_next: Vec<Option<u32>>,
-    /// True for chain members (every node with a fused predecessor).
-    pub(crate) fused_member: Vec<bool>,
+    /// Task fusion plan (§III-C "task fusing"); shared with the graph's
+    /// scheduling cache.
+    pub(crate) fusion: Arc<FusionPlan>,
+    /// Slot in the executor's topology registry while this topology is in
+    /// flight; `u32::MAX` before registration. Work tokens pack this slot
+    /// with a node index, so queued items carry no heap pointer.
+    pub(crate) slot: AtomicU32,
 }
 
 impl Topology {
     pub(crate) fn new(
         graph_shared: Arc<GraphShared>,
         frozen: Arc<FrozenGraph>,
-        placement: Placement,
+        placement: Arc<Placement>,
+        fusion: Arc<FusionPlan>,
         predicate: Box<dyn FnMut() -> bool + Send>,
-        fusion: bool,
     ) -> Arc<Self> {
         let join = frozen
             .nodes
             .iter()
             .map(|n| AtomicUsize::new(n.num_deps))
             .collect();
-        let (fused_next, fused_member) = compute_fusion(&frozen, &placement, fusion);
         Arc::new(Self {
             graph_shared,
             frozen: Arc::clone(&frozen),
@@ -169,8 +171,8 @@ impl Topology {
             error: Mutex::new(None),
             cancelled: AtomicBool::new(false),
             rounds: AtomicUsize::new(0),
-            fused_next,
-            fused_member,
+            fusion,
+            slot: AtomicU32::new(u32::MAX),
         })
     }
 
@@ -201,43 +203,59 @@ impl Topology {
     }
 }
 
-/// Identifies fusible GPU chains: node `v` fuses to its successor `w`
-/// when `v` is a GPU task, `w` is a *kernel or push* task whose only
-/// dependency is `v`, and both are placed on the same device. Pull tasks
-/// are never fused as members (their device allocation sizes bind at
-/// dispatch time and must observe their host-side predecessors).
-fn compute_fusion(
-    frozen: &FrozenGraph,
-    placement: &crate::placement::Placement,
-    enabled: bool,
-) -> (Vec<Option<u32>>, Vec<bool>) {
-    use crate::graph::TaskKind;
-    let n = frozen.nodes.len();
-    let mut fused_next = vec![None; n];
-    let mut fused_member = vec![false; n];
-    if !enabled {
-        return (fused_next, fused_member);
-    }
-    #[allow(clippy::needless_range_loop)] // v indexes three parallel arrays
-    for v in 0..n {
-        let vk = frozen.nodes[v].work.kind();
-        let v_gpu = matches!(vk, TaskKind::Pull | TaskKind::Push | TaskKind::Kernel);
-        if !v_gpu || frozen.nodes[v].succ.len() != 1 {
-            continue;
+/// Precomputed GPU task-fusion chains (§III-C "task fusing"). Pure
+/// function of (frozen graph, placement, fusion flag), so the executor
+/// caches it alongside the placement and reuses it across submissions of
+/// an unchanged graph.
+pub(crate) struct FusionPlan {
+    /// `next[v]` chains v to a GPU successor dispatched on the same
+    /// stream submission; members of a chain (non-heads) are never
+    /// scheduled individually.
+    pub(crate) next: Vec<Option<u32>>,
+    /// True for chain members (every node with a fused predecessor).
+    pub(crate) member: Vec<bool>,
+}
+
+impl FusionPlan {
+    /// Identifies fusible GPU chains: node `v` fuses to its successor `w`
+    /// when `v` is a GPU task, `w` is a *kernel or push* task whose only
+    /// dependency is `v`, and both are placed on the same device. Pull
+    /// tasks are never fused as members (their device allocation sizes
+    /// bind at dispatch time and must observe their host-side
+    /// predecessors).
+    pub(crate) fn compute(
+        frozen: &FrozenGraph,
+        placement: &crate::placement::Placement,
+        enabled: bool,
+    ) -> Self {
+        use crate::graph::TaskKind;
+        let n = frozen.nodes.len();
+        let mut next = vec![None; n];
+        let mut member = vec![false; n];
+        if !enabled {
+            return Self { next, member };
         }
-        let w = frozen.nodes[v].succ[0];
-        let wk = frozen.nodes[w].work.kind();
-        let w_fusible = matches!(wk, TaskKind::Push | TaskKind::Kernel);
-        if w_fusible
-            && frozen.nodes[w].num_deps == 1
-            && placement.device_of[v] == placement.device_of[w]
-            && !fused_member[w]
-        {
-            fused_next[v] = Some(w as u32);
-            fused_member[w] = true;
+        #[allow(clippy::needless_range_loop)] // v indexes three parallel arrays
+        for v in 0..n {
+            let vk = frozen.nodes[v].work.kind();
+            let v_gpu = matches!(vk, TaskKind::Pull | TaskKind::Push | TaskKind::Kernel);
+            if !v_gpu || frozen.nodes[v].succ.len() != 1 {
+                continue;
+            }
+            let w = frozen.nodes[v].succ[0];
+            let wk = frozen.nodes[w].work.kind();
+            let w_fusible = matches!(wk, TaskKind::Push | TaskKind::Kernel);
+            if w_fusible
+                && frozen.nodes[w].num_deps == 1
+                && placement.device_of[v] == placement.device_of[w]
+                && !member[w]
+            {
+                next[v] = Some(w as u32);
+                member[w] = true;
+            }
         }
+        Self { next, member }
     }
-    (fused_next, fused_member)
 }
 
 #[cfg(test)]

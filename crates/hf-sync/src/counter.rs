@@ -1,6 +1,6 @@
 //! Cache-padded sharded counter for low-contention statistics.
 
-use crossbeam_utils::CachePadded;
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A counter sharded across cache lines.
@@ -55,11 +55,58 @@ impl ShardedCounter {
     }
 }
 
+/// A plain (unsharded) event counter for statistics that are incremented
+/// from arbitrary threads with no natural shard id — e.g. rounds completed,
+/// cache hits on the submission path, or batched injector sprays. Shares
+/// the [`ShardedCounter`] read API (`sum`/`reset`) so call sites look
+/// uniform.
+#[derive(Debug, Default)]
+pub struct GlobalCounter(AtomicU64);
+
+impl GlobalCounter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn sum(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
     use std::thread;
+
+    #[test]
+    fn global_counter_counts_and_resets() {
+        let c = GlobalCounter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.sum(), 5);
+        c.reset();
+        assert_eq!(c.sum(), 0);
+    }
 
     #[test]
     fn sums_across_shards() {

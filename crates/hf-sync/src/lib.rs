@@ -14,19 +14,27 @@
 //!   tasks before bin packing onto GPUs.
 //! * [`backoff`] — an exponential spin-then-yield helper for contended
 //!   loops.
+//! * [`injector`] — a segmented lock-free MPMC queue with single-CAS
+//!   batch push/pop, serving as the executor's shared task inbox.
 //! * [`counter`] — a cache-padded sharded counter for low-contention
 //!   statistics (steal counts, wakeups) gathered by the executor.
+//! * [`pad`] — cache-line padding ([`CachePadded`]) backing the counter
+//!   shards and queue indices.
 
 #![warn(missing_docs)]
 
 pub mod backoff;
 pub mod counter;
 pub mod deque;
+pub mod injector;
 pub mod notifier;
+pub mod pad;
 pub mod unionfind;
 
 pub use backoff::Backoff;
-pub use counter::ShardedCounter;
+pub use counter::{GlobalCounter, ShardedCounter};
 pub use deque::{Steal, StealDeque, Stealer};
+pub use injector::Injector;
 pub use notifier::{Notifier, WaitToken};
+pub use pad::CachePadded;
 pub use unionfind::UnionFind;

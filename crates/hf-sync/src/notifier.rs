@@ -105,6 +105,28 @@ impl Notifier {
         self.cv.notify_one();
     }
 
+    /// Wakes up to `n` waiters with a single epoch bump and one lock
+    /// acquisition — the batched-release path uses this instead of `n`
+    /// separate [`notify_one`](Self::notify_one) calls, which would take
+    /// the lock and bump the epoch `n` times.
+    ///
+    /// When `n` covers everyone sleeping, a single `notify_all` is issued
+    /// (one futex broadcast beats `n` sequential wakes).
+    pub fn notify_n(&self, n: usize) {
+        if n == 0 || self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let st = self.state.lock().unwrap();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if n >= st.sleepers {
+            self.cv.notify_all();
+        } else {
+            for _ in 0..n {
+                self.cv.notify_one();
+            }
+        }
+    }
+
     /// Wakes all waiters.
     pub fn notify_all(&self) {
         if self.waiters.load(Ordering::SeqCst) == 0 {

@@ -1,0 +1,320 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! benchmarking surface it uses: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::{iter, iter_custom}`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//! Measurement is simpler than real criterion — an adaptive calibration
+//! pass picks a batch size that runs long enough to time reliably, then a
+//! handful of samples are taken and the median per-iteration time (plus
+//! derived throughput) is printed. Accepts and ignores criterion CLI args
+//! (e.g. `--bench`, filters) so `cargo bench` invocations don't break.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed samples per benchmark (median is reported).
+const SAMPLES: usize = 5;
+/// Minimum wall-clock time a single sample batch should cover.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(25);
+
+/// Units for reporting derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per benchmark iteration.
+    Elements(u64),
+    /// Bytes processed per benchmark iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s }
+    }
+}
+
+/// Top-level benchmark driver; one per `criterion_group!` runner.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads an optional substring filter from the CLI args, skipping the
+    /// flags cargo-bench passes through.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg.starts_with('-') {
+                continue;
+            }
+            filter = Some(arg);
+        }
+        Self { filter }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim sizes samples adaptively.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim sizes batches adaptively.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            per_iter: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&full, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark closure with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reports are printed as benches run).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, batching iterations until each sample is long enough to
+    /// measure reliably.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut iters = 1u64;
+        // Calibrate: grow the batch until one batch covers MIN_SAMPLE_TIME.
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_SAMPLE_TIME || iters >= 1 << 24 {
+                self.per_iter
+                    .push(elapsed.as_secs_f64() / iters as f64);
+                break;
+            }
+            // Aim past the threshold in one step, with headroom.
+            let scale = (MIN_SAMPLE_TIME.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+            iters = (iters.saturating_mul(scale as u64 + 1)).min(1 << 24);
+        }
+        for _ in 1..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.per_iter
+                .push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Times a closure that measures `iters` iterations itself and returns
+    /// the elapsed duration (for setups with per-batch scaffolding).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let mut iters = 1u64;
+        loop {
+            let elapsed = f(iters);
+            if elapsed >= MIN_SAMPLE_TIME || iters >= 1 << 24 {
+                self.per_iter
+                    .push(elapsed.as_secs_f64() / iters as f64);
+                break;
+            }
+            let scale =
+                (MIN_SAMPLE_TIME.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+            iters = (iters.saturating_mul(scale as u64 + 1)).min(1 << 24);
+        }
+        for _ in 1..SAMPLES {
+            let elapsed = f(iters);
+            self.per_iter
+                .push(elapsed.as_secs_f64() / iters as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str, throughput: Option<Throughput>) {
+        if self.per_iter.is_empty() {
+            println!("{name:<44} (no measurement)");
+            return;
+        }
+        self.per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = self.per_iter[self.per_iter.len() / 2];
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  {:>12} elem/s", format_si(n as f64 / median))
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  {:>12}B/s", format_si(n as f64 / median))
+            }
+            _ => String::new(),
+        };
+        println!("{name:<44} {:>12}/iter{rate}", format_time(median));
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn format_si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records_samples() {
+        let mut b = Bencher {
+            per_iter: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert_eq!(b.per_iter.len(), SAMPLES);
+        assert!(b.per_iter.iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    fn group_filtering_and_reporting_run() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+        };
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        let mut ran_kept = false;
+        let mut ran_skipped = false;
+        g.bench_function("keep_me", |b| {
+            ran_kept = true;
+            b.iter(|| black_box(3u32).pow(2));
+        });
+        g.bench_function("other", |_b| {
+            ran_skipped = true;
+        });
+        g.finish();
+        assert!(ran_kept);
+        assert!(!ran_skipped);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(0.002), "2.000 ms");
+        assert_eq!(format_time(2e-6), "2.000 us");
+        assert_eq!(format_time(2e-9), "2.0 ns");
+        assert_eq!(format_si(2.5e9), "2.50 G");
+        assert_eq!(format_si(2.5e6), "2.50 M");
+        assert_eq!(format_si(2500.0), "2.50 K");
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! serialization surface it uses: a [`Serialize`] trait that renders any
+//! value into an owned JSON tree ([`json::Value`]), plus the
+//! `#[derive(Serialize)]` macro (re-exported from the sibling
+//! `serde_derive` shim). `serde_json` formats the tree.
+
+pub use serde_derive::Serialize;
+
+/// The JSON value tree [`Serialize`] renders into. Lives here (rather than
+/// in `serde_json`) so the derive macro can reference it through the one
+/// crate every deriving module already depends on.
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// An ordered string-keyed map (insertion order is preserved so JSON
+    /// output is deterministic).
+    #[derive(Debug, Clone, Default, PartialEq)]
+    pub struct Map {
+        entries: Vec<(String, Value)>,
+    }
+
+    impl Map {
+        /// Creates an empty map.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Inserts `value` under `key`, replacing any previous entry.
+        pub fn insert(&mut self, key: String, value: Value) {
+            if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+                e.1 = value;
+            } else {
+                self.entries.push((key, value));
+            }
+        }
+
+        /// Iterates entries in insertion order.
+        pub fn iter(&self) -> impl Iterator<Item = &(String, Value)> {
+            self.entries.iter()
+        }
+
+        /// Number of entries.
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// True when the map holds no entries.
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+    }
+
+    /// An owned JSON document.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// An unsigned integer.
+        UInt(u64),
+        /// A signed integer.
+        Int(i64),
+        /// A floating-point number.
+        Float(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object.
+        Object(Map),
+    }
+
+    impl Value {
+        /// Renders compact JSON.
+        pub fn render(&self, out: &mut String, indent: Option<usize>) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::UInt(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::Int(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::Float(f) => {
+                    if f.is_finite() {
+                        let start = out.len();
+                        let _ = write!(out, "{f}");
+                        // `1.0f64` displays as "1"; keep it a JSON float.
+                        if !out[start..].contains(['.', 'e', 'E']) {
+                            out.push_str(".0");
+                        }
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Value::Str(s) => escape_into(s, out),
+                Value::Array(items) => {
+                    out.push('[');
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        newline_indent(out, indent.map(|n| n + 1));
+                        v.render(out, indent.map(|n| n + 1));
+                    }
+                    if !items.is_empty() {
+                        newline_indent(out, indent);
+                    }
+                    out.push(']');
+                }
+                Value::Object(map) => {
+                    out.push('{');
+                    for (i, (k, v)) in map.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        newline_indent(out, indent.map(|n| n + 1));
+                        escape_into(k, out);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        v.render(out, indent.map(|n| n + 1));
+                    }
+                    if !map.is_empty() {
+                        newline_indent(out, indent);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: Option<usize>) {
+        if let Some(n) = indent {
+            out.push('\n');
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        }
+    }
+
+    fn escape_into(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+/// Types renderable as a JSON tree. The derive macro generates this for
+/// plain named-field structs.
+pub trait Serialize {
+    /// Renders `self` as an owned JSON value.
+    fn to_value(&self) -> json::Value;
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value { json::Value::UInt(*self as u64) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value { json::Value::Int(*self as i64) }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> json::Value {
+        json::Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        let mut s = String::new();
+        Value::Array(vec![
+            1u32.to_value(),
+            (-2i64).to_value(),
+            0.5f64.to_value(),
+            "hi\"".to_value(),
+            Option::<u32>::None.to_value(),
+            true.to_value(),
+        ])
+        .render(&mut s, None);
+        assert_eq!(s, r#"[1,-2,0.5,"hi\"",null,true]"#);
+    }
+
+    #[test]
+    fn map_replaces_duplicate_keys() {
+        let mut m = json::Map::new();
+        m.insert("a".to_string(), Value::UInt(1));
+        m.insert("a".to_string(), Value::UInt(2));
+        assert_eq!(m.len(), 1);
+        let mut s = String::new();
+        Value::Object(m).render(&mut s, None);
+        assert_eq!(s, r#"{"a":2}"#);
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for plain (non-generic) structs with
+//! named fields — the only shape this workspace derives — by walking the
+//! raw token stream instead of pulling in `syn`/`quote` (the build
+//! container has no network access). The expansion targets the `Serialize`
+//! trait of the sibling `serde` shim, which renders into its JSON tree.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // The struct name is the ident following the `struct` keyword.
+    let mut name = None;
+    for pair in tokens.windows(2) {
+        if let (TokenTree::Ident(kw), TokenTree::Ident(id)) = (&pair[0], &pair[1]) {
+            if kw.to_string() == "struct" {
+                name = Some(id.to_string());
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize) shim supports only structs");
+
+    // The field list is the last brace-delimited group at top level.
+    let body = tokens
+        .iter()
+        .rev()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("derive(Serialize) shim supports only named-field structs");
+
+    let mut inserts = String::new();
+    for field in field_names(body) {
+        inserts.push_str(&format!(
+            "m.insert({:?}.to_string(), serde::Serialize::to_value(&self.{field}));\n",
+            field
+        ));
+    }
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::json::Value {{\n\
+                 let mut m = serde::json::Map::new();\n\
+                 {inserts}\
+                 serde::json::Value::Object(m)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Extracts field identifiers from the body of a named-field struct:
+/// for each comma-separated chunk (tracking `<...>` depth so generic
+/// argument commas don't split), the field name is the last ident before
+/// the first top-level `:`.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut last_ident = None;
+    let mut named = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if angle_depth == 0 && !named => {
+                    if let Some(id) = last_ident.take() {
+                        fields.push(id);
+                        named = true;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    named = false;
+                    last_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if !named => last_ident = Some(id.to_string()),
+            _ => {}
+        }
+    }
+    fields
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Formats the [`serde`] shim's JSON tree ([`Value`], [`Map`]) and provides
+//! the [`json!`] macro subset the workspace uses: object literals with
+//! string keys and plain expression values, plus bare expressions.
+
+pub use serde::json::{Map, Value};
+
+/// Error type for the (infallible) serializers, kept for API parity.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().render(&mut out, None);
+    Ok(out)
+}
+
+/// Renders `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().render(&mut out, Some(0));
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Builds a [`Value`] from an object literal with string keys, or from any
+/// serializable expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(m)
+    }};
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($item)),* ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("infallible")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_macro_objects_and_arrays() {
+        let v = json!({
+            "name": "x",
+            "values": vec![1.5f64, 2.0],
+            "n": 3usize,
+        });
+        assert_eq!(
+            crate::to_string(&v).unwrap(),
+            r#"{"name":"x","values":[1.5,2.0],"n":3}"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v = json!({"a": 1u32});
+        let s = crate::to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn nested_maps_via_inserts() {
+        let mut m = crate::Map::new();
+        m.insert(
+            "rows".to_string(),
+            json!(vec![json!({"l": "a"}), json!({"l": "b"})]),
+        );
+        let s = crate::to_string(&crate::Value::Object(m)).unwrap();
+        assert_eq!(s, r#"{"rows":[{"l":"a"},{"l":"b"}]}"#);
+    }
+}

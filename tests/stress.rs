@@ -132,3 +132,69 @@ fn deep_alternating_chain() {
     ex.run(&g).wait().expect("deep chain runs");
     assert!(d.read().iter().all(|&v| v == DEPTH as i64));
 }
+
+/// One executor hammered from several threads, each repeatedly mutating
+/// its own graph and resubmitting it via `run_n` / `run` / `run_until`.
+/// Checks both results and the scheduling-cache contract with counters
+/// (no timing): every mutation forces exactly one re-plan, every
+/// unchanged resubmission reuses the cached plan.
+#[test]
+fn concurrent_mutating_runs_invalidate_sched_cache() {
+    const THREADS: usize = 4;
+    const PHASES: usize = 5;
+    const SUBMISSIONS_PER_PHASE: usize = 3;
+
+    let ex = Arc::new(Executor::new(4, 2));
+    let total = Arc::new(AtomicUsize::new(0));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let ex = Arc::clone(&ex);
+            let total = Arc::clone(&total);
+            std::thread::spawn(move || {
+                let g = Heteroflow::new(&format!("mut{t}"));
+                let mut expected = 0usize;
+                for phase in 0..PHASES {
+                    // Mutate: one more task — invalidates the cached plan.
+                    let c = Arc::clone(&total);
+                    g.host(&format!("t{phase}"), move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                    let tasks = phase + 1;
+
+                    // Submission 1 re-plans; 2 and 3 must hit the cache.
+                    ex.run_n(&g, 2).wait().unwrap();
+                    expected += 2 * tasks;
+                    ex.run(&g).wait().unwrap();
+                    expected += tasks;
+                    let mut rounds_left = 2;
+                    ex.run_until(&g, move || {
+                        if rounds_left == 0 {
+                            true
+                        } else {
+                            rounds_left -= 1;
+                            false
+                        }
+                    })
+                    .wait()
+                    .unwrap();
+                    expected += 2 * tasks;
+                }
+                expected
+            })
+        })
+        .collect();
+
+    let expected: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total.load(Ordering::Relaxed), expected);
+
+    // Each graph is submitted sequentially by its owning thread, so the
+    // cache outcome is deterministic even though the executor is shared:
+    // one miss per mutation phase, hits for every other submission.
+    let s = ex.stats();
+    assert_eq!(s.topo_cache_misses.sum() as usize, THREADS * PHASES);
+    assert_eq!(
+        s.topo_cache_hits.sum() as usize,
+        THREADS * PHASES * (SUBMISSIONS_PER_PHASE - 1)
+    );
+}
