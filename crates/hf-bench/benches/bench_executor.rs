@@ -210,6 +210,82 @@ fn tasks_per_sec(c: &mut Criterion) {
     );
 }
 
+/// Telemetry overhead on the tasks/sec hot path: a wired-but-disabled
+/// trace collector must cost (approximately) nothing — one atomic load
+/// per observer callback. Three configurations: no observer at all, a
+/// tracer wired but disabled, and a tracer actively recording. After the
+/// criterion numbers, an interleaved min-of-samples guard asserts the
+/// disabled configuration stays within ~2% of the baseline (plus a small
+/// absolute slack so scheduler jitter cannot flake the suite).
+fn telemetry_overhead(c: &mut Criterion) {
+    use hf_core::TraceCollector;
+    use std::time::{Duration, Instant};
+
+    const WIDTH: usize = 256;
+    const ROUNDS: usize = 20;
+
+    let mut grp = c.benchmark_group("executor/telemetry");
+    grp.sample_size(10);
+    grp.throughput(Throughput::Elements((WIDTH as u64 + 1) * ROUNDS as u64));
+    grp.bench_function("no_observer", |b| {
+        let ex = Executor::new(4, 0);
+        let (graph, _) = wide_graph(WIDTH);
+        b.iter(|| ex.run_n(&graph, ROUNDS).wait().expect("runs"));
+    });
+    grp.bench_function("tracer_disabled", |b| {
+        let trace = TraceCollector::shared();
+        trace.set_enabled(false);
+        let ex = Executor::builder(4, 0).tracer(Arc::clone(&trace)).build();
+        let (graph, _) = wide_graph(WIDTH);
+        b.iter(|| ex.run_n(&graph, ROUNDS).wait().expect("runs"));
+    });
+    grp.bench_function("tracer_enabled", |b| {
+        let trace = TraceCollector::shared();
+        let ex = Executor::builder(4, 0).tracer(Arc::clone(&trace)).build();
+        let (graph, _) = wide_graph(WIDTH);
+        b.iter(|| {
+            ex.run_n(&graph, ROUNDS).wait().expect("runs");
+            // Scrape between rounds; take_spans keeps this O(new spans).
+            let _ = trace.take_spans();
+        });
+    });
+    grp.finish();
+
+    // Overhead guard. Min-of-samples with interleaving: the minimum of
+    // many samples estimates the noise-free cost of each configuration,
+    // and alternating them distributes machine-load drift fairly.
+    let base_ex = Executor::new(4, 0);
+    let trace = TraceCollector::shared();
+    trace.set_enabled(false);
+    let dis_ex = Executor::builder(4, 0).tracer(Arc::clone(&trace)).build();
+    let (graph, _) = wide_graph(WIDTH);
+    let sample = |ex: &Executor| {
+        let t0 = Instant::now();
+        ex.run_n(&graph, ROUNDS).wait().expect("runs");
+        t0.elapsed()
+    };
+    for _ in 0..3 {
+        sample(&base_ex);
+        sample(&dis_ex);
+    }
+    let mut min_base = Duration::MAX;
+    let mut min_dis = Duration::MAX;
+    for _ in 0..15 {
+        min_base = min_base.min(sample(&base_ex));
+        min_dis = min_dis.min(sample(&dis_ex));
+    }
+    let ratio = min_dis.as_secs_f64() / min_base.as_secs_f64();
+    eprintln!(
+        "[telemetry] disabled-tracer overhead: base={min_base:?} disabled={min_dis:?} \
+         ratio={ratio:.4}"
+    );
+    assert!(
+        min_dis.as_secs_f64() <= min_base.as_secs_f64() * 1.02 + 300e-6,
+        "disabled telemetry exceeded the ~2% overhead budget: \
+         base={min_base:?} disabled={min_dis:?} ratio={ratio:.4}"
+    );
+}
+
 criterion_group!(
     benches,
     throughput,
@@ -217,6 +293,7 @@ criterion_group!(
     ablation_a5,
     run_n_batching,
     resubmit_cache,
-    tasks_per_sec
+    tasks_per_sec,
+    telemetry_overhead
 );
 criterion_main!(benches);

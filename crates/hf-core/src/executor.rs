@@ -234,6 +234,7 @@ pub struct ExecutorBuilder {
     adaptive_sleep: bool,
     fusion: bool,
     observers: Vec<Arc<dyn ExecutorObserver>>,
+    tracer: Option<Arc<crate::observer::TraceCollector>>,
 }
 
 impl std::fmt::Debug for ExecutorBuilder {
@@ -260,6 +261,7 @@ impl ExecutorBuilder {
             adaptive_sleep: true,
             fusion: true,
             observers: Vec::new(),
+            tracer: None,
         }
     }
 
@@ -306,12 +308,29 @@ impl ExecutorBuilder {
         self
     }
 
+    /// Registers `trace` as observer *and* wires it into the GPU runtime
+    /// for device-side stitching: GPU task spans then show true device
+    /// execution times (and CPU/GPU overlap) instead of the worker-side
+    /// dispatch window — see the [`crate::observer`] module docs for the
+    /// historical dispatch-time-only behaviour. Workers also label
+    /// dispatched ops with the task name/kind so device events map back
+    /// to graph tasks.
+    pub fn tracer(mut self, trace: Arc<crate::observer::TraceCollector>) -> Self {
+        self.observers
+            .push(Arc::clone(&trace) as Arc<dyn ExecutorObserver>);
+        self.tracer = Some(trace);
+        self
+    }
+
     /// Builds the executor, spawning worker threads and device engines.
     pub fn build(self) -> Executor {
         let cpus = self.cpus.max(1);
         let gpu = self
             .shared_gpu
             .unwrap_or_else(|| Arc::new(GpuRuntime::new(self.gpus, self.gpu_config)));
+        if let Some(trace) = &self.tracer {
+            trace.connect_gpu(&gpu);
+        }
 
         let deques: Vec<StealDeque<Token>> = (0..cpus).map(|_| StealDeque::new()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
@@ -902,7 +921,7 @@ impl Worker {
             inner.notifier.notify_one();
         }
 
-        let observed = !inner.observers.is_empty();
+        let observed = inner.observers.iter().any(|o| o.is_active());
         if observed {
             let meta = self.task_meta(&topo, node);
             for o in &inner.observers {
@@ -1007,8 +1026,23 @@ impl Worker {
         }
 
         let stream = self.stream(dev_id);
-        for op in ops {
-            stream.exec(op);
+        // Label ops with task name/kind only when a device trace sink is
+        // installed: the label costs an Arc<str> per op, and the engine
+        // drops it unused when tracing is off.
+        let tracing = self.inner.gpu.tracing_enabled();
+        for (&nid, op) in chain.iter().zip(ops) {
+            if tracing {
+                let n = &topo.frozen.nodes[nid];
+                stream.exec_labeled(
+                    Some(hf_gpu::OpLabel {
+                        name: Arc::from(n.name.as_str()),
+                        tag: crate::observer::kind_to_tag(n.work.kind()),
+                    }),
+                    op,
+                );
+            } else {
+                stream.exec(op);
+            }
         }
         let inner = Arc::clone(&self.inner);
         let topo2 = Arc::clone(topo);

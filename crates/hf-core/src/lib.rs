@@ -70,9 +70,9 @@ pub use error::HfError;
 pub use executor::{Executor, ExecutorBuilder};
 pub use graph::{FrozenGraph, Heteroflow, TaskKind};
 pub use inspect::{GraphInfo, NodeInfo};
-pub use observer::{ExecutorObserver, TraceCollector};
+pub use observer::{ExecutorObserver, SpanCat, TaskMeta, TraceCollector, TraceSpan, Track};
 pub use placement::{device_placement, Placement, PlacementPolicy};
-pub use stats::ExecutorStats;
+pub use stats::{ExecutorStats, StatsSnapshot};
 pub use task::{AsTask, HostTask, KernelTask, PullTask, PushTask, TaskRef};
 pub use topology::RunFuture;
 

@@ -1,5 +1,5 @@
-//! Executor observers: task-level tracing hooks and a chrome-trace
-//! profiler.
+//! Executor observers: task-level tracing hooks and the unified
+//! CPU+GPU trace collector.
 //!
 //! An [`ExecutorObserver`] receives a callback around every task
 //! execution (with worker id, task name/kind, and device for GPU tasks).
@@ -7,11 +7,39 @@
 //! serializes them in the Chrome trace-event format — open the output in
 //! `chrome://tracing` or Perfetto to see the schedule, worker occupancy,
 //! and CPU/GPU overlap.
+//!
+//! ## Device-side stitching
+//!
+//! **Historical bug, now fixed:** the original `TraceCollector` ended GPU
+//! task spans when the *worker finished dispatching* the op to the device
+//! stream, not when the op finished executing on the device. Every
+//! kernel/pull/push span showed the (microsecond) dispatch cost instead
+//! of the real device-side duration, so CPU/GPU overlap — the entire
+//! point of the paper's asynchronous dispatch design — was invisible in
+//! traces. The collector now doubles as a [`hf_gpu::GpuTraceSink`]: wire
+//! it with [`crate::ExecutorBuilder::tracer`] and device engines report
+//! true op start/finish times, which the collector merges with CPU worker
+//! spans on one timeline ([`Track::Device`] vs [`Track::Worker`]). In
+//! stitched mode the worker-side dispatch window is still recorded, as a
+//! [`SpanCat::Dispatch`] span, so dispatch overhead stays measurable;
+//! when the collector is used as a plain observer (no GPU wiring) the
+//! legacy dispatch-time spans are all you get.
+//!
+//! Recording is designed for the hot path: spans go into per-worker and
+//! per-device lock-free [`EventRing`]s, and a disabled collector
+//! ([`TraceCollector::set_enabled`]) costs one atomic load per callback.
 
 use crate::graph::TaskKind;
+use hf_gpu::trace::{GpuOpKind, GpuTraceEvent, GpuTraceSink};
+use hf_sync::EventRing;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Default per-lane span buffer capacity (spans beyond this between
+/// drains are dropped and counted).
+const DEFAULT_LANE_CAPACITY: usize = 16 * 1024;
 
 /// Identity of one task execution, passed to observer callbacks.
 #[derive(Debug, Clone)]
@@ -30,45 +58,229 @@ pub struct TaskMeta<'a> {
 
 /// Hooks invoked by the executor around task execution.
 ///
-/// For host tasks, `on_task_end` fires when the callable returns. For
-/// GPU tasks, it fires when the worker finishes *dispatching* (the op
-/// completes asynchronously on the device; device-side timing is
-/// available from [`hf_gpu::Device::busy_time`]).
+/// For host tasks, `on_task_end` fires when the callable returns. For GPU
+/// tasks, it fires when the worker finishes *dispatching* — the op
+/// completes asynchronously on the device. Use
+/// [`crate::ExecutorBuilder::tracer`] to additionally capture device-side
+/// completion times (see the module docs for the historical
+/// dispatch-time-only bug).
 pub trait ExecutorObserver: Send + Sync {
     /// Called before a task's body runs/dispatches.
     fn on_task_begin(&self, meta: &TaskMeta<'_>);
     /// Called after a task's body ran / was dispatched.
     fn on_task_end(&self, meta: &TaskMeta<'_>);
+    /// Fast-path gate: when every registered observer reports inactive,
+    /// the executor skips metadata construction and both callbacks
+    /// entirely. Default `true`; [`TraceCollector`] returns its enabled
+    /// flag so a wired-but-disabled tracer costs one relaxed load per
+    /// task.
+    fn is_active(&self) -> bool {
+        true
+    }
 }
 
-/// One recorded span.
+/// The timeline a span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// A CPU worker thread.
+    Worker(usize),
+    /// A GPU device engine (device-side execution).
+    Device(u32),
+}
+
+/// What a span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanCat {
+    /// A task's execution (host body on a worker; device-side op
+    /// duration for GPU tasks in stitched mode — or the legacy
+    /// dispatch-time span in plain-observer mode).
+    Task,
+    /// The worker-side dispatch window of a GPU task (stitched mode).
+    Dispatch,
+    /// A raw device op not tied to a graph task.
+    DeviceOp,
+    /// Time a device stream spent blocked on an event wait.
+    Wait,
+    /// A device pool allocation.
+    Alloc,
+    /// A device pool free.
+    Free,
+    /// A stream-ordered host callback (completion handlers).
+    Callback,
+}
+
+impl SpanCat {
+    /// Stable lowercase name (used as the chrome-trace category for
+    /// non-task spans).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanCat::Task => "task",
+            SpanCat::Dispatch => "dispatch",
+            SpanCat::DeviceOp => "device_op",
+            SpanCat::Wait => "wait",
+            SpanCat::Alloc => "alloc",
+            SpanCat::Free => "free",
+            SpanCat::Callback => "callback",
+        }
+    }
+}
+
+/// One recorded span on the unified CPU+GPU timeline.
 #[derive(Debug, Clone)]
 pub struct TraceSpan {
-    /// Worker id (trace "thread").
-    pub worker: usize,
-    /// Task name.
+    /// Timeline this span belongs to.
+    pub track: Track,
+    /// Task (or op) name.
     pub name: String,
-    /// Task kind.
+    /// What the span measures.
+    pub cat: SpanCat,
+    /// Task kind ([`TaskKind::Placeholder`] for non-task device spans).
     pub kind: TaskKind,
-    /// Device, for GPU tasks.
+    /// Device, for GPU-related spans.
     pub device: Option<u32>,
+    /// Stream index, for device-side spans.
+    pub stream: Option<usize>,
     /// Microseconds from collector creation.
     pub start_us: u64,
     /// Span duration in microseconds.
     pub dur_us: u64,
+    /// Bytes moved/allocated, when meaningful.
+    pub bytes: u64,
 }
 
-struct Pending {
-    worker: usize,
-    start: Instant,
+impl TraceSpan {
+    /// End timestamp in microseconds from collector creation.
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.dur_us
+    }
+
+    /// Worker id, when the span was recorded on a worker track.
+    pub fn worker(&self) -> Option<usize> {
+        match self.track {
+            Track::Worker(w) => Some(w),
+            Track::Device(_) => None,
+        }
+    }
 }
 
-/// Built-in observer recording every task span.
+/// Packs a task kind into the opaque device-op tag and back.
+pub(crate) fn kind_to_tag(kind: TaskKind) -> u32 {
+    match kind {
+        TaskKind::Host => 0,
+        TaskKind::Pull => 1,
+        TaskKind::Push => 2,
+        TaskKind::Kernel => 3,
+        TaskKind::Placeholder => 4,
+    }
+}
+
+fn kind_from_tag(tag: u32) -> TaskKind {
+    match tag {
+        0 => TaskKind::Host,
+        1 => TaskKind::Pull,
+        2 => TaskKind::Push,
+        3 => TaskKind::Kernel,
+        _ => TaskKind::Placeholder,
+    }
+}
+
+/// A grow-only table of per-lane state with lock-free reads.
+///
+/// The current snapshot (a `Vec<Arc<T>>`) is published through an atomic
+/// pointer; growth clones it under a mutex and publishes the new vector,
+/// *retaining* every old snapshot until the table drops so concurrent
+/// readers never observe a freed vector. Growth happens O(log n) times
+/// (worker/device counts are small and fixed per executor), so retention
+/// is bounded.
+struct LaneTable<T> {
+    current: AtomicPtr<Vec<Arc<T>>>,
+    /// All snapshots ever published; the last one is `current`. The box
+    /// is load-bearing: `current` points at the boxed `Vec` header, which
+    /// must stay address-stable as this outer vector reallocates.
+    #[allow(clippy::vec_box)]
+    snapshots: Mutex<Vec<Box<Vec<Arc<T>>>>>,
+}
+
+impl<T> LaneTable<T> {
+    fn new() -> Self {
+        let first: Box<Vec<Arc<T>>> = Box::default();
+        let ptr = &*first as *const Vec<Arc<T>> as *mut Vec<Arc<T>>;
+        Self {
+            current: AtomicPtr::new(ptr),
+            snapshots: Mutex::new(vec![first]),
+        }
+    }
+
+    /// Lane `i`, creating lanes up to `i` with `make` if needed.
+    fn get(&self, i: usize, make: impl Fn() -> T) -> Arc<T> {
+        loop {
+            // Safety: the pointee is owned by `snapshots` and never freed
+            // before `self` drops.
+            let cur = unsafe { &*self.current.load(Ordering::Acquire) };
+            if let Some(lane) = cur.get(i) {
+                return Arc::clone(lane);
+            }
+            self.grow(i + 1, &make);
+        }
+    }
+
+    /// Ensures at least `n` lanes exist.
+    fn grow(&self, n: usize, make: &impl Fn() -> T) {
+        let mut snaps = self.snapshots.lock();
+        let cur = unsafe { &*self.current.load(Ordering::Acquire) };
+        if cur.len() >= n {
+            return;
+        }
+        let mut next = cur.clone();
+        while next.len() < n {
+            next.push(Arc::new(make()));
+        }
+        let boxed = Box::new(next);
+        let ptr = &*boxed as *const Vec<Arc<T>> as *mut Vec<Arc<T>>;
+        snaps.push(boxed);
+        self.current.store(ptr, Ordering::Release);
+    }
+
+    /// Clone of the current lane set.
+    fn lanes(&self) -> Vec<Arc<T>> {
+        // Safety: as in `get`.
+        unsafe { (*self.current.load(Ordering::Acquire)).clone() }
+    }
+}
+
+// Safety: the raw pointer always refers to a vector kept alive by
+// `snapshots`; `T` is shared across threads only via `Arc`.
+unsafe impl<T: Send + Sync> Send for LaneTable<T> {}
+unsafe impl<T: Send + Sync> Sync for LaneTable<T> {}
+
+/// Per-worker recording lane: a span ring plus the pending begin
+/// timestamp (nanoseconds since the collector epoch, +1 so 0 = none).
+struct CpuLane {
+    ring: EventRing<TraceSpan>,
+    begin_ns: AtomicU64,
+}
+
+/// Per-device recording lane.
+struct DevLane {
+    ring: EventRing<TraceSpan>,
+}
+
+/// Built-in observer recording every task span on a unified CPU+GPU
+/// timeline. See the module docs for the stitched vs legacy (dispatch
+/// time only) behaviour of GPU spans.
 pub struct TraceCollector {
     epoch: Instant,
-    spans: Mutex<Vec<TraceSpan>>,
-    // One pending slot per worker (a worker runs one task at a time).
-    pending: Mutex<Vec<Option<Pending>>>,
+    enabled: AtomicBool,
+    /// True once wired as a device trace sink: GPU task spans then come
+    /// from the device side and worker-side windows demote to
+    /// [`SpanCat::Dispatch`].
+    stitching: AtomicBool,
+    cpu: LaneTable<CpuLane>,
+    dev: LaneTable<DevLane>,
+    /// Spans moved out of the rings (the rings are bounded; `spans()` and
+    /// periodic drains migrate them here).
+    drained: Mutex<Vec<TraceSpan>>,
+    lane_capacity: usize,
 }
 
 impl Default for TraceCollector {
@@ -78,28 +290,103 @@ impl Default for TraceCollector {
 }
 
 impl TraceCollector {
-    /// Creates an empty collector.
+    /// Creates an empty collector with the default per-lane capacity.
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_LANE_CAPACITY)
+    }
+
+    /// Creates an empty collector whose per-lane span rings hold
+    /// `lane_capacity` spans between drains.
+    pub fn with_capacity(lane_capacity: usize) -> Self {
         Self {
             epoch: Instant::now(),
-            spans: Mutex::new(Vec::new()),
-            pending: Mutex::new(Vec::new()),
+            enabled: AtomicBool::new(true),
+            stitching: AtomicBool::new(false),
+            cpu: LaneTable::new(),
+            dev: LaneTable::new(),
+            drained: Mutex::new(Vec::new()),
+            lane_capacity,
         }
     }
 
-    /// Shareable handle for [`crate::ExecutorBuilder::observer`].
+    /// Shareable handle for [`crate::ExecutorBuilder::observer`] /
+    /// [`crate::ExecutorBuilder::tracer`].
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new())
     }
 
-    /// Recorded spans so far.
+    /// The instant timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Enables/disables recording. Disabled, every callback returns after
+    /// a single atomic load — telemetry can stay wired in production and
+    /// be flipped on when needed.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// True once wired to a GPU runtime for device-side stitching.
+    pub fn is_stitching(&self) -> bool {
+        self.stitching.load(Ordering::Relaxed)
+    }
+
+    /// Wires this collector into `rt` as the device-side trace sink:
+    /// device engines report true op start/finish times and GPU task
+    /// spans move to device tracks. [`crate::ExecutorBuilder::tracer`]
+    /// calls this automatically.
+    pub fn connect_gpu(self: &Arc<Self>, rt: &hf_gpu::GpuRuntime) {
+        rt.set_trace_sink(Some(Arc::clone(self) as Arc<dyn GpuTraceSink>));
+        self.stitching.store(true, Ordering::Release);
+    }
+
+    /// Converts an instant to microseconds since the collector epoch.
+    fn us_since_epoch(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    /// Recorded spans so far (drains the lock-free rings), sorted by
+    /// start time. Spans stay owned by the collector, so repeated calls
+    /// return a growing history — for periodic scraping of a long-running
+    /// executor use [`Self::take_spans`] instead.
     pub fn spans(&self) -> Vec<TraceSpan> {
-        self.spans.lock().clone()
+        let mut drained = self.drained.lock();
+        for lane in self.cpu.lanes() {
+            lane.ring.drain(|s| drained.push(s));
+        }
+        for lane in self.dev.lanes() {
+            lane.ring.drain(|s| drained.push(s));
+        }
+        drained.sort_by_key(|a| (a.start_us, a.track));
+        drained.clone()
+    }
+
+    /// Removes and returns every span recorded since the last call
+    /// (sorted by start time). Unlike [`Self::spans`] the collector
+    /// forgets them, so periodic scrapes stay O(new spans) instead of
+    /// re-copying the whole history.
+    pub fn take_spans(&self) -> Vec<TraceSpan> {
+        let mut drained = self.drained.lock();
+        for lane in self.cpu.lanes() {
+            lane.ring.drain(|s| drained.push(s));
+        }
+        for lane in self.dev.lanes() {
+            lane.ring.drain(|s| drained.push(s));
+        }
+        let mut out = std::mem::take(&mut *drained);
+        out.sort_by_key(|a| (a.start_us, a.track));
+        out
     }
 
     /// Number of spans recorded.
     pub fn len(&self) -> usize {
-        self.spans.lock().len()
+        self.spans().len()
     }
 
     /// True when nothing was recorded.
@@ -107,66 +394,180 @@ impl TraceCollector {
         self.len() == 0
     }
 
+    /// Spans dropped because a lane ring overflowed between drains.
+    pub fn dropped(&self) -> u64 {
+        let cpu: u64 = self.cpu.lanes().iter().map(|l| l.ring.dropped()).sum();
+        let dev: u64 = self.dev.lanes().iter().map(|l| l.ring.dropped()).sum();
+        cpu + dev
+    }
+
     /// Serializes the spans as a Chrome trace-event JSON array
-    /// (`chrome://tracing` / Perfetto compatible).
+    /// (`chrome://tracing` / Perfetto compatible). CPU workers appear as
+    /// threads of process 0; device `d` as process `1 + d` with one
+    /// thread per stream. `hf_telemetry::export::chrome_trace` emits the
+    /// same spans with process/thread naming metadata.
     pub fn to_chrome_trace(&self) -> String {
-        let spans = self.spans.lock();
+        let spans = self.spans();
         let mut out = String::from("[");
         for (i, s) in spans.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let cat = s.kind.to_string();
-            let dev = s
-                .device
-                .map(|d| format!(",\"args\":{{\"device\":{d}}}"))
-                .unwrap_or_default();
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}{}}}",
-                s.name.replace('"', "'"),
-                cat,
-                s.start_us,
-                s.dur_us.max(1),
-                s.worker,
-                dev
-            ));
+            chrome_trace_event(&mut out, s);
         }
         out.push(']');
         out
     }
 }
 
-impl ExecutorObserver for TraceCollector {
-    fn on_task_begin(&self, meta: &TaskMeta<'_>) {
-        let mut pending = self.pending.lock();
-        if pending.len() <= meta.worker {
-            pending.resize_with(meta.worker + 1, || None);
+/// Writes one span as a chrome trace-event object (no surrounding
+/// punctuation). Shared with the `hf-telemetry` exporter via the
+/// formatting rules documented on [`TraceCollector::to_chrome_trace`].
+pub fn chrome_trace_event(out: &mut String, s: &TraceSpan) {
+    let (pid, tid) = match s.track {
+        Track::Worker(w) => (0u64, w as u64),
+        Track::Device(d) => (1 + d as u64, s.stream.unwrap_or(0) as u64),
+    };
+    let cat = match s.cat {
+        SpanCat::Task => s.kind.to_string(),
+        other => other.name().to_string(),
+    };
+    let mut args = String::new();
+    if let Some(d) = s.device {
+        args.push_str(&format!("\"device\":{d}"));
+    }
+    if s.bytes > 0 {
+        if !args.is_empty() {
+            args.push(',');
         }
-        pending[meta.worker] = Some(Pending {
-            worker: meta.worker,
-            start: Instant::now(),
+        args.push_str(&format!("\"bytes\":{}", s.bytes));
+    }
+    if !args.is_empty() {
+        args.push(',');
+    }
+    args.push_str(&format!("\"cat\":\"{}\"", s.cat.name()));
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+        s.name.replace('\\', "\\\\").replace('"', "'"),
+        cat,
+        s.start_us,
+        s.dur_us.max(1),
+        pid,
+        tid,
+        args
+    ));
+}
+
+impl ExecutorObserver for TraceCollector {
+    fn is_active(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn on_task_begin(&self, meta: &TaskMeta<'_>) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let lane = self.cpu.get(meta.worker, || CpuLane {
+            ring: EventRing::new(self.lane_capacity),
+            begin_ns: AtomicU64::new(0),
         });
+        let ns = Instant::now()
+            .saturating_duration_since(self.epoch)
+            .as_nanos() as u64;
+        lane.begin_ns.store(ns + 1, Ordering::Release);
     }
 
     fn on_task_end(&self, meta: &TaskMeta<'_>) {
-        let started = {
-            let mut pending = self.pending.lock();
-            pending
-                .get_mut(meta.worker)
-                .and_then(|slot| slot.take())
-        };
-        if let Some(p) = started {
-            let start_us = p.start.duration_since(self.epoch).as_micros() as u64;
-            let dur_us = p.start.elapsed().as_micros() as u64;
-            self.spans.lock().push(TraceSpan {
-                worker: p.worker,
-                name: meta.name.to_string(),
-                kind: meta.kind,
-                device: meta.device,
-                start_us,
-                dur_us,
-            });
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
         }
+        let lane = self.cpu.get(meta.worker, || CpuLane {
+            ring: EventRing::new(self.lane_capacity),
+            begin_ns: AtomicU64::new(0),
+        });
+        let begin = lane.begin_ns.swap(0, Ordering::AcqRel);
+        if begin == 0 {
+            return;
+        }
+        let begin_ns = begin - 1;
+        let now_ns = Instant::now()
+            .saturating_duration_since(self.epoch)
+            .as_nanos() as u64;
+        let is_gpu = matches!(
+            meta.kind,
+            TaskKind::Pull | TaskKind::Push | TaskKind::Kernel
+        );
+        // In stitched mode the device side owns the task span; the
+        // worker-side window is recorded as dispatch overhead.
+        let cat = if is_gpu && self.stitching.load(Ordering::Relaxed) {
+            SpanCat::Dispatch
+        } else {
+            SpanCat::Task
+        };
+        lane.ring.push(TraceSpan {
+            track: Track::Worker(meta.worker),
+            name: meta.name.to_string(),
+            cat,
+            kind: meta.kind,
+            device: meta.device,
+            stream: None,
+            start_us: begin_ns / 1_000,
+            dur_us: now_ns.saturating_sub(begin_ns) / 1_000,
+            bytes: 0,
+        });
+    }
+}
+
+impl GpuTraceSink for TraceCollector {
+    fn record(&self, ev: GpuTraceEvent) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let (name, cat, kind) = match (&ev.kind, &ev.label) {
+            (GpuOpKind::Exec, Some(label)) => (
+                label.name.to_string(),
+                SpanCat::Task,
+                kind_from_tag(label.tag),
+            ),
+            (GpuOpKind::Exec, None) => {
+                ("exec".to_string(), SpanCat::DeviceOp, TaskKind::Placeholder)
+            }
+            (GpuOpKind::HostFn, _) => (
+                "host_fn".to_string(),
+                SpanCat::Callback,
+                TaskKind::Placeholder,
+            ),
+            (GpuOpKind::EventRecord, _) => (
+                "event_record".to_string(),
+                SpanCat::DeviceOp,
+                TaskKind::Placeholder,
+            ),
+            (GpuOpKind::EventWait, _) => {
+                ("event_wait".to_string(), SpanCat::Wait, TaskKind::Placeholder)
+            }
+            (GpuOpKind::Alloc, _) => {
+                ("alloc".to_string(), SpanCat::Alloc, TaskKind::Placeholder)
+            }
+            (GpuOpKind::Free, _) => {
+                ("free".to_string(), SpanCat::Free, TaskKind::Placeholder)
+            }
+        };
+        let start_us = self.us_since_epoch(ev.start);
+        let end_us = self.us_since_epoch(ev.end);
+        let lane = self.dev.get(ev.device as usize, || DevLane {
+            ring: EventRing::new(self.lane_capacity),
+        });
+        lane.ring.push(TraceSpan {
+            track: Track::Device(ev.device),
+            name,
+            cat,
+            kind,
+            device: Some(ev.device),
+            stream: ev.stream,
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+            bytes: ev.bytes,
+        });
     }
 }
 
@@ -212,6 +613,9 @@ mod tests {
         let kernel_span = spans.iter().find(|s| s.name == "kernel").expect("kernel");
         assert_eq!(kernel_span.kind, TaskKind::Kernel);
         assert_eq!(kernel_span.device, Some(0));
+        // Plain observer mode: legacy dispatch-time spans, category Task.
+        assert_eq!(kernel_span.cat, SpanCat::Task);
+        assert!(matches!(kernel_span.track, Track::Worker(_)));
     }
 
     #[test]
@@ -246,5 +650,118 @@ mod tests {
         let t = TraceCollector::new();
         assert!(t.is_empty());
         assert_eq!(t.to_chrome_trace(), "[]");
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let trace = TraceCollector::shared();
+        trace.set_enabled(false);
+        let ex = Executor::builder(2, 0)
+            .observer(Arc::clone(&trace) as Arc<dyn ExecutorObserver>)
+            .build();
+        let g = Heteroflow::new("off");
+        for i in 0..10 {
+            g.host(&format!("t{i}"), || {});
+        }
+        ex.run(&g).wait().expect("runs");
+        assert!(trace.is_empty());
+        // Flipping it back on starts recording again.
+        trace.set_enabled(true);
+        ex.run(&g).wait().expect("runs");
+        assert_eq!(trace.spans().len(), 10);
+    }
+
+    #[test]
+    fn ring_overflow_drops_and_counts_instead_of_blocking() {
+        let trace = Arc::new(TraceCollector::with_capacity(4));
+        let ex = Executor::builder(1, 0)
+            .observer(Arc::clone(&trace) as Arc<dyn ExecutorObserver>)
+            .build();
+        let g = Heteroflow::new("overflow");
+        for i in 0..64 {
+            g.host(&format!("t{i}"), || {});
+        }
+        ex.run(&g).wait().expect("runs");
+        let spans = trace.spans();
+        assert!(spans.len() <= 4, "bounded by lane capacity");
+        assert!(trace.dropped() >= 60, "overflow counted");
+    }
+
+    #[test]
+    fn stitched_mode_records_device_side_task_spans() {
+        let trace = TraceCollector::shared();
+        let ex = Executor::builder(2, 1)
+            .task_fusion(false)
+            .tracer(Arc::clone(&trace))
+            .build();
+        assert!(trace.is_stitching());
+        let g = Heteroflow::new("stitched");
+        let d: HostVec<u32> = HostVec::from_vec(vec![0; 4096]);
+        let p = g.pull("pull", &d);
+        let k = g.kernel("kernel", &[&p], |_, _| {});
+        k.cover(4096, 256);
+        let s = g.push("push", &p, &d);
+        p.precede(&k);
+        k.precede(&s);
+        ex.run(&g).wait().expect("runs");
+        // `wait()` can return from the device completion callback before
+        // the dispatching worker records its span end; join the workers
+        // so every dispatch span is flushed.
+        drop(ex);
+        let spans = trace.spans();
+
+        // Each GPU task appears exactly once as a device-side Task span.
+        for name in ["pull", "kernel", "push"] {
+            let task_spans: Vec<_> = spans
+                .iter()
+                .filter(|x| x.cat == SpanCat::Task && x.name == name)
+                .collect();
+            assert_eq!(task_spans.len(), 1, "{name} exactly once as Task");
+            let t = task_spans[0];
+            assert!(
+                matches!(t.track, Track::Device(0)),
+                "{name} Task span on device track"
+            );
+            // Worker-side window demoted to Dispatch.
+            assert!(
+                spans
+                    .iter()
+                    .any(|x| x.cat == SpanCat::Dispatch && x.name == name),
+                "{name} has a dispatch span"
+            );
+        }
+        let kernel = spans
+            .iter()
+            .find(|x| x.cat == SpanCat::Task && x.name == "kernel")
+            .unwrap();
+        assert_eq!(kernel.kind, TaskKind::Kernel);
+        // Streams are per-worker; the index depends on which worker
+        // dispatched, only its presence is deterministic.
+        assert!(kernel.stream.is_some());
+        // Pull allocates device memory: the pool traffic is traced too.
+        assert!(spans.iter().any(|x| x.cat == SpanCat::Alloc && x.bytes > 0));
+        // The completion callback is visible as device-side time.
+        assert!(spans.iter().any(|x| x.cat == SpanCat::Callback));
+    }
+
+    #[test]
+    fn lane_table_grows_concurrently() {
+        let t: Arc<LaneTable<AtomicU64>> = Arc::new(LaneTable::new());
+        let handles: Vec<_> = (0..8)
+            .map(|k| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..200usize {
+                        let lane = t.get((i * 7 + k) % 97, || AtomicU64::new(0));
+                        lane.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = t.lanes().iter().map(|l| l.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 8 * 200);
     }
 }

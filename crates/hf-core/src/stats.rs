@@ -6,6 +6,7 @@
 //! notifications) make the batched-scheduling optimizations observable.
 
 use hf_sync::{GlobalCounter, ShardedCounter};
+use serde::Serialize;
 
 /// Counters gathered by the executor's scheduling loop. Per-worker events
 /// are sharded and summed on read; events raised from arbitrary threads
@@ -85,6 +86,59 @@ impl ExecutorStats {
             self.steals.sum() as f64 / attempts as f64
         }
     }
+
+    /// Sums every counter into a plain, serializable value snapshot.
+    /// Each counter read is exact but the set is not atomic — take
+    /// snapshots at quiescent points (after `wait()`) for consistent
+    /// cross-counter ratios.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            tasks_executed: self.tasks_executed.sum(),
+            steals: self.steals.sum(),
+            steal_attempts: self.steal_attempts.sum(),
+            steal_success_rate: self.steal_success_rate(),
+            sleeps: self.sleeps.sum(),
+            wakeups: self.wakeups.sum(),
+            rounds: self.rounds.sum(),
+            fused: self.fused.sum(),
+            injector_batches: self.injector_batches.sum(),
+            notify_coalesced: self.notify_coalesced.sum(),
+            topo_cache_hits: self.topo_cache_hits.sum(),
+            topo_cache_misses: self.topo_cache_misses.sum(),
+        }
+    }
+}
+
+/// Plain-value copy of [`ExecutorStats`] taken by
+/// [`ExecutorStats::snapshot`]: serializable (JSON via `serde`),
+/// comparable, and detached from the live counters — suitable for
+/// logging, metric export, and before/after diffing in benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StatsSnapshot {
+    /// Tasks executed (all kinds, fused members included).
+    pub tasks_executed: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Steal attempts, successful or not.
+    pub steal_attempts: u64,
+    /// `steals / steal_attempts` (1.0 when no attempts).
+    pub steal_success_rate: f64,
+    /// Times a worker committed to sleep.
+    pub sleeps: u64,
+    /// Times a sleeping worker was woken.
+    pub wakeups: u64,
+    /// Graph rounds completed.
+    pub rounds: u64,
+    /// GPU tasks dispatched as fused chain members.
+    pub fused: u64,
+    /// Multi-item injector sprays.
+    pub injector_batches: u64,
+    /// Wakeup notifications saved by coalescing.
+    pub notify_coalesced: u64,
+    /// Cached freeze/placement/fusion plan reuses.
+    pub topo_cache_hits: u64,
+    /// Submissions that recomputed freeze + placement.
+    pub topo_cache_misses: u64,
 }
 
 #[cfg(test)]
@@ -114,5 +168,25 @@ mod tests {
         s.steal_attempts.add(0, 10);
         s.steals.add(0, 4);
         assert!((s.steal_success_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_copies_counters_and_serializes() {
+        let s = ExecutorStats::new(2);
+        s.tasks_executed.add(0, 5);
+        s.tasks_executed.add(1, 2);
+        s.steal_attempts.add(0, 4);
+        s.steals.add(0, 1);
+        s.rounds.incr();
+        let snap = s.snapshot();
+        assert_eq!(snap.tasks_executed, 7);
+        assert_eq!(snap.rounds, 1);
+        assert!((snap.steal_success_rate - 0.25).abs() < 1e-12);
+        // Detached from the live counters.
+        s.tasks_executed.incr(0);
+        assert_eq!(snap.tasks_executed, 7);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"tasks_executed\":7"));
+        assert!(json.contains("\"topo_cache_misses\":0"));
     }
 }

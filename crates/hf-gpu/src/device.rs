@@ -6,13 +6,14 @@ use crate::error::GpuError;
 use crate::event::Event;
 use crate::pool::{MemoryPool, PoolStats};
 use crate::stream::{Op, OpBody};
+use crate::trace::{GpuOpKind, GpuTraceEvent, GpuTraceSink};
 use parking_lot::{Condvar, Mutex};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Identifier of a device within a [`crate::GpuRuntime`].
 pub type DeviceId = u32;
@@ -39,6 +40,9 @@ pub(crate) struct StreamQueue {
     pub(crate) ops: VecDeque<Op>,
     pub(crate) enqueued: u64,
     pub(crate) completed: u64,
+    /// When tracing: the instant the current head op was first observed
+    /// blocked (a `WaitEvent` whose event has not fired yet).
+    pub(crate) blocked_since: Option<Instant>,
 }
 
 pub(crate) struct EngineShared {
@@ -57,6 +61,10 @@ pub struct DeviceInner {
     pub(crate) engine: Arc<EngineShared>,
     stats: DeviceStats,
     last_error: Mutex<Option<GpuError>>,
+    /// Fast-path gate for device-side tracing: one relaxed load per op.
+    trace_on: AtomicBool,
+    /// Installed trace sink (see [`crate::trace`]).
+    trace: Mutex<Option<Arc<dyn GpuTraceSink>>>,
 }
 
 /// A handle to a software GPU device. Clones share the same device.
@@ -85,6 +93,8 @@ impl Device {
             }),
             stats: DeviceStats::default(),
             last_error: Mutex::new(None),
+            trace_on: AtomicBool::new(false),
+            trace: Mutex::new(None),
         });
         let engine_inner = Arc::clone(&inner);
         let handle = std::thread::Builder::new()
@@ -101,12 +111,36 @@ impl Device {
 
     /// Allocates device memory from the pool.
     pub fn alloc(&self, bytes: usize) -> Result<DevicePtr, GpuError> {
-        self.inner.pool.alloc(bytes)
+        let res = self.inner.pool.alloc(bytes);
+        if res.is_ok() {
+            self.inner.trace_instant(GpuOpKind::Alloc, bytes as u64);
+        }
+        res
     }
 
     /// Frees a pool allocation.
     pub fn free(&self, ptr: DevicePtr) -> Result<(), GpuError> {
-        self.inner.pool.free(ptr)
+        let bytes = ptr.len;
+        let res = self.inner.pool.free(ptr);
+        if res.is_ok() {
+            self.inner.trace_instant(GpuOpKind::Free, bytes);
+        }
+        res
+    }
+
+    /// Installs (or removes, with `None`) the device-side trace sink.
+    /// While a sink is installed, the engine timestamps every stream op
+    /// around its execution and reports alloc/free pool traffic; with no
+    /// sink, the only cost on the op path is one relaxed atomic load.
+    pub fn set_trace_sink(&self, sink: Option<Arc<dyn GpuTraceSink>>) {
+        let mut slot = self.inner.trace.lock();
+        self.inner.trace_on.store(sink.is_some(), Ordering::Release);
+        *slot = sink;
+    }
+
+    /// True when a device-side trace sink is installed.
+    pub fn tracing(&self) -> bool {
+        self.inner.trace_on.load(Ordering::Relaxed)
     }
 
     /// Memory pool statistics.
@@ -185,6 +219,33 @@ impl Device {
     }
 }
 
+impl DeviceInner {
+    /// Clone of the installed sink, if tracing is on.
+    fn sink(&self) -> Option<Arc<dyn GpuTraceSink>> {
+        if !self.trace_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.trace.lock().clone()
+    }
+
+    /// Emits a zero-duration event (pool alloc/free bookkeeping).
+    fn trace_instant(&self, kind: GpuOpKind, bytes: u64) {
+        if let Some(sink) = self.sink() {
+            let now = Instant::now();
+            sink.record(GpuTraceEvent {
+                device: self.id,
+                stream: None,
+                label: None,
+                kind,
+                start: now,
+                end: now,
+                modeled_ns: 0,
+                bytes,
+            });
+        }
+    }
+}
+
 /// The engine loop: drains stream queues in order, honoring event waits.
 /// One engine thread per device serializes that device's ops (a
 /// single-compute-unit GPU); concurrency across devices is real.
@@ -192,8 +253,12 @@ fn engine_loop(dev: Arc<DeviceInner>) {
     let eng = Arc::clone(&dev.engine);
     let mut next_start = 0usize;
     loop {
+        let tracing = dev.trace_on.load(Ordering::Relaxed);
         // Find a runnable head op, round-robin across streams for fairness.
         let mut op: Option<Op> = None;
+        // When tracing: the instant the popped op's stream head first
+        // blocked on an unfired event (the event-wait span start).
+        let mut blocked_since: Option<Instant> = None;
         {
             let mut qs = eng.streams.lock();
             let n = qs.len();
@@ -206,9 +271,12 @@ fn engine_loop(dev: Arc<DeviceInner>) {
                     Some(head) => {
                         any_pending = true;
                         if head.is_runnable() {
+                            blocked_since = q.blocked_since.take();
                             op = Some(q.ops.pop_front().expect("head exists"));
                             next_start = (i + 1) % n.max(1);
                             break;
+                        } else if tracing && q.blocked_since.is_none() {
+                            q.blocked_since = Some(Instant::now());
                         }
                     }
                 }
@@ -225,11 +293,32 @@ fn engine_loop(dev: Arc<DeviceInner>) {
             }
         }
 
-        let op = op.expect("checked above");
+        let mut op = op.expect("checked above");
         let stream = op.stream;
-        let dur = execute(&dev, op);
+        let label = op.label.take();
+        let t0 = tracing.then(Instant::now);
+        let (dur, kind, bytes) = execute(&dev, op);
         dev.stats.busy_nanos.fetch_add(dur.as_nanos(), Ordering::Relaxed);
         dev.stats.ops.fetch_add(1, Ordering::Relaxed);
+
+        if let (Some(t0), Some(sink)) = (t0, dev.sink()) {
+            // An event-wait span starts when the stream head blocked, not
+            // when the engine finally consumed the (now runnable) op.
+            let start = match kind {
+                GpuOpKind::EventWait => blocked_since.unwrap_or(t0),
+                _ => t0,
+            };
+            sink.record(GpuTraceEvent {
+                device: dev.id,
+                stream: Some(stream),
+                label,
+                kind,
+                start,
+                end: Instant::now(),
+                modeled_ns: dur.as_nanos(),
+                bytes,
+            });
+        }
 
         let mut qs = eng.streams.lock();
         qs[stream].completed += 1;
@@ -238,7 +327,9 @@ fn engine_loop(dev: Arc<DeviceInner>) {
     }
 }
 
-fn execute(dev: &Arc<DeviceInner>, op: Op) -> SimDuration {
+/// Executes one op; returns its modeled duration, trace category, and
+/// bytes moved.
+fn execute(dev: &Arc<DeviceInner>, op: Op) -> (SimDuration, GpuOpKind, u64) {
     match op.body {
         OpBody::Exec(f) => {
             let mut arena = dev.arena.lock();
@@ -248,27 +339,31 @@ fn execute(dev: &Arc<DeviceInner>, op: Op) -> SimDuration {
                     dev.stats.h2d_bytes.fetch_add(report.h2d_bytes, Ordering::Relaxed);
                     dev.stats.d2h_bytes.fetch_add(report.d2h_bytes, Ordering::Relaxed);
                     dev.stats.kernels.fetch_add(report.kernels, Ordering::Relaxed);
-                    report.duration
+                    (
+                        report.duration,
+                        GpuOpKind::Exec,
+                        report.h2d_bytes + report.d2h_bytes,
+                    )
                 }
                 Err(e) => {
                     let mut slot = dev.last_error.lock();
                     if slot.is_none() {
                         *slot = Some(e);
                     }
-                    SimDuration::ZERO
+                    (SimDuration::ZERO, GpuOpKind::Exec, 0)
                 }
             }
         }
         OpBody::Host(f) => {
             f();
-            SimDuration::ZERO
+            (SimDuration::ZERO, GpuOpKind::HostFn, 0)
         }
         OpBody::Record(ev) => {
             ev.fire();
-            SimDuration::ZERO
+            (SimDuration::ZERO, GpuOpKind::EventRecord, 0)
         }
         // WaitEvent ops are consumed only when already runnable.
-        OpBody::WaitEvent { .. } => SimDuration::ZERO,
+        OpBody::WaitEvent { .. } => (SimDuration::ZERO, GpuOpKind::EventWait, 0),
     }
 }
 

@@ -49,6 +49,7 @@ pub mod plain;
 pub mod pool;
 pub mod runtime;
 pub mod stream;
+pub mod trace;
 
 pub use arena::{ArenaView, DevicePtr};
 pub use buddy::BuddyAllocator;
@@ -58,6 +59,7 @@ pub use error::GpuError;
 pub use event::Event;
 pub use kernel::{GridDim, KernelArgs, LaunchConfig};
 pub use plain::Plain;
+pub use trace::{GpuOpKind, GpuTraceEvent, GpuTraceSink, OpLabel};
 pub use pool::{MemoryPool, PoolStats};
 pub use kernel::KernelFn;
 pub use runtime::{GpuConfig, GpuRuntime};

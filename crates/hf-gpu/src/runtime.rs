@@ -79,6 +79,19 @@ impl GpuRuntime {
             d.synchronize();
         }
     }
+
+    /// Installs (or removes, with `None`) a device-side trace sink on
+    /// every device (see [`crate::trace`]).
+    pub fn set_trace_sink(&self, sink: Option<std::sync::Arc<dyn crate::trace::GpuTraceSink>>) {
+        for d in &self.devices {
+            d.set_trace_sink(sink.clone());
+        }
+    }
+
+    /// True when any device has a trace sink installed.
+    pub fn tracing_enabled(&self) -> bool {
+        self.devices.iter().any(|d| d.tracing())
+    }
 }
 
 impl Drop for GpuRuntime {

@@ -12,6 +12,7 @@ use crate::device::{Device, EventWait};
 use crate::error::GpuError;
 use crate::event::Event;
 use crate::kernel::{KernelArgs, KernelFn, LaunchConfig};
+use crate::trace::OpLabel;
 
 /// What an executed op did, for device statistics and cost accounting.
 #[derive(Debug, Default, Clone, Copy)]
@@ -59,6 +60,8 @@ impl std::fmt::Debug for OpBody {
 pub struct Op {
     pub(crate) stream: usize,
     pub(crate) body: OpBody,
+    /// Trace identity attached by the enqueuer (see [`crate::trace`]).
+    pub(crate) label: Option<OpLabel>,
 }
 
 impl Op {
@@ -100,11 +103,16 @@ impl Stream {
     }
 
     fn push(&self, body: OpBody) {
+        self.push_labeled(body, None);
+    }
+
+    fn push_labeled(&self, body: OpBody, label: Option<OpLabel>) {
         self.device.enqueue(
             self.index,
             Op {
                 stream: self.index,
                 body,
+                label,
             },
         );
     }
@@ -112,6 +120,13 @@ impl Stream {
     /// Enqueues raw device work with arena access.
     pub fn exec(&self, f: ExecFn) {
         self.push(OpBody::Exec(f));
+    }
+
+    /// Enqueues raw device work carrying a trace label, so device-side
+    /// trace events can be stitched back to the submitting task (see
+    /// [`crate::trace`]).
+    pub fn exec_labeled(&self, label: Option<OpLabel>, f: ExecFn) {
+        self.push_labeled(OpBody::Exec(f), label);
     }
 
     /// Asynchronous host-to-device copy of an owned byte buffer

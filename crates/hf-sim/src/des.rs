@@ -46,6 +46,9 @@ pub struct SimSpan {
     pub start_ns: u64,
     /// Finish time (ns).
     pub finish_ns: u64,
+    /// Worker that ran (host) or dispatched (GPU, unified mode) the task;
+    /// `None` for GPU ops on a dedicated bound worker.
+    pub worker: Option<usize>,
 }
 
 /// Simulates one execution of `info` on `machine`.
@@ -137,7 +140,7 @@ fn simulate_impl(
             let dev = placement.device_of[id];
             let is_gpu = dev.is_some();
 
-            let (span_start, finish) = if dedicated && is_gpu {
+            let (span_start, finish, ran_on) = if dedicated && is_gpu {
                 // GPU ops run on the device's bound worker: serialize on
                 // the device timeline only.
                 let d = dev.expect("is_gpu") as usize;
@@ -145,7 +148,7 @@ fn simulate_impl(
                 let fin = start + dur;
                 dev_free[d] = fin;
                 dev_busy[d] += SimDuration::from_nanos(dur);
-                (start, fin)
+                (start, fin, None)
             } else {
                 // Occupy the earliest-free worker...
                 let Reverse((wt, w)) = workers.pop().expect("worker pool non-empty");
@@ -165,13 +168,13 @@ fn simulate_impl(
                         dev_busy[d] += SimDuration::from_nanos(dur);
                         cpu_busy += SimDuration::from_nanos(overhead);
                         workers.push(Reverse((start + overhead, w)));
-                        (op_start, fin)
+                        (op_start, fin, Some(w))
                     }
                     None => {
                         let fin = start + dur;
                         cpu_busy += SimDuration::from_nanos(dur);
                         workers.push(Reverse((fin, w)));
-                        (start, fin)
+                        (start, fin, Some(w))
                     }
                 }
             };
@@ -183,6 +186,7 @@ fn simulate_impl(
                     device: dev,
                     start_ns: span_start,
                     finish_ns: finish,
+                    worker: ran_on,
                 });
             }
             completions.push(Reverse((finish, id)));

@@ -18,6 +18,9 @@
 //!   batch push/pop, serving as the executor's shared task inbox.
 //! * [`counter`] — a cache-padded sharded counter for low-contention
 //!   statistics (steal counts, wakeups) gathered by the executor.
+//! * [`ring`] — a bounded lock-free MPMC event ring that drops (and
+//!   counts) instead of blocking, backing the telemetry span buffers of
+//!   workers and device engines.
 //! * [`pad`] — cache-line padding ([`CachePadded`]) backing the counter
 //!   shards and queue indices.
 
@@ -29,6 +32,7 @@ pub mod deque;
 pub mod injector;
 pub mod notifier;
 pub mod pad;
+pub mod ring;
 pub mod unionfind;
 
 pub use backoff::Backoff;
@@ -37,4 +41,5 @@ pub use deque::{Steal, StealDeque, Stealer};
 pub use injector::Injector;
 pub use notifier::{Notifier, WaitToken};
 pub use pad::CachePadded;
+pub use ring::EventRing;
 pub use unionfind::UnionFind;

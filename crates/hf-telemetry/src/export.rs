@@ -1,0 +1,199 @@
+//! Chrome trace-event / Perfetto export.
+//!
+//! Produces the same `"X"` complete-event stream as
+//! [`hf_core::TraceCollector::to_chrome_trace`], plus the `process_name` /
+//! `thread_name` metadata events that make the Perfetto UI readable: CPU
+//! workers appear as threads of a process named `cpu`, each device as its
+//! own `gpu<d>` process with one thread per stream. The same exporter
+//! serves measured spans (from the trace collector) and modeled spans
+//! (from the `hf-sim` discrete-event model, via [`spans_from_sim`]) so
+//! real and simulated schedules can be diffed in one UI.
+
+use hf_core::observer::chrome_trace_event;
+use hf_core::{GraphInfo, SpanCat, TraceSpan, Track};
+use hf_sim::SimSpan;
+use std::collections::BTreeSet;
+
+/// Renders spans as a chrome trace JSON array with naming metadata.
+pub fn chrome_trace(spans: &[TraceSpan]) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    let mut emit = |ev: String, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&ev);
+    };
+
+    // Naming metadata for every (pid, tid) present.
+    let mut pids: BTreeSet<u64> = BTreeSet::new();
+    let mut tids: BTreeSet<(u64, u64, bool)> = BTreeSet::new();
+    for s in spans {
+        let (pid, tid, is_dev) = match s.track {
+            Track::Worker(w) => (0u64, w as u64, false),
+            Track::Device(d) => (1 + d as u64, s.stream.unwrap_or(0) as u64, true),
+        };
+        pids.insert(pid);
+        tids.insert((pid, tid, is_dev));
+    }
+    for pid in &pids {
+        let name = if *pid == 0 {
+            "cpu".to_string()
+        } else {
+            format!("gpu{}", pid - 1)
+        };
+        emit(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+    for (pid, tid, is_dev) in &tids {
+        let name = if *is_dev {
+            format!("stream {tid}")
+        } else {
+            format!("worker {tid}")
+        };
+        emit(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+
+    for s in spans {
+        let mut ev = String::new();
+        chrome_trace_event(&mut ev, s);
+        emit(ev, &mut out);
+    }
+    out.push(']');
+    out
+}
+
+/// Converts a simulated schedule into trace spans on the same track
+/// layout as measured ones: GPU ops on device tracks, host tasks (and, in
+/// dedicated mode, GPU ops without a worker) on worker tracks. Task kinds
+/// come from `info` (simulated spans carry the node id).
+pub fn spans_from_sim(info: &GraphInfo, sim: &[SimSpan]) -> Vec<TraceSpan> {
+    sim.iter()
+        .map(|s| {
+            let track = match (s.device, s.worker) {
+                (Some(d), _) => Track::Device(d),
+                (None, Some(w)) => Track::Worker(w),
+                (None, None) => Track::Worker(0),
+            };
+            TraceSpan {
+                track,
+                name: s.name.clone(),
+                cat: SpanCat::Task,
+                kind: info.nodes.get(s.node).map(|n| n.kind).unwrap_or(
+                    hf_core::TaskKind::Placeholder,
+                ),
+                device: s.device,
+                stream: None,
+                start_us: s.start_ns / 1_000,
+                dur_us: (s.finish_ns - s.start_ns) / 1_000,
+                bytes: info.nodes.get(s.node).map(|n| n.bytes as u64).unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_core::TaskKind;
+
+    fn cpu_span(name: &str, worker: usize) -> TraceSpan {
+        TraceSpan {
+            track: Track::Worker(worker),
+            name: name.to_string(),
+            cat: SpanCat::Task,
+            kind: TaskKind::Host,
+            device: None,
+            stream: None,
+            start_us: 1,
+            dur_us: 2,
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn metadata_names_every_track() {
+        let spans = vec![
+            cpu_span("a", 0),
+            cpu_span("b", 3),
+            TraceSpan {
+                track: Track::Device(1),
+                name: "k".into(),
+                cat: SpanCat::Task,
+                kind: TaskKind::Kernel,
+                device: Some(1),
+                stream: Some(2),
+                start_us: 5,
+                dur_us: 7,
+                bytes: 64,
+            },
+        ];
+        let json = chrome_trace(&spans);
+        let doc = serde_json::from_str(&json).expect("valid JSON");
+        let events = doc.as_array().unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"cpu"));
+        assert!(names.contains(&"gpu1"));
+        assert!(names.contains(&"worker 3"));
+        assert!(names.contains(&"stream 2"));
+        // The device span keeps its pid/tid mapping.
+        let k = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("k"))
+            .unwrap();
+        assert_eq!(k.get("pid").unwrap().as_u64(), Some(2));
+        assert_eq!(k.get("tid").unwrap().as_u64(), Some(2));
+        assert_eq!(k.get("args").unwrap().get("bytes").unwrap().as_u64(), Some(64));
+    }
+
+    #[test]
+    fn sim_spans_map_to_tracks_and_kinds() {
+        use hf_core::data::HostVec;
+        use hf_core::Heteroflow;
+        use hf_sim::Machine;
+
+        let g = Heteroflow::new("sim");
+        let x: HostVec<u32> = HostVec::from_vec(vec![0; 4096]);
+        let h = g.host("h", || {});
+        let p = g.pull("p", &x);
+        let k = g.kernel("k", &[&p], |_, _| {});
+        k.cover(4096, 256);
+        h.precede(&p);
+        p.precede(&k);
+        let info = g.info().unwrap();
+
+        let machine = Machine::new(2, 1);
+        let (_res, sim) = hf_sim::simulate_traced(
+            &info,
+            &machine,
+            hf_core::PlacementPolicy::BalancedLoad,
+            |_| hf_gpu::SimDuration::from_nanos(1_000),
+        )
+        .expect("simulates");
+        let spans = spans_from_sim(&info, &sim);
+        assert_eq!(spans.len(), 3);
+        let kspan = spans.iter().find(|s| s.name == "k").unwrap();
+        assert!(matches!(kspan.track, Track::Device(0)));
+        assert_eq!(kspan.kind, TaskKind::Kernel);
+        let hspan = spans.iter().find(|s| s.name == "h").unwrap();
+        assert!(matches!(hspan.track, Track::Worker(_)));
+        // The merged export of a simulated schedule parses too.
+        assert!(serde_json::from_str(&chrome_trace(&spans)).is_ok());
+    }
+}

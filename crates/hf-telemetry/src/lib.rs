@@ -1,0 +1,27 @@
+//! Unified telemetry for the Heteroflow runtime.
+//!
+//! The runtime's observability primitives live where the data is
+//! produced: `hf-core` records CPU+GPU spans ([`hf_core::TraceCollector`]
+//! wired via [`hf_core::ExecutorBuilder::tracer`]), `hf-gpu` counts
+//! device/pool traffic, and `hf-sim` emits modeled schedules. This crate
+//! is the *consumer* layer that turns those raw sources into artifacts:
+//!
+//! * [`metrics`] — a registry unifying [`hf_core::StatsSnapshot`],
+//!   device/pool statistics, and span-derived histograms into named
+//!   counters/gauges/histograms with JSON and Prometheus text exposition.
+//! * [`export`] — Perfetto / `chrome://tracing` trace export with
+//!   process/thread naming metadata, for executor spans and simulated
+//!   schedules alike.
+//! * [`critpath`] — a post-run critical-path analyzer that walks recorded
+//!   spans along the graph's dependency edges and reports the longest
+//!   chain with per-kind time attribution.
+
+#![warn(missing_docs)]
+
+pub mod critpath;
+pub mod export;
+pub mod metrics;
+
+pub use critpath::{critical_path, CriticalPathReport, PathStep};
+pub use export::{chrome_trace, spans_from_sim};
+pub use metrics::MetricsRegistry;

@@ -41,6 +41,11 @@ pub mod json {
             self.entries.iter()
         }
 
+        /// The value under `key`, if present.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
         /// Number of entries.
         pub fn len(&self) -> usize {
             self.entries.len()
@@ -74,6 +79,65 @@ pub mod json {
     }
 
     impl Value {
+        /// Object field access: `v.get("key")`. `None` for non-objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(m) => m.get(key),
+                _ => None,
+            }
+        }
+
+        /// The array items, when this is an array.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The object map, when this is an object.
+        pub fn as_object(&self) -> Option<&Map> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The string contents, when this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as `u64` (unsigned ints and non-negative ints).
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::UInt(n) => Some(*n),
+                Value::Int(n) if *n >= 0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+
+        /// The value as `f64` (any numeric variant).
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::UInt(n) => Some(*n as f64),
+                Value::Int(n) => Some(*n as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        }
+
+        /// The boolean, when this is a bool.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
         /// Renders compact JSON.
         pub fn render(&self, out: &mut String, indent: Option<usize>) {
             match self {

@@ -12,6 +12,9 @@
 //!   eventcount notifier, union-find).
 //! * [`sim`](hf_sim) — the discrete-event performance model used to
 //!   regenerate the paper's scaling figures.
+//! * [`telemetry`](hf_telemetry) — unified observability: metrics
+//!   registry (Prometheus/JSON), merged CPU-GPU Perfetto traces, and the
+//!   span-based critical-path profiler.
 //! * [`timing`](hf_timing) — the VLSI static-timing-analysis application
 //!   (§IV-A).
 //! * [`place`](hf_place) — the VLSI detailed-placement application
@@ -48,6 +51,7 @@ pub use hf_gpu as gpu;
 pub use hf_place as place;
 pub use hf_sim as sim;
 pub use hf_sync as sync;
+pub use hf_telemetry as telemetry;
 pub use hf_timing as timing;
 
 /// The commonly-used types in one import.
@@ -55,7 +59,8 @@ pub mod prelude {
     pub use hf_core::data::HostVec;
     pub use hf_core::{
         AsTask, Executor, ExecutorBuilder, Heteroflow, HfError, HostTask, KernelTask,
-        PlacementPolicy, PullTask, PushTask, RunFuture, TaskKind, TaskRef,
+        PlacementPolicy, PullTask, PushTask, RunFuture, TaskKind, TaskRef, TraceCollector,
     };
     pub use hf_gpu::{GpuConfig, KernelArgs, LaunchConfig};
+    pub use hf_telemetry::{critical_path, MetricsRegistry};
 }
