@@ -4,7 +4,12 @@ use hf_gpu::GpuError;
 use std::fmt;
 
 /// Errors produced by Heteroflow graph construction or execution.
+///
+/// Non-exhaustive: match with a wildcard arm; new failure modes (like the
+/// fault-tolerance variants) may be added without a breaking release. Use
+/// [`HfError::task`] to recover the offending task's name uniformly.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum HfError {
     /// The task graph contains a dependency cycle and cannot be scheduled.
     CycleDetected {
@@ -52,6 +57,42 @@ pub enum HfError {
     /// The graph was structurally modified while one of its topologies was
     /// still running.
     GraphBusy,
+    /// A task's device operation failed after exhausting its retry budget
+    /// (or failed with a non-retryable device error).
+    TaskFailed {
+        /// Name of the failing task.
+        task: String,
+        /// The device error that exhausted the budget.
+        source: GpuError,
+    },
+    /// The run was cancelled via [`crate::RunFuture::cancel`].
+    Cancelled,
+}
+
+impl HfError {
+    /// Name of the offending task, when the error is attributable to one.
+    /// For the dependency errors the *dependent* task is reported (the
+    /// kernel missing its pull, the push missing its pull).
+    pub fn task(&self) -> Option<&str> {
+        match self {
+            HfError::CycleDetected { task }
+            | HfError::NoGpus { task }
+            | HfError::EmptyTask { task }
+            | HfError::TaskPanicked { task }
+            | HfError::TaskFailed { task, .. } => Some(task),
+            HfError::SourceNotPulled { kernel, .. } => Some(kernel),
+            HfError::PushBeforePull { push, .. } => Some(push),
+            _ => None,
+        }
+    }
+
+    /// The underlying device error, when there is one.
+    pub fn gpu_cause(&self) -> Option<&GpuError> {
+        match self {
+            HfError::Gpu(e) | HfError::TaskFailed { source: e, .. } => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for HfError {
@@ -81,6 +122,10 @@ impl fmt::Display for HfError {
             HfError::Gpu(e) => write!(f, "device error: {e}"),
             HfError::ExecutorShutDown => write!(f, "executor shut down during run"),
             HfError::GraphBusy => write!(f, "graph modified while running"),
+            HfError::TaskFailed { task, source } => {
+                write!(f, "task '{task}' failed: {source}")
+            }
+            HfError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
@@ -88,7 +133,7 @@ impl fmt::Display for HfError {
 impl std::error::Error for HfError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            HfError::Gpu(e) => Some(e),
+            HfError::Gpu(e) | HfError::TaskFailed { source: e, .. } => Some(e),
             _ => None,
         }
     }
@@ -121,5 +166,50 @@ mod tests {
         use std::error::Error;
         let e = HfError::from(GpuError::InvalidDevice(7));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn task_accessor_is_uniform() {
+        assert_eq!(HfError::CycleDetected { task: "a".into() }.task(), Some("a"));
+        assert_eq!(HfError::NoGpus { task: "b".into() }.task(), Some("b"));
+        assert_eq!(
+            HfError::SourceNotPulled {
+                kernel: "k".into(),
+                pull: "p".into()
+            }
+            .task(),
+            Some("k")
+        );
+        assert_eq!(
+            HfError::PushBeforePull {
+                push: "s".into(),
+                pull: "p".into()
+            }
+            .task(),
+            Some("s")
+        );
+        assert_eq!(HfError::EmptyTask { task: "e".into() }.task(), Some("e"));
+        assert_eq!(HfError::TaskPanicked { task: "t".into() }.task(), Some("t"));
+        assert_eq!(
+            HfError::TaskFailed {
+                task: "f".into(),
+                source: GpuError::DeviceLost(1)
+            }
+            .task(),
+            Some("f")
+        );
+        assert_eq!(HfError::Cancelled.task(), None);
+        assert_eq!(HfError::ExecutorShutDown.task(), None);
+        assert_eq!(HfError::Gpu(GpuError::ShutDown).task(), None);
+    }
+
+    #[test]
+    fn gpu_cause_sees_through_task_failed() {
+        let e = HfError::TaskFailed {
+            task: "k".into(),
+            source: GpuError::DeviceLost(2),
+        };
+        assert_eq!(e.gpu_cause(), Some(&GpuError::DeviceLost(2)));
+        assert_eq!(HfError::Cancelled.gpu_cause(), None);
     }
 }

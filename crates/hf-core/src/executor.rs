@@ -25,19 +25,22 @@
 //!   fusion plan (see [`crate::graph::SchedCache`]).
 
 use crate::error::HfError;
-use crate::graph::{FrozenGraph, Heteroflow, SchedCache, Work};
+use crate::graph::{FrozenGraph, Heteroflow, SchedCache, TaskKind, Work};
 use crate::observer::{ExecutorObserver, TaskMeta};
 use crate::placement::PlacementPolicy;
+use crate::retry::{OnDeviceLoss, RetryPolicy};
 use crate::stats::ExecutorStats;
 use crate::topology::{FusionPlan, RunFuture, Topology};
 use hf_gpu::{
-    GpuConfig, GpuRuntime, KernelArgs, LaunchConfig, OpReport, ScopedDeviceContext, Stream,
+    Device, FaultSite, GpuConfig, GpuError, GpuRuntime, KernelArgs, LaunchConfig, OpReport,
+    ScopedDeviceContext, Stream,
 };
 use hf_sync::{Injector, Notifier, Steal, StealDeque, Stealer};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A schedulable unit, packed into one integer: the topology's registry
 /// slot in the high 32 bits, the node index in the low 32. Tokens are
@@ -221,6 +224,21 @@ struct ExecInner {
     fusion: bool,
     /// Observers notified around every task execution.
     observers: Vec<Arc<dyn ExecutorObserver>>,
+    /// Retry/failover policy applied to failing task bodies.
+    retry: RetryPolicy,
+    /// Per-device "already counted as lost" latch for the
+    /// `devices_lost` stat (each device counted once per executor).
+    lost_seen: Vec<AtomicBool>,
+}
+
+/// What [`ExecInner::failure_action`] decided about a failed task body.
+enum FailureAction {
+    /// Re-dispatch the node after the given backoff.
+    Retry(Duration),
+    /// Request a device failover; the round drains and replays.
+    Failover,
+    /// Fail the run with the error.
+    Fail,
 }
 
 /// Builder for [`Executor`] with non-default GPU configuration, placement
@@ -235,6 +253,7 @@ pub struct ExecutorBuilder {
     fusion: bool,
     observers: Vec<Arc<dyn ExecutorObserver>>,
     tracer: Option<Arc<crate::observer::TraceCollector>>,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for ExecutorBuilder {
@@ -262,7 +281,16 @@ impl ExecutorBuilder {
             fusion: true,
             observers: Vec::new(),
             tracer: None,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Sets the retry/failover policy applied when task bodies fail with
+    /// transient device errors (default: no retries; device loss triggers
+    /// failover onto the surviving GPUs). See [`RetryPolicy`].
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
     }
 
     /// Overrides the GPU configuration (memory size, cost model, ...).
@@ -354,6 +382,10 @@ impl ExecutorBuilder {
             adaptive_sleep: self.adaptive_sleep,
             fusion: self.fusion,
             observers: self.observers,
+            retry: self.retry,
+            lost_seen: (0..gpu.num_devices())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
         });
 
         let threads = deques
@@ -464,6 +496,32 @@ impl Executor {
             Err(e) => return RunFuture::ready(Err(e)),
         };
 
+        // Degraded mode: with a lost device the cached placement (and the
+        // cross-graph load bias) may reference dead hardware, so bypass
+        // the cache in both directions and place directly against the
+        // surviving device set.
+        let lost: Vec<bool> = self.gpu.devices().iter().map(|d| d.is_lost()).collect();
+        if lost.iter().any(|&l| l) {
+            for (d, &l) in lost.iter().enumerate() {
+                if l && !inner.lost_seen[d].swap(true, Ordering::Relaxed) {
+                    inner.stats.devices_lost.incr();
+                }
+            }
+            inner.stats.topo_cache_misses.incr();
+            let p = match crate::placement::failover_placement(
+                &*frozen,
+                &[],
+                &lost,
+                &self.gpu_cost_model(),
+            ) {
+                Ok(p) => p,
+                Err(e) => return RunFuture::ready(Err(e)),
+            };
+            let placement = Arc::new(p);
+            let fusion = Arc::new(FusionPlan::compute(&frozen, &placement, inner.fusion));
+            return self.submit(hf, frozen, placement, fusion, Box::new(stop));
+        }
+
         // Scheduling cache: reuse placement + fusion when this executor
         // already planned this epoch of the graph.
         let cached = {
@@ -522,15 +580,24 @@ impl Executor {
             }
         };
 
-        let topo = Topology::new(
-            Arc::clone(&hf.shared),
-            frozen,
-            placement,
-            fusion,
-            Box::new(stop),
-        );
+        self.submit(hf, frozen, placement, fusion, Box::new(stop))
+    }
+
+    /// Registers and (when the graph is idle) starts a topology built
+    /// from a resolved placement + fusion plan.
+    fn submit(
+        &self,
+        hf: &Heteroflow,
+        frozen: Arc<FrozenGraph>,
+        placement: Arc<crate::placement::Placement>,
+        fusion: Arc<FusionPlan>,
+        stop: Box<dyn FnMut() -> bool + Send>,
+    ) -> RunFuture {
+        let inner = &self.inner;
+        let topo = Topology::new(Arc::clone(&hf.shared), frozen, placement, fusion, stop);
         let future = RunFuture {
             completion: Arc::clone(&topo.completion),
+            cancel: Arc::clone(&topo.cancel),
         };
 
         inner.registry.register(&topo);
@@ -592,8 +659,10 @@ impl ExecInner {
     /// Starts a (now-active) topology: checks the stopping predicate and
     /// either completes immediately or schedules the first round.
     fn start_topology(&self, topo: Arc<Topology>) {
-        // Check the predicate before the first round (run_n(0) semantics).
-        let stop = (topo.predicate.lock())();
+        // Check cancellation (a queued topology may have been cancelled
+        // while waiting) and the predicate before the first round
+        // (run_n(0) semantics).
+        let stop = topo.cancel_requested() || (topo.predicate.lock())();
         if stop || topo.frozen.nodes.is_empty() {
             self.finish_topology(topo);
             return;
@@ -680,7 +749,11 @@ impl ExecInner {
             }
         };
 
-        topo.completion.complete(topo.result());
+        let result = topo.result();
+        if matches!(result, Err(HfError::Cancelled)) {
+            self.stats.cancelled.incr();
+        }
+        topo.completion.complete(result);
 
         if self.num_topologies.fetch_sub(1, Ordering::SeqCst) == 1 {
             let _g = self.idle_lock.lock();
@@ -692,19 +765,25 @@ impl ExecInner {
         }
     }
 
-    /// Marks a node finished: releases its successors (batched) and, if
-    /// it was the round's last node, ends the round. Called from worker
+    /// Marks a node finished: records whether it succeeded (failover
+    /// replay bookkeeping), releases its successors (batched) and, if it
+    /// was the round's last node, ends the round. Called from worker
     /// threads (synchronous host tasks) and from device engine threads
-    /// (the stream-ordered completion callbacks of GPU tasks).
-    fn finish_node(&self, topo: &Arc<Topology>, node: usize) {
+    /// (the stream-ordered completion callbacks of GPU tasks). Failed and
+    /// skipped nodes still release successors so the round always drains
+    /// — never hangs — with the skip flags keeping bodies from consuming
+    /// half-failed state.
+    fn finish_node(&self, topo: &Arc<Topology>, node: usize, ok: bool) {
+        topo.round_ok[node].store(ok, Ordering::Release);
         let slot = topo.slot.load(Ordering::Relaxed);
+        let fusion = topo.fusion();
         let mut buf = [0 as Token; RELEASE_BATCH];
         let mut n = 0;
         for &s in &topo.frozen.nodes[node].succ {
             if topo.join[s].fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Fused chain members were dispatched with their head;
                 // whoever finished the head also finishes them in order.
-                if !topo.fusion.member[s] {
+                if !fusion.member[s] {
                     if n == RELEASE_BATCH {
                         self.dispatch_batch(&buf);
                         n = 0;
@@ -724,18 +803,256 @@ impl ExecInner {
 
     /// Called by the worker that finished the last node of a round.
     fn end_round(&self, topo: &Arc<Topology>) {
+        // A device was lost mid-round: once the round has drained, replay
+        // its unfinished part on a re-placed device assignment instead of
+        // counting the round. Skipped when the run already failed or was
+        // cancelled.
+        if topo.failover_pending.load(Ordering::Acquire)
+            && !topo.cancelled.load(Ordering::Acquire)
+            && !topo.cancel_requested()
+            && self.try_failover(topo)
+        {
+            return;
+        }
+
         topo.rounds.fetch_add(1, Ordering::Relaxed);
         self.stats.rounds.incr();
 
         // Pull allocations persist across rounds (sizes usually repeat);
         // they are reclaimed at topology completion.
-        let stop = topo.cancelled.load(Ordering::Acquire) || (topo.predicate.lock())();
+        let stop = topo.cancelled.load(Ordering::Acquire)
+            || topo.cancel_requested()
+            || (topo.predicate.lock())();
         if stop {
             self.finish_topology(Arc::clone(topo));
         } else {
+            // A failover left a replay-masked fusion plan; recompute the
+            // full plan for the new placement before the next round.
+            if topo.fusion_stale.swap(false, Ordering::AcqRel) {
+                let plan = FusionPlan::compute(&topo.frozen, &topo.placement(), self.fusion);
+                *topo.fusion.write() = Arc::new(plan);
+            }
             topo.reset_round();
             self.schedule_sources(topo);
         }
+    }
+
+    /// Decides what to do about a failed task body: retry it (transient
+    /// error with attempts left), fail the run, or — for a whole-device
+    /// loss under [`OnDeviceLoss::Failover`] — request a failover.
+    fn failure_action(&self, topo: &Arc<Topology>, node: usize, err: &HfError) -> FailureAction {
+        match err.gpu_cause() {
+            Some(GpuError::FaultInjected { .. }) => {
+                self.stats.faults_injected.incr();
+            }
+            Some(GpuError::DeviceLost(_)) => {
+                return match self.retry.loss_behavior() {
+                    OnDeviceLoss::Failover => FailureAction::Failover,
+                    OnDeviceLoss::Fail => FailureAction::Fail,
+                };
+            }
+            _ => {}
+        }
+        // Retry only failures whose effect never happened: injected
+        // faults and allocation exhaustion fire before mutating anything,
+        // and panics unwind before the task's outputs are published.
+        let retryable = matches!(err, HfError::TaskPanicked { .. })
+            || matches!(
+                err.gpu_cause(),
+                Some(GpuError::FaultInjected { .. } | GpuError::OutOfMemory { .. })
+            );
+        if !retryable {
+            return FailureAction::Fail;
+        }
+        let kind = topo.frozen.nodes[node].work.kind();
+        let attempt = topo.attempts[node].fetch_add(1, Ordering::Relaxed) + 1;
+        if attempt < self.retry.attempts(kind) {
+            FailureAction::Retry(self.retry.backoff_for(attempt))
+        } else {
+            FailureAction::Fail
+        }
+    }
+
+    /// Handles a failed GPU chain suffix from a stream completion
+    /// callback: `rest[0]` is the failed node; the rest never ran.
+    fn chain_failure(&self, topo: &Arc<Topology>, rest: &[usize], err: HfError) {
+        let failed = rest[0];
+        match self.failure_action(topo, failed, &err) {
+            FailureAction::Retry(delay) => {
+                // Suffix retry: the completed prefix already finished ok;
+                // re-dispatch the failed member, which re-walks the chain
+                // from there. Runs on the device engine thread, so the
+                // token lands in the injector.
+                self.stats.retries.incr();
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                let slot = topo.slot.load(Ordering::Relaxed);
+                self.dispatch_batch(&[pack(slot, failed)]);
+            }
+            FailureAction::Failover => {
+                topo.request_failover(err);
+                for &n in rest {
+                    self.finish_node(topo, n, false);
+                }
+            }
+            FailureAction::Fail => {
+                topo.fail(err);
+                for &n in rest {
+                    self.finish_node(topo, n, false);
+                }
+            }
+        }
+    }
+
+    /// Performs a device failover at a drained round boundary: re-places
+    /// the lost devices' groups onto the survivors and replays exactly the
+    /// nodes that did not complete this round. Returns `false` when the
+    /// failover could not be performed (budget exhausted, no survivors, or
+    /// replay would double-apply a completed push) — the run then fails
+    /// with the triggering error.
+    fn try_failover(&self, topo: &Arc<Topology>) -> bool {
+        let cause = match topo.failover.lock().take() {
+            Some(c) => c,
+            None => return false,
+        };
+        if topo.failovers.fetch_add(1, Ordering::Relaxed) + 1 > self.retry.failover_budget() {
+            topo.fail(cause);
+            return false;
+        }
+
+        let lost: Vec<bool> = self.gpu.devices().iter().map(|d| d.is_lost()).collect();
+        for (d, &l) in lost.iter().enumerate() {
+            if l && !self.lost_seen[d].swap(true, Ordering::Relaxed) {
+                self.stats.devices_lost.incr();
+            }
+        }
+
+        let frozen = &topo.frozen;
+        let n = frozen.nodes.len();
+        let placement = topo.placement();
+        let mut ok: Vec<bool> = topo
+            .round_ok
+            .iter()
+            .map(|b| b.load(Ordering::Acquire))
+            .collect();
+
+        // Results living in a lost device's arena are gone: pulls and
+        // kernels there must replay even though they completed. A
+        // *completed push* there is unrecoverable — its host-side write
+        // already happened, and replaying its group could re-apply an
+        // in-place update through the re-pulled data — so fail structured
+        // rather than risk silent double-application.
+        #[allow(clippy::needless_range_loop)] // i indexes three parallel arrays
+        for i in 0..n {
+            let on_lost = placement.device_of[i].is_some_and(|d| lost[d as usize]);
+            if on_lost && ok[i] {
+                if frozen.nodes[i].work.kind() == TaskKind::Push {
+                    topo.fail(cause);
+                    return false;
+                }
+                ok[i] = false;
+            }
+        }
+
+        let replay = ok.iter().filter(|&&o| !o).count();
+        if replay == 0 {
+            // Can't happen (the failover-requesting node is !ok), but a
+            // replay of nothing would hang the round — fail instead.
+            topo.fail(cause);
+            return false;
+        }
+
+        let cost = self
+            .gpu
+            .devices()
+            .first()
+            .map(|d| d.cost_model())
+            .unwrap_or_default();
+        let new_placement = match crate::placement::failover_placement(
+            &**frozen,
+            &placement.device_of,
+            &lost,
+            &cost,
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                // No surviving GPUs: fail with the structural error.
+                drop(cause);
+                topo.fail(e);
+                return false;
+            }
+        };
+
+        // Device buffers on lost devices vanished with their arenas; a
+        // replayed pull re-allocates on its new device. (Nothing to free —
+        // the device is gone.)
+        for (i, node) in frozen.nodes.iter().enumerate() {
+            let mut st = node.pull_state.lock();
+            if let Some(p) = st.ptr {
+                if lost.get(p.device as usize).copied().unwrap_or(true) {
+                    st.ptr = None;
+                } else if new_placement.device_of[i] != Some(p.device) {
+                    // Defensive: surviving groups keep their device, but if
+                    // one ever moves, release the stale buffer properly.
+                    if let Ok(dev) = self.gpu.device(p.device) {
+                        let _ = dev.free(p);
+                    }
+                    st.ptr = None;
+                }
+            }
+        }
+
+        // Replay plan: fuse only among replayed nodes so no chain hangs
+        // off an already-finished head.
+        let active: Vec<bool> = ok.iter().map(|&o| !o).collect();
+        let masked = FusionPlan::compute_masked(frozen, &new_placement, self.fusion, &active);
+
+        // Rebuild join counters for the replay subgraph: a replayed node
+        // waits only on replayed predecessors (done ones are satisfied).
+        let mut join = vec![0usize; n];
+        for u in 0..n {
+            if !ok[u] {
+                for &s in &frozen.nodes[u].succ {
+                    if !ok[s] {
+                        join[s] += 1;
+                    }
+                }
+            }
+        }
+        for (j, v) in topo.join.iter().zip(&join) {
+            j.store(*v, Ordering::Relaxed);
+        }
+        for a in &topo.attempts {
+            a.store(0, Ordering::Relaxed);
+        }
+        for (b, &o) in topo.round_ok.iter().zip(&ok) {
+            b.store(o, Ordering::Relaxed);
+        }
+        *topo.placement.write() = Arc::new(new_placement);
+        *topo.fusion.write() = Arc::new(masked);
+        topo.fusion_stale.store(true, Ordering::Release);
+        topo.pending.store(replay, Ordering::Release);
+
+        // Lift the skip barrier before dispatching replay work.
+        topo.failover_pending.store(false, Ordering::Release);
+
+        let fusion = topo.fusion();
+        let slot = topo.slot.load(Ordering::Relaxed);
+        let mut buf = [0 as Token; RELEASE_BATCH];
+        let mut k = 0;
+        for i in 0..n {
+            if !ok[i] && join[i] == 0 && !fusion.member[i] {
+                if k == RELEASE_BATCH {
+                    self.dispatch_batch(&buf);
+                    k = 0;
+                }
+                buf[k] = pack(slot, i);
+                k += 1;
+            }
+        }
+        self.dispatch_batch(&buf[..k]);
+        true
     }
 }
 
@@ -929,11 +1246,34 @@ impl Worker {
             }
         }
 
+        // Bodies are skipped (but the round still drains) when the run
+        // failed, the caller cancelled, or a failover is pending — the
+        // last keeps successors of a dead device's tasks from consuming
+        // half-failed state; skipped nodes replay after the failover.
+        let skip = topo.cancelled.load(Ordering::Acquire)
+            || topo.cancel_requested()
+            || topo.failover_pending.load(Ordering::Acquire);
         let mut dispatched_async = false;
-        if !topo.cancelled.load(Ordering::Acquire) {
+        let mut retried = false;
+        let mut ok = false;
+        if !skip {
             match self.invoke(&topo, node) {
-                Ok(is_async) => dispatched_async = is_async,
-                Err(e) => topo.fail(e),
+                Ok(is_async) => {
+                    dispatched_async = is_async;
+                    ok = true;
+                }
+                Err(e) => match inner.failure_action(&topo, node, &e) {
+                    FailureAction::Retry(delay) => {
+                        inner.stats.retries.incr();
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        inner.dispatch_batch(&[token]);
+                        retried = true;
+                    }
+                    FailureAction::Failover => topo.request_failover(e),
+                    FailureAction::Fail => topo.fail(e),
+                },
             }
         }
         inner.stats.tasks_executed.incr(self.id);
@@ -945,14 +1285,15 @@ impl Worker {
             }
         }
 
-        if !dispatched_async {
+        if !dispatched_async && !retried {
             // Finish this node and any fused chain hanging off it (chain
             // members are never scheduled individually, so a cancelled or
             // failed head must finish them here).
+            let fusion = topo.fusion();
             let mut node = node;
             loop {
-                let next = topo.fusion.next[node];
-                inner.finish_node(&topo, node);
+                let next = fusion.next[node];
+                inner.finish_node(&topo, node, ok);
                 match next {
                     Some(nxt) => node = nxt as usize,
                     None => break,
@@ -969,7 +1310,7 @@ impl Worker {
             worker: self.id,
             name: &n.name,
             kind: n.work.kind(),
-            device: topo.placement.device_of[node],
+            device: topo.placement().device_of[node],
             graph: &topo.frozen.name,
         }
     }
@@ -1003,16 +1344,28 @@ impl Worker {
     /// all ops are prepared first (any error aborts before a single
     /// enqueue), then submitted to the per-worker stream back-to-back
     /// with one completion callback finishing every chain node in order.
+    ///
+    /// Fault tolerance: each op checks its device's fault injector and
+    /// the cancellation flags before doing anything, and records the
+    /// first failure in a shared [`ChainState`]. Faults fire *before* an
+    /// op's effect, so the completion callback can finish the completed
+    /// prefix normally and route just the failed suffix through the retry
+    /// policy (retry re-dispatches the failed member, which re-walks the
+    /// chain from there).
     fn dispatch_gpu_chain(&mut self, topo: &Arc<Topology>, head: usize) -> Result<(), HfError> {
-        let dev_id = topo.placement.device_of[head].expect("GPU task placed");
+        let placement = topo.placement();
+        let fusion = topo.fusion();
+        let dev_id = placement.device_of[head].expect("GPU task placed");
+        let device = self.inner.gpu.device(dev_id)?;
         let _ctx = ScopedDeviceContext::new(dev_id);
 
+        let state = Arc::new(ChainState::default());
         let mut chain = vec![head];
-        let mut ops = vec![self.prepare_op(topo, head, dev_id)?];
+        let mut ops = vec![self.prepare_op(topo, head, &device, &state)?];
         let mut cur = head;
-        while let Some(nxt) = topo.fusion.next[cur] {
+        while let Some(nxt) = fusion.next[cur] {
             let nxt = nxt as usize;
-            ops.push(self.prepare_op(topo, nxt, dev_id)?);
+            ops.push(self.prepare_op(topo, nxt, &device, &state)?);
             chain.push(nxt);
             cur = nxt;
         }
@@ -1046,9 +1399,26 @@ impl Worker {
         }
         let inner = Arc::clone(&self.inner);
         let topo2 = Arc::clone(topo);
+        let state2 = Arc::clone(&state);
         stream.host_fn(move || {
-            for &node in &chain {
-                inner.finish_node(&topo2, node);
+            let err = state2.error.lock().clone();
+            let done = state2.done.load(Ordering::Acquire);
+            match err {
+                None => {
+                    // `done < len` without an error means ops were skipped
+                    // by cancellation — finish unsuccessfully so a
+                    // failover (if one is pending) replays them.
+                    let all_ok = done == chain.len();
+                    for &node in &chain {
+                        inner.finish_node(&topo2, node, all_ok);
+                    }
+                }
+                Some(e) => {
+                    for &node in &chain[..done] {
+                        inner.finish_node(&topo2, node, true);
+                    }
+                    inner.chain_failure(&topo2, &chain[done..], e);
+                }
             }
         });
         Ok(())
@@ -1060,13 +1430,18 @@ impl Worker {
         &mut self,
         topo: &Arc<Topology>,
         id: usize,
-        dev_id: u32,
+        device: &Device,
+        state: &Arc<ChainState>,
     ) -> Result<hf_gpu::stream::ExecFn, HfError> {
         let frozen: &FrozenGraph = &topo.frozen;
         let node = &frozen.nodes[id];
+        let dev_id = device.id();
+        let wrap = |name: &str, e: GpuError| HfError::TaskFailed {
+            task: name.to_string(),
+            source: e,
+        };
         match &node.work {
             Work::Pull { source } => {
-                let device = self.inner.gpu.device(dev_id)?;
                 // (Re)allocate to the source's *current* size — stateful.
                 let bytes = source.byte_len();
                 let ptr = {
@@ -1075,9 +1450,9 @@ impl Worker {
                         Some(p) if p.len as usize == bytes => p,
                         old => {
                             if let Some(p) = old {
-                                device.free(p)?;
+                                device.free(p).map_err(|e| wrap(&node.name, e))?;
                             }
-                            let p = device.alloc(bytes)?;
+                            let p = device.alloc(bytes).map_err(|e| wrap(&node.name, e))?;
                             st.ptr = Some(p);
                             p
                         }
@@ -1085,13 +1460,30 @@ impl Worker {
                 };
                 let src = Arc::clone(source);
                 let topo2 = Arc::clone(topo);
+                let state2 = Arc::clone(state);
+                let dev = device.clone();
+                let task = node.name.clone();
                 Ok(Box::new(move |view, cost| {
+                    if state2.skip(&topo2) {
+                        return Ok(OpReport::default());
+                    }
+                    if let Err(e) = dev.fault_check(FaultSite::H2d) {
+                        state2.fail(HfError::TaskFailed {
+                            task: task.clone(),
+                            source: e.clone(),
+                        });
+                        return Err(e);
+                    }
                     let data = src.fetch_bytes();
                     let n = data.len();
                     if let Err(e) = view.copy_in(ptr, &data) {
-                        topo2.fail(HfError::Gpu(e.clone()));
+                        state2.fail(HfError::TaskFailed {
+                            task: task.clone(),
+                            source: e.clone(),
+                        });
                         return Err(e);
                     }
+                    state2.done.fetch_add(1, Ordering::Release);
                     Ok(OpReport {
                         duration: cost.h2d(n),
                         h2d_bytes: n as u64,
@@ -1110,16 +1502,33 @@ impl Worker {
                 debug_assert_eq!(dev_id, ptr.device);
                 let sink = Arc::clone(sink);
                 let topo2 = Arc::clone(topo);
+                let state2 = Arc::clone(state);
+                let dev = device.clone();
+                let task = node.name.clone();
                 Ok(Box::new(move |view, cost| {
+                    if state2.skip(&topo2) {
+                        return Ok(OpReport::default());
+                    }
+                    if let Err(e) = dev.fault_check(FaultSite::D2h) {
+                        state2.fail(HfError::TaskFailed {
+                            task: task.clone(),
+                            source: e.clone(),
+                        });
+                        return Err(e);
+                    }
                     let bytes = match view.bytes(ptr) {
                         Ok(b) => b,
                         Err(e) => {
-                            topo2.fail(HfError::Gpu(e.clone()));
+                            state2.fail(HfError::TaskFailed {
+                                task: task.clone(),
+                                source: e.clone(),
+                            });
                             return Err(e);
                         }
                     };
                     let n = bytes.len();
                     sink.store_bytes(bytes);
+                    state2.done.fetch_add(1, Ordering::Release);
                     Ok(OpReport {
                         duration: cost.d2h(n),
                         d2h_bytes: n as u64,
@@ -1151,17 +1560,31 @@ impl Worker {
                 };
                 let func = Arc::clone(func);
                 let topo2 = Arc::clone(topo);
+                let state2 = Arc::clone(state);
+                let dev = device.clone();
                 let task_name = node.name.clone();
                 Ok(Box::new(move |view, cost| {
+                    if state2.skip(&topo2) {
+                        return Ok(OpReport::default());
+                    }
+                    if let Err(e) = dev.fault_check(FaultSite::Kernel) {
+                        state2.fail(HfError::TaskFailed {
+                            task: task_name.clone(),
+                            source: e.clone(),
+                        });
+                        return Err(e);
+                    }
                     let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut args = KernelArgs::new(view, &ptrs);
                         func(&cfg, &mut args);
                     }));
                     if res.is_err() {
-                        topo2.fail(HfError::TaskPanicked {
+                        state2.fail(HfError::TaskPanicked {
                             task: task_name.clone(),
                         });
+                        return Ok(OpReport::default());
                     }
+                    state2.done.fetch_add(1, Ordering::Release);
                     Ok(OpReport {
                         duration: cost.kernel(work_units),
                         kernels: 1,
@@ -1171,6 +1594,35 @@ impl Worker {
             }
             Work::Empty | Work::Host(_) => unreachable!("not a GPU task"),
         }
+    }
+}
+
+/// Shared failure/progress state of one dispatched GPU chain: how many
+/// ops completed (the chain prefix) and the first error, recorded by the
+/// op closures on the device engine thread and consumed by the stream's
+/// completion callback.
+#[derive(Default)]
+struct ChainState {
+    done: AtomicUsize,
+    error: Mutex<Option<HfError>>,
+}
+
+impl ChainState {
+    /// Records the first failure; later ops in the chain then skip.
+    fn fail(&self, e: HfError) {
+        let mut g = self.error.lock();
+        if g.is_none() {
+            *g = Some(e);
+        }
+    }
+
+    /// True when this op should do nothing: an earlier chain op failed,
+    /// the run already failed, or the caller cancelled — cooperative
+    /// cancellation propagated into ops already enqueued on the stream.
+    fn skip(&self, topo: &Topology) -> bool {
+        self.error.lock().is_some()
+            || topo.cancelled.load(Ordering::Acquire)
+            || topo.cancel_requested()
     }
 }
 
@@ -1456,6 +1908,125 @@ mod tests {
         // Two submissions, one graph version: one miss, one hit.
         assert_eq!(ex.stats().topo_cache_misses.sum(), 1);
         assert_eq!(ex.stats().topo_cache_hits.sum(), 1);
+    }
+
+    /// pull→kernel(double)→push lane over `data`; expect every element
+    /// doubled after a successful run.
+    fn gpu_lane(g: &Heteroflow, name: &str, data: &HostVec<i32>) {
+        let p = g.pull(&format!("{name}_pull"), data);
+        let k = g.kernel(&format!("{name}_k"), &[&p], |cfg, args| {
+            let xs = args.slice_mut::<i32>(0).unwrap();
+            for i in cfg.threads() {
+                if i < xs.len() {
+                    xs[i] *= 2;
+                }
+            }
+        });
+        k.block_x(64);
+        let s = g.push(&format!("{name}_push"), &p, data);
+        p.precede(&k);
+        k.precede(&s);
+    }
+
+    #[test]
+    fn injected_fault_retries_to_success() {
+        let ex = Executor::builder(2, 1)
+            .retry_policy(RetryPolicy::new(3))
+            .build();
+        ex.gpu_runtime().set_fault_plan(Some(
+            hf_gpu::FaultPlan::seeded(42)
+                .fail(FaultSite::Kernel, 1.0)
+                .max_faults(1),
+        ));
+        let g = Heteroflow::new("retry");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1; 64]);
+        gpu_lane(&g, "lane", &x);
+        ex.run(&g).wait().unwrap();
+        assert!(x.read().iter().all(|&v| v == 2));
+        let snap = ex.stats().snapshot();
+        assert!(snap.retries >= 1, "retries: {}", snap.retries);
+        assert!(snap.faults_injected >= 1);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_with_structured_error() {
+        let ex = Executor::builder(2, 1)
+            .retry_policy(RetryPolicy::new(2))
+            .build();
+        // Every h2d copy faults, forever: two attempts then a hard fail.
+        ex.gpu_runtime()
+            .set_fault_plan(Some(hf_gpu::FaultPlan::seeded(7).fail(FaultSite::H2d, 1.0)));
+        let g = Heteroflow::new("exhaust");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1; 16]);
+        g.pull("p", &x);
+        let err = ex.run(&g).wait().unwrap_err();
+        assert_eq!(err.task(), Some("p"));
+        assert!(matches!(
+            err.gpu_cause(),
+            Some(GpuError::FaultInjected { .. })
+        ));
+        assert!(ex.stats().snapshot().retries >= 1);
+    }
+
+    #[test]
+    fn device_loss_fails_over_to_survivor() {
+        let ex = Executor::new(2, 2);
+        // Device 0 dies at its first op; the lane placed there must be
+        // re-placed onto device 1 and replayed.
+        ex.gpu_runtime()
+            .set_fault_plan(Some(hf_gpu::FaultPlan::seeded(1).lose_device(0, 0)));
+        let g = Heteroflow::new("failover");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1; 64]);
+        let y: HostVec<i32> = HostVec::from_vec(vec![3; 64]);
+        gpu_lane(&g, "lx", &x);
+        gpu_lane(&g, "ly", &y);
+        ex.run(&g).wait().unwrap();
+        assert!(x.read().iter().all(|&v| v == 2));
+        assert!(y.read().iter().all(|&v| v == 6));
+        assert_eq!(ex.stats().snapshot().devices_lost, 1);
+    }
+
+    #[test]
+    fn device_loss_with_fail_policy_errors() {
+        let ex = Executor::builder(2, 1)
+            .retry_policy(RetryPolicy::default().on_device_loss(OnDeviceLoss::Fail))
+            .build();
+        ex.gpu_runtime()
+            .set_fault_plan(Some(hf_gpu::FaultPlan::seeded(3).lose_device(0, 0)));
+        let g = Heteroflow::new("lossfail");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1; 16]);
+        gpu_lane(&g, "lane", &x);
+        let err = ex.run(&g).wait().unwrap_err();
+        assert!(matches!(err.gpu_cause(), Some(GpuError::DeviceLost(0))));
+    }
+
+    #[test]
+    fn losing_the_only_device_fails_structured() {
+        let ex = Executor::new(2, 1);
+        ex.gpu_runtime()
+            .set_fault_plan(Some(hf_gpu::FaultPlan::seeded(5).lose_device(0, 0)));
+        let g = Heteroflow::new("lastgpu");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1; 16]);
+        gpu_lane(&g, "lane", &x);
+        // Failover has no survivors: the run must fail (never hang) with
+        // a structured error.
+        let err = ex.run(&g).wait().unwrap_err();
+        assert!(matches!(err, HfError::NoGpus { .. }));
+    }
+
+    #[test]
+    fn submission_after_device_loss_uses_survivors() {
+        let ex = Executor::new(2, 2);
+        ex.gpu_runtime().device(0).unwrap().mark_lost();
+        let g = Heteroflow::new("degraded");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1; 64]);
+        let y: HostVec<i32> = HostVec::from_vec(vec![3; 64]);
+        gpu_lane(&g, "lx", &x);
+        gpu_lane(&g, "ly", &y);
+        ex.run(&g).wait().unwrap();
+        assert!(x.read().iter().all(|&v| v == 2));
+        assert!(y.read().iter().all(|&v| v == 6));
+        assert_eq!(ex.stats().snapshot().devices_lost, 1);
     }
 
     #[test]

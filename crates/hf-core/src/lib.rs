@@ -13,7 +13,7 @@
 //! The saxpy program of the paper's Listing 1:
 //!
 //! ```
-//! use hf_core::{Executor, Heteroflow, data::HostVec};
+//! use hf_core::prelude::*;
 //!
 //! const N: usize = 65536;
 //! let x: HostVec<i32> = HostVec::new();
@@ -62,6 +62,8 @@ pub mod graph;
 pub mod inspect;
 pub mod observer;
 pub mod placement;
+pub mod prelude;
+pub mod retry;
 pub mod stats;
 pub mod task;
 pub(crate) mod topology;
@@ -71,7 +73,8 @@ pub use executor::{Executor, ExecutorBuilder};
 pub use graph::{FrozenGraph, Heteroflow, TaskKind};
 pub use inspect::{GraphInfo, NodeInfo};
 pub use observer::{ExecutorObserver, SpanCat, TaskMeta, TraceCollector, TraceSpan, Track};
-pub use placement::{device_placement, Placement, PlacementPolicy};
+pub use placement::{device_placement, failover_placement, Placement, PlacementPolicy};
+pub use retry::{OnDeviceLoss, RetryPolicy};
 pub use stats::{ExecutorStats, StatsSnapshot};
 pub use task::{AsTask, HostTask, KernelTask, PullTask, PushTask, TaskRef};
 pub use topology::RunFuture;

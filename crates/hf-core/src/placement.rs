@@ -298,6 +298,111 @@ pub fn device_placement_biased<G: PlacementView + ?Sized>(
     })
 }
 
+/// Re-placement after device loss: keeps every group whose device is still
+/// alive where it is, and LPT-packs the stranded groups (device lost, or
+/// never placed when `old_device_of` is empty) onto the surviving bins.
+///
+/// `old_device_of` is the current `device_of` (may be empty to place
+/// everything fresh against the alive set), and `lost[d]` marks device `d`
+/// as dead. Returns [`HfError::NoGpus`] if GPU tasks exist but every
+/// device is lost.
+pub fn failover_placement<G: PlacementView + ?Sized>(
+    graph: &G,
+    old_device_of: &[Option<u32>],
+    lost: &[bool],
+    cost: &CostModel,
+) -> Result<Placement, HfError> {
+    let n = graph.num_nodes();
+    let num_gpus = lost.len() as u32;
+    let alive: Vec<usize> = (0..lost.len()).filter(|&d| !lost[d]).collect();
+    let mut device_of: Vec<Option<u32>> = vec![None; n];
+    let mut loads = vec![0.0f64; num_gpus as usize];
+
+    if alive.is_empty() {
+        if let Some(id) = (0..n).find(|&i| {
+            matches!(
+                graph.kind_of(i),
+                TaskKind::Pull | TaskKind::Push | TaskKind::Kernel
+            )
+        }) {
+            return Err(HfError::NoGpus {
+                task: graph.name_of(id),
+            });
+        }
+        return Ok(Placement {
+            device_of,
+            num_groups: 0,
+            loads,
+        });
+    }
+
+    // Same grouping as Algorithm 1: union kernels with their source pulls.
+    let mut uf = UnionFind::new(n);
+    for id in 0..n {
+        if graph.kind_of(id) == TaskKind::Kernel {
+            for p in graph.kernel_sources(id) {
+                uf.union(id, p);
+            }
+        }
+    }
+    let mut group_weight: std::collections::HashMap<usize, f64> = Default::default();
+    let mut group_members: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+    for id in 0..n {
+        let k = graph.kind_of(id);
+        if k == TaskKind::Kernel || k == TaskKind::Pull {
+            let root = uf.find(id);
+            *group_weight.entry(root).or_insert(0.0) += graph.weight_of(id, cost);
+            group_members.entry(root).or_default().push(id);
+        }
+    }
+    let num_groups = group_members.len();
+
+    // Partition: groups on an alive device stay put; the rest re-pack.
+    let mut stranded: Vec<(usize, f64)> = Vec::new();
+    let mut groups: Vec<(usize, f64)> = group_weight.into_iter().collect();
+    groups.sort_by_key(|&(root, _)| root);
+    for (root, w) in groups {
+        let old = group_members[&root]
+            .iter()
+            .find_map(|&m| old_device_of.get(m).copied().flatten());
+        match old {
+            Some(d) if !lost.get(d as usize).copied().unwrap_or(true) => {
+                loads[d as usize] += w;
+                for &m in &group_members[&root] {
+                    device_of[m] = Some(d);
+                }
+            }
+            _ => stranded.push((root, w)),
+        }
+    }
+
+    // LPT greedy over the alive bins only.
+    stranded.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite"));
+    for (root, w) in stranded {
+        let bin = *alive
+            .iter()
+            .min_by(|&&a, &&b| loads[a].partial_cmp(&loads[b]).expect("loads are finite"))
+            .expect("alive is non-empty");
+        loads[bin] += w;
+        for &m in &group_members[&root] {
+            device_of[m] = Some(bin as u32);
+        }
+    }
+
+    // Push tasks inherit the device of their source pull.
+    for id in 0..n {
+        if let Some(src) = graph.push_source(id) {
+            device_of[id] = device_of[src];
+        }
+    }
+
+    Ok(Placement {
+        device_of,
+        num_groups,
+        loads,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +544,69 @@ mod tests {
         let b = device_placement(&*f, 4, PlacementPolicy::Random { seed: 7 }, &CostModel::default())
             .unwrap();
         assert_eq!(a.device_of, b.device_of);
+    }
+
+    /// Failover keeps alive groups in place and re-packs stranded ones
+    /// onto surviving devices only.
+    #[test]
+    fn failover_repacks_lost_groups_onto_survivors() {
+        let g = Heteroflow::new("fo");
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 1024]);
+        let mut kernels = Vec::new();
+        for i in 0..6 {
+            let p = g.pull(&format!("p{i}"), &x);
+            let k = g.kernel(&format!("k{i}"), &[&p], |_, _| {});
+            p.precede(&k);
+            kernels.push(k);
+        }
+        let f = g.freeze().unwrap();
+        let cost = CostModel::default();
+        let orig = device_placement(&*f, 3, PlacementPolicy::BalancedLoad, &cost).unwrap();
+        // Lose device 1.
+        let lost = vec![false, true, false];
+        let fo = failover_placement(&*f, &orig.device_of, &lost, &cost).unwrap();
+        assert_eq!(fo.num_groups, 6);
+        for (i, (o, n)) in orig.device_of.iter().zip(&fo.device_of).enumerate() {
+            let (Some(o), Some(n)) = (o, n) else { continue };
+            assert_ne!(*n, 1, "node {i} still on the lost device");
+            if *o != 1 {
+                assert_eq!(o, n, "node {i} moved though its device survived");
+            }
+        }
+        // Something was actually stranded and re-homed.
+        assert!(orig.device_of.contains(&Some(1)));
+    }
+
+    /// Empty `old_device_of` places everything fresh on the alive set.
+    #[test]
+    fn failover_fresh_placement_avoids_lost_devices() {
+        let g = Heteroflow::new("fo2");
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 256]);
+        let p = g.pull("p", &x);
+        let k = g.kernel("k", &[&p], |_, _| {});
+        let s = g.push("s", &p, &x);
+        p.precede(&k);
+        k.precede(&s);
+        let f = g.freeze().unwrap();
+        let fo =
+            failover_placement(&*f, &[], &[true, false], &CostModel::default()).unwrap();
+        assert_eq!(fo.device_of[p.id()], Some(1));
+        assert_eq!(fo.device_of[k.id()], Some(1));
+        // Push inherits the pull's (surviving) device.
+        assert_eq!(fo.device_of[s.id()], Some(1));
+    }
+
+    /// All devices lost with GPU work → structured NoGpus error.
+    #[test]
+    fn failover_with_no_survivors_errors() {
+        let g = Heteroflow::new("fo3");
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 16]);
+        g.pull("p", &x);
+        let f = g.freeze().unwrap();
+        assert!(matches!(
+            failover_placement(&*f, &[], &[true, true], &CostModel::default()),
+            Err(HfError::NoGpus { .. })
+        ));
     }
 
     #[test]

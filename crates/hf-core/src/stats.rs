@@ -43,6 +43,16 @@ pub struct ExecutorStats {
     pub topo_cache_hits: GlobalCounter,
     /// Submissions that had to (re)run freeze + Algorithm 1 placement.
     pub topo_cache_misses: GlobalCounter,
+    /// Injected device faults observed by task failures (see
+    /// `hf_gpu::FaultPlan`).
+    pub faults_injected: GlobalCounter,
+    /// Task attempts re-scheduled by the retry policy.
+    pub retries: GlobalCounter,
+    /// Devices this executor has observed as lost (each device counted
+    /// once).
+    pub devices_lost: GlobalCounter,
+    /// Submissions that finished as cancelled (`RunFuture::cancel`).
+    pub cancelled: GlobalCounter,
 }
 
 impl ExecutorStats {
@@ -59,6 +69,10 @@ impl ExecutorStats {
             notify_coalesced: GlobalCounter::new(),
             topo_cache_hits: GlobalCounter::new(),
             topo_cache_misses: GlobalCounter::new(),
+            faults_injected: GlobalCounter::new(),
+            retries: GlobalCounter::new(),
+            devices_lost: GlobalCounter::new(),
+            cancelled: GlobalCounter::new(),
         }
     }
 
@@ -75,6 +89,10 @@ impl ExecutorStats {
         self.notify_coalesced.reset();
         self.topo_cache_hits.reset();
         self.topo_cache_misses.reset();
+        self.faults_injected.reset();
+        self.retries.reset();
+        self.devices_lost.reset();
+        self.cancelled.reset();
     }
 
     /// Steal success rate in `[0, 1]`; 1.0 when no attempts were made.
@@ -105,6 +123,10 @@ impl ExecutorStats {
             notify_coalesced: self.notify_coalesced.sum(),
             topo_cache_hits: self.topo_cache_hits.sum(),
             topo_cache_misses: self.topo_cache_misses.sum(),
+            faults_injected: self.faults_injected.sum(),
+            retries: self.retries.sum(),
+            devices_lost: self.devices_lost.sum(),
+            cancelled: self.cancelled.sum(),
         }
     }
 }
@@ -139,6 +161,14 @@ pub struct StatsSnapshot {
     pub topo_cache_hits: u64,
     /// Submissions that recomputed freeze + placement.
     pub topo_cache_misses: u64,
+    /// Injected device faults observed by task failures.
+    pub faults_injected: u64,
+    /// Task attempts re-scheduled by the retry policy.
+    pub retries: u64,
+    /// Devices observed as lost (each counted once per executor).
+    pub devices_lost: u64,
+    /// Submissions that finished as cancelled.
+    pub cancelled: u64,
 }
 
 #[cfg(test)]
@@ -188,5 +218,26 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         assert!(json.contains("\"tasks_executed\":7"));
         assert!(json.contains("\"topo_cache_misses\":0"));
+    }
+
+    #[test]
+    fn fault_counters_snapshot_and_reset() {
+        let s = ExecutorStats::new(1);
+        s.faults_injected.add(3);
+        s.retries.add(2);
+        s.devices_lost.incr();
+        s.cancelled.incr();
+        let snap = s.snapshot();
+        assert_eq!(snap.faults_injected, 3);
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.devices_lost, 1);
+        assert_eq!(snap.cancelled, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"devices_lost\":1"));
+        s.reset();
+        assert_eq!(s.faults_injected.sum(), 0);
+        assert_eq!(s.retries.sum(), 0);
+        assert_eq!(s.devices_lost.sum(), 0);
+        assert_eq!(s.cancelled.sum(), 0);
     }
 }

@@ -5,14 +5,21 @@
 //! called *topology* is created to marshal execution parameters and
 //! runtime metadata ... The communication is based on a shared state
 //! managed by a pair of C++ promise and future objects" (§III-C).
+//!
+//! Beyond the paper's promise/future pair, the topology carries the
+//! fault-tolerance state of one submission: per-node attempt counters for
+//! the retry policy, per-node `round_ok` flags that let device failover
+//! replay exactly the invalidated part of a round, and the cooperative
+//! cancellation flag shared with every clone of the [`RunFuture`].
 
 use crate::error::HfError;
 use crate::graph::{FrozenGraph, GraphShared};
 use crate::placement::Placement;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::task::{Poll, Waker};
+use std::time::{Duration, Instant};
 
 /// Shared promise/future state of one submission.
 pub(crate) struct Completion {
@@ -56,6 +63,21 @@ impl Completion {
         st.result.clone().expect("checked above")
     }
 
+    fn wait_timeout(&self, timeout: Duration) -> Option<Result<(), HfError>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(r) = &st.result {
+                return Some(r.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cv.wait_for(&mut st, deadline - now);
+        }
+    }
+
     fn is_done(&self) -> bool {
         self.state.lock().result.is_some()
     }
@@ -63,17 +85,24 @@ impl Completion {
 
 /// Future returned by [`crate::Executor::run`] and friends. All run
 /// methods are non-blocking: "issuing a run on a graph returns immediately
-/// with a C++ future object" (§III-B). Supports both blocking
-/// ([`RunFuture::wait`]) and async (`.await`) consumption.
+/// with a C++ future object" (§III-B). Supports blocking
+/// ([`RunFuture::wait`]), deadline-bounded ([`RunFuture::wait_timeout`]),
+/// and async (`.await`) consumption, plus cooperative cancellation
+/// ([`RunFuture::cancel`]). Clones share the same run.
 #[derive(Clone)]
 pub struct RunFuture {
     pub(crate) completion: Arc<Completion>,
+    /// Cooperative cancellation flag, shared with the topology: checked
+    /// at task boundaries, round boundaries, and inside pending GPU
+    /// stream operations.
+    pub(crate) cancel: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for RunFuture {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunFuture")
             .field("done", &self.is_done())
+            .field("cancel_requested", &self.cancel.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -82,6 +111,21 @@ impl RunFuture {
     /// Blocks until the run finishes; returns its result.
     pub fn wait(&self) -> Result<(), HfError> {
         self.completion.wait()
+    }
+
+    /// Blocks for at most `timeout`. Returns `None` when the deadline
+    /// expired with the run still in flight (the run keeps going — call
+    /// `wait*` again or [`RunFuture::cancel`] it), otherwise the result.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<(), HfError>> {
+        self.completion.wait_timeout(timeout)
+    }
+
+    /// Requests cooperative cancellation. Non-blocking: in-flight task
+    /// bodies finish, everything not yet started is skipped (including
+    /// ops already enqueued on GPU streams), and the run completes with
+    /// [`HfError::Cancelled`]. Cancelling a finished run is a no-op.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
     }
 
     /// True once the run has finished (success or error).
@@ -93,7 +137,10 @@ impl RunFuture {
     pub(crate) fn ready(result: Result<(), HfError>) -> Self {
         let c = Completion::new();
         c.complete(result);
-        Self { completion: c }
+        Self {
+            completion: c,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
     }
 }
 
@@ -121,9 +168,9 @@ impl std::future::Future for RunFuture {
 pub(crate) struct Topology {
     pub(crate) graph_shared: Arc<GraphShared>,
     pub(crate) frozen: Arc<FrozenGraph>,
-    /// Shared with the graph's scheduling cache: unchanged graphs reuse
-    /// the same placement across submissions.
-    pub(crate) placement: Arc<Placement>,
+    /// Current device placement. Initially shared with the graph's
+    /// scheduling cache; device failover swaps in a re-placed plan.
+    pub(crate) placement: RwLock<Arc<Placement>>,
     /// Remaining unmet dependencies per node, reset each round.
     pub(crate) join: Vec<AtomicUsize>,
     /// Nodes not yet finished this round.
@@ -136,11 +183,30 @@ pub(crate) struct Topology {
     /// Set once an error occurs: remaining task bodies are skipped while
     /// the round drains.
     pub(crate) cancelled: AtomicBool,
+    /// Cooperative cancellation requested via [`RunFuture::cancel`].
+    pub(crate) cancel: Arc<AtomicBool>,
     /// Rounds completed (diagnostic).
     pub(crate) rounds: AtomicUsize,
-    /// Task fusion plan (§III-C "task fusing"); shared with the graph's
-    /// scheduling cache.
-    pub(crate) fusion: Arc<FusionPlan>,
+    /// Task fusion plan (§III-C "task fusing"). Initially shared with the
+    /// graph's scheduling cache; failover swaps in a replay-masked plan.
+    pub(crate) fusion: RwLock<Arc<FusionPlan>>,
+    /// The fusion plan is a failover replay mask and must be recomputed
+    /// for the new placement before the next full round.
+    pub(crate) fusion_stale: AtomicBool,
+    /// Failed attempts per node this round (retry-policy bookkeeping).
+    pub(crate) attempts: Vec<AtomicU32>,
+    /// Whether each node completed successfully this round. Device
+    /// failover uses this to replay exactly the unfinished/invalidated
+    /// part of the round.
+    pub(crate) round_ok: Vec<AtomicBool>,
+    /// A device loss requested failover; handled when the round drains.
+    /// Holds the triggering error so a failed failover reports it.
+    pub(crate) failover: Mutex<Option<HfError>>,
+    /// Fast-path mirror of `failover.is_some()`: workers skip task bodies
+    /// while a failover is pending so half-failed state never propagates.
+    pub(crate) failover_pending: AtomicBool,
+    /// Failovers performed for this submission (bounded by the policy).
+    pub(crate) failovers: AtomicU32,
     /// Slot in the executor's topology registry while this topology is in
     /// flight; `u32::MAX` before registration. Work tokens pack this slot
     /// with a node index, so queued items carry no heap pointer.
@@ -155,31 +221,69 @@ impl Topology {
         fusion: Arc<FusionPlan>,
         predicate: Box<dyn FnMut() -> bool + Send>,
     ) -> Arc<Self> {
+        let n = frozen.nodes.len();
         let join = frozen
             .nodes
             .iter()
-            .map(|n| AtomicUsize::new(n.num_deps))
+            .map(|nd| AtomicUsize::new(nd.num_deps))
             .collect();
         Arc::new(Self {
             graph_shared,
             frozen: Arc::clone(&frozen),
-            placement,
+            placement: RwLock::new(placement),
             join,
-            pending: AtomicUsize::new(frozen.nodes.len()),
+            pending: AtomicUsize::new(n),
             predicate: Mutex::new(predicate),
             completion: Completion::new(),
             error: Mutex::new(None),
             cancelled: AtomicBool::new(false),
+            cancel: Arc::new(AtomicBool::new(false)),
             rounds: AtomicUsize::new(0),
-            fusion,
+            fusion: RwLock::new(fusion),
+            fusion_stale: AtomicBool::new(false),
+            attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            round_ok: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            failover: Mutex::new(None),
+            failover_pending: AtomicBool::new(false),
+            failovers: AtomicU32::new(0),
             slot: AtomicU32::new(u32::MAX),
         })
+    }
+
+    /// Current placement (failover may swap it between rounds).
+    pub(crate) fn placement(&self) -> Arc<Placement> {
+        Arc::clone(&self.placement.read())
+    }
+
+    /// Current fusion plan (failover may swap it between rounds).
+    pub(crate) fn fusion(&self) -> Arc<FusionPlan> {
+        Arc::clone(&self.fusion.read())
+    }
+
+    /// True once the caller requested cancellation.
+    pub(crate) fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+    }
+
+    /// Records a device-loss failover request; the first cause wins.
+    pub(crate) fn request_failover(&self, cause: HfError) {
+        let mut f = self.failover.lock();
+        if f.is_none() {
+            *f = Some(cause);
+        }
+        self.failover_pending.store(true, Ordering::Release);
     }
 
     /// Resets per-round counters for the next repetition.
     pub(crate) fn reset_round(&self) {
         for (j, n) in self.join.iter().zip(&self.frozen.nodes) {
             j.store(n.num_deps, Ordering::Relaxed);
+        }
+        for a in &self.attempts {
+            a.store(0, Ordering::Relaxed);
+        }
+        for ok in &self.round_ok {
+            ok.store(false, Ordering::Relaxed);
         }
         self.pending
             .store(self.frozen.nodes.len(), Ordering::Release);
@@ -198,6 +302,7 @@ impl Topology {
     pub(crate) fn result(&self) -> Result<(), HfError> {
         match self.error.lock().clone() {
             Some(e) => Err(e),
+            None if self.cancel_requested() => Err(HfError::Cancelled),
             None => Ok(()),
         }
     }
@@ -228,6 +333,28 @@ impl FusionPlan {
         placement: &crate::placement::Placement,
         enabled: bool,
     ) -> Self {
+        Self::plan(frozen, placement, enabled, None)
+    }
+
+    /// [`FusionPlan::compute`] restricted to the `active` nodes — the
+    /// failover replay plan. A chain must not lead from an
+    /// already-finished head into a replayed member (the head would never
+    /// be dispatched again), so both endpoints must be active.
+    pub(crate) fn compute_masked(
+        frozen: &FrozenGraph,
+        placement: &crate::placement::Placement,
+        enabled: bool,
+        active: &[bool],
+    ) -> Self {
+        Self::plan(frozen, placement, enabled, Some(active))
+    }
+
+    fn plan(
+        frozen: &FrozenGraph,
+        placement: &crate::placement::Placement,
+        enabled: bool,
+        active: Option<&[bool]>,
+    ) -> Self {
         use crate::graph::TaskKind;
         let n = frozen.nodes.len();
         let mut next = vec![None; n];
@@ -235,8 +362,12 @@ impl FusionPlan {
         if !enabled {
             return Self { next, member };
         }
+        let is_active = |i: usize| active.is_none_or(|a| a[i]);
         #[allow(clippy::needless_range_loop)] // v indexes three parallel arrays
         for v in 0..n {
+            if !is_active(v) {
+                continue;
+            }
             let vk = frozen.nodes[v].work.kind();
             let v_gpu = matches!(vk, TaskKind::Pull | TaskKind::Push | TaskKind::Kernel);
             if !v_gpu || frozen.nodes[v].succ.len() != 1 {
@@ -246,6 +377,7 @@ impl FusionPlan {
             let wk = frozen.nodes[w].work.kind();
             let w_fusible = matches!(wk, TaskKind::Push | TaskKind::Kernel);
             if w_fusible
+                && is_active(w)
                 && frozen.nodes[w].num_deps == 1
                 && placement.device_of[v] == placement.device_of[w]
                 && !member[w]
@@ -267,6 +399,7 @@ mod tests {
         let c = Completion::new();
         let fut = RunFuture {
             completion: Arc::clone(&c),
+            cancel: Arc::new(AtomicBool::new(false)),
         };
         assert!(!fut.is_done());
         c.complete(Ok(()));
@@ -285,11 +418,43 @@ mod tests {
     }
 
     #[test]
+    fn wait_timeout_expires_then_succeeds() {
+        let c = Completion::new();
+        let fut = RunFuture {
+            completion: Arc::clone(&c),
+            cancel: Arc::new(AtomicBool::new(false)),
+        };
+        assert_eq!(fut.wait_timeout(Duration::from_millis(20)), None);
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            c2.complete(Ok(()));
+        });
+        assert_eq!(fut.wait_timeout(Duration::from_secs(10)), Some(Ok(())));
+        // Completed future: any timeout returns immediately.
+        assert_eq!(fut.wait_timeout(Duration::ZERO), Some(Ok(())));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn cancel_flag_is_shared_across_clones() {
+        let c = Completion::new();
+        let fut = RunFuture {
+            completion: c,
+            cancel: Arc::new(AtomicBool::new(false)),
+        };
+        let clone = fut.clone();
+        clone.cancel();
+        assert!(fut.cancel.load(Ordering::Acquire));
+    }
+
+    #[test]
     fn future_is_pollable() {
         // Poll with a no-op waker through a minimal block_on.
         let c = Completion::new();
         let fut = RunFuture {
             completion: Arc::clone(&c),
+            cancel: Arc::new(AtomicBool::new(false)),
         };
         let c2 = Arc::clone(&c);
         let t = std::thread::spawn(move || {

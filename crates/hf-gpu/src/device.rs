@@ -4,6 +4,7 @@ use crate::arena::{Arena, DevicePtr};
 use crate::cost::{CostModel, SimDuration};
 use crate::error::GpuError;
 use crate::event::Event;
+use crate::fault::{FaultInjector, FaultSite};
 use crate::pool::{MemoryPool, PoolStats};
 use crate::stream::{Op, OpBody};
 use crate::trace::{GpuOpKind, GpuTraceEvent, GpuTraceSink};
@@ -65,6 +66,15 @@ pub struct DeviceInner {
     trace_on: AtomicBool,
     /// Installed trace sink (see [`crate::trace`]).
     trace: Mutex<Option<Arc<dyn GpuTraceSink>>>,
+    /// The device has failed as a whole: every subsequent operation
+    /// returns [`GpuError::DeviceLost`].
+    lost: AtomicBool,
+    /// Fast-path gate for fault injection: one relaxed load per op.
+    fault_on: AtomicBool,
+    /// Installed fault injector, shared across the runtime's devices.
+    fault: Mutex<Option<Arc<FaultInjector>>>,
+    /// Exec ops executed, for scheduled device-loss triggers.
+    op_seq: AtomicU64,
 }
 
 /// A handle to a software GPU device. Clones share the same device.
@@ -95,6 +105,10 @@ impl Device {
             last_error: Mutex::new(None),
             trace_on: AtomicBool::new(false),
             trace: Mutex::new(None),
+            lost: AtomicBool::new(false),
+            fault_on: AtomicBool::new(false),
+            fault: Mutex::new(None),
+            op_seq: AtomicU64::new(0),
         });
         let engine_inner = Arc::clone(&inner);
         let handle = std::thread::Builder::new()
@@ -111,6 +125,7 @@ impl Device {
 
     /// Allocates device memory from the pool.
     pub fn alloc(&self, bytes: usize) -> Result<DevicePtr, GpuError> {
+        self.fault_check(FaultSite::Alloc)?;
         let res = self.inner.pool.alloc(bytes);
         if res.is_ok() {
             self.inner.trace_instant(GpuOpKind::Alloc, bytes as u64);
@@ -141,6 +156,52 @@ impl Device {
     /// True when a device-side trace sink is installed.
     pub fn tracing(&self) -> bool {
         self.inner.trace_on.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or removes, with `None`) the fault injector. Installing
+    /// a new injector also revives a lost device and resets its op
+    /// counter, so plans compose cleanly across test runs.
+    pub(crate) fn set_fault_injector(&self, inj: Option<Arc<FaultInjector>>) {
+        let mut slot = self.inner.fault.lock();
+        self.inner.fault_on.store(inj.is_some(), Ordering::Release);
+        self.inner.lost.store(false, Ordering::Release);
+        self.inner.op_seq.store(0, Ordering::Relaxed);
+        *slot = inj;
+    }
+
+    /// Marks this device lost: every subsequent operation on it fails
+    /// with [`GpuError::DeviceLost`] until a new fault plan is installed.
+    /// Safe to call from any thread (chaos tests, health monitors).
+    pub fn mark_lost(&self) {
+        self.inner.lost.store(true, Ordering::Release);
+    }
+
+    /// True once the device has been marked lost.
+    pub fn is_lost(&self) -> bool {
+        self.inner.lost.load(Ordering::Acquire)
+    }
+
+    /// Checks whether an operation at `site` may proceed: fails with
+    /// [`GpuError::DeviceLost`] on a lost device, or with
+    /// [`GpuError::FaultInjected`] when the installed plan's next draw for
+    /// the site fires. Callers invoke this *before* performing the
+    /// operation's effect, which is what makes retries safe.
+    pub fn fault_check(&self, site: FaultSite) -> Result<(), GpuError> {
+        if self.is_lost() {
+            return Err(GpuError::DeviceLost(self.id()));
+        }
+        if self.inner.fault_on.load(Ordering::Relaxed) {
+            let inj = self.inner.fault.lock().clone();
+            if let Some(inj) = inj {
+                if inj.should_fail(site) {
+                    return Err(GpuError::FaultInjected {
+                        device: self.id(),
+                        site,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Memory pool statistics.
@@ -294,6 +355,19 @@ fn engine_loop(dev: Arc<DeviceInner>) {
         }
 
         let mut op = op.expect("checked above");
+        // Scheduled device loss: the plan loses this device after it has
+        // executed a configured number of exec ops. The op still runs —
+        // its closure observes the lost flag and fails fast — so stream
+        // completion accounting never skips a beat.
+        if dev.fault_on.load(Ordering::Relaxed) && matches!(op.body, OpBody::Exec(_)) {
+            let seq = dev.op_seq.fetch_add(1, Ordering::Relaxed);
+            let inj = dev.fault.lock().clone();
+            if let Some(inj) = inj {
+                if inj.loses(dev.id, seq) {
+                    dev.lost.store(true, Ordering::Release);
+                }
+            }
+        }
         let stream = op.stream;
         let label = op.label.take();
         let t0 = tracing.then(Instant::now);

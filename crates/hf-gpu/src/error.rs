@@ -1,9 +1,14 @@
 //! Error type for the GPU substrate.
 
+use crate::fault::FaultSite;
 use std::fmt;
 
 /// Errors surfaced by the software GPU runtime.
+///
+/// Non-exhaustive: match with a wildcard arm; new failure modes (like the
+/// fault-injection variants) may be added without a breaking release.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GpuError {
     /// The device memory pool could not satisfy an allocation.
     OutOfMemory {
@@ -42,6 +47,17 @@ pub enum GpuError {
     ShutDown,
     /// A freed or never-allocated pointer was passed to `free`.
     InvalidFree(u64),
+    /// The device has been marked lost (hardware failure, fault plan):
+    /// every operation on it fails until the runtime is rebuilt.
+    DeviceLost(u32),
+    /// A fault injected by an installed [`crate::FaultPlan`]. Fires
+    /// *before* the operation has any effect, so retrying is always safe.
+    FaultInjected {
+        /// Device the faulted operation targeted.
+        device: u32,
+        /// Where the fault fired.
+        site: FaultSite,
+    },
 }
 
 impl fmt::Display for GpuError {
@@ -66,6 +82,10 @@ impl fmt::Display for GpuError {
             GpuError::ShutDown => write!(f, "GPU runtime has been shut down"),
             GpuError::InvalidFree(off) => {
                 write!(f, "invalid free of device offset {off:#x}")
+            }
+            GpuError::DeviceLost(d) => write!(f, "device {d} has been lost"),
+            GpuError::FaultInjected { device, site } => {
+                write!(f, "injected {site} fault on device {device}")
             }
         }
     }

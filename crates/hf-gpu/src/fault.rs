@@ -1,0 +1,271 @@
+//! Seeded, deterministic GPU fault injection.
+//!
+//! Real accelerator deployments lose allocations, copies, kernel launches,
+//! and whole boards; a runtime that claims fault tolerance needs a way to
+//! *provoke* those failures on demand and reproducibly. A [`FaultPlan`]
+//! installed on a [`crate::GpuRuntime`] makes every failure path a
+//! first-class, testable code path:
+//!
+//! * per-site failure probabilities ([`FaultSite::Alloc`],
+//!   [`FaultSite::H2d`], [`FaultSite::D2h`], [`FaultSite::Kernel`]) decide
+//!   whether the *i*-th operation at a site fails — the verdict depends
+//!   only on `(seed, site, i)`, never on thread interleaving, so a failing
+//!   chaos run replays exactly from its seed;
+//! * whole-device loss ([`FaultPlan::lose_device`]) marks a device lost
+//!   after it has executed a configured number of stream ops; every
+//!   subsequent operation on it fails with
+//!   [`crate::GpuError::DeviceLost`].
+//!
+//! Injected faults fire *before* the faulted operation touches any device
+//! or host state (the check precedes the copy/launch), so a caller
+//! retrying a failed operation never double-applies its effect.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where in the device substrate an injected fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultSite {
+    /// Device memory allocation (`Device::alloc`, pull staging).
+    Alloc,
+    /// A host-to-device copy (pull task execution).
+    H2d,
+    /// A device-to-host copy (push task execution).
+    D2h,
+    /// A kernel launch.
+    Kernel,
+}
+
+impl FaultSite {
+    /// Every injectable site, for iterating plans and tests.
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::Alloc,
+        FaultSite::H2d,
+        FaultSite::D2h,
+        FaultSite::Kernel,
+    ];
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            FaultSite::Alloc => 0,
+            FaultSite::H2d => 1,
+            FaultSite::D2h => 2,
+            FaultSite::Kernel => 3,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultSite::Alloc => "alloc",
+            FaultSite::H2d => "h2d",
+            FaultSite::D2h => "d2h",
+            FaultSite::Kernel => "kernel",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scheduled whole-device loss: the device is marked lost once it has
+/// executed `after_ops` stream ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceLoss {
+    /// Device to lose.
+    pub device: u32,
+    /// Stream ops the device completes before the loss takes effect
+    /// (`0` loses it before its first op).
+    pub after_ops: u64,
+}
+
+/// A seeded, deterministic fault plan. Install with
+/// [`crate::GpuRuntime::set_fault_plan`]; remove with `None`.
+///
+/// ```
+/// use hf_gpu::{FaultPlan, FaultSite};
+/// let plan = FaultPlan::seeded(42)
+///     .fail(FaultSite::Kernel, 0.05)
+///     .fail(FaultSite::H2d, 0.01)
+///     .lose_device(1, 100)
+///     .max_faults(10);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    probs: [f64; 4],
+    losses: Vec<DeviceLoss>,
+    max_faults: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fails operations at `site` with the given probability in `[0, 1]`.
+    pub fn fail(mut self, site: FaultSite, probability: f64) -> Self {
+        self.probs[site.index()] = probability.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fails every site with the same probability.
+    pub fn fail_all(mut self, probability: f64) -> Self {
+        for site in FaultSite::ALL {
+            self = self.fail(site, probability);
+        }
+        self
+    }
+
+    /// Marks `device` lost after it executes `after_ops` stream ops.
+    pub fn lose_device(mut self, device: u32, after_ops: u64) -> Self {
+        self.losses.push(DeviceLoss { device, after_ops });
+        self
+    }
+
+    /// Caps the total number of probabilistic faults injected across all
+    /// sites and devices (device losses are not counted). Useful for
+    /// "exactly one launch failure" style tests.
+    pub fn max_faults(mut self, n: u64) -> Self {
+        self.max_faults = Some(n);
+        self
+    }
+}
+
+/// Runtime state of an installed [`FaultPlan`]: per-site draw counters and
+/// the injected-fault total, shared by every device of a runtime so the
+/// cap and the counters are global.
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    draws: [AtomicU64; 4],
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            draws: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Probabilistic faults injected so far.
+    pub(crate) fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Draws the next verdict for `site`. The i-th call for a site yields
+    /// the same verdict for a given seed regardless of which thread makes
+    /// it or how calls at other sites interleave.
+    pub(crate) fn should_fail(&self, site: FaultSite) -> bool {
+        let p = self.plan.probs[site.index()];
+        if p <= 0.0 {
+            return false;
+        }
+        let idx = self.draws[site.index()].fetch_add(1, Ordering::Relaxed);
+        let h = splitmix64(self.plan.seed ^ ((site.index() as u64 + 1) << 56) ^ idx);
+        // Top 53 bits give a uniform draw in [0, 1).
+        let x = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if x >= p {
+            return false;
+        }
+        match self.plan.max_faults {
+            None => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Some(cap) => self
+                .injected
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    (n < cap).then_some(n + 1)
+                })
+                .is_ok(),
+        }
+    }
+
+    /// True when the plan loses `device` at or before op number `op_seq`.
+    pub(crate) fn loses(&self, device: u32, op_seq: u64) -> bool {
+        self.plan
+            .losses
+            .iter()
+            .any(|l| l.device == device && op_seq >= l.after_ops)
+    }
+}
+
+/// splitmix64 — the same dependency-free mixer used for seeded placement.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_per_site_and_index() {
+        let plan = FaultPlan::seeded(7).fail_all(0.5);
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        for _ in 0..256 {
+            for site in FaultSite::ALL {
+                assert_eq!(a.should_fail(site), b.should_fail(site));
+            }
+        }
+        assert_eq!(a.injected(), b.injected());
+        assert!(a.injected() > 0, "p=0.5 over 1024 draws must fire");
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let inj = FaultInjector::new(FaultPlan::seeded(1));
+        for _ in 0..100 {
+            assert!(!inj.should_fail(FaultSite::Kernel));
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn max_faults_caps_injections() {
+        let inj = FaultInjector::new(FaultPlan::seeded(3).fail_all(1.0).max_faults(2));
+        let fired: usize = (0..50)
+            .filter(|_| inj.should_fail(FaultSite::H2d))
+            .count();
+        assert_eq!(fired, 2);
+        assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn device_loss_matches_schedule() {
+        let inj = FaultInjector::new(FaultPlan::seeded(0).lose_device(1, 3));
+        assert!(!inj.loses(0, 100));
+        assert!(!inj.loses(1, 2));
+        assert!(inj.loses(1, 3));
+        assert!(inj.loses(1, 4));
+    }
+
+    #[test]
+    fn probability_one_always_fires() {
+        let inj = FaultInjector::new(FaultPlan::seeded(9).fail(FaultSite::Alloc, 1.0));
+        for _ in 0..20 {
+            assert!(inj.should_fail(FaultSite::Alloc));
+        }
+    }
+}

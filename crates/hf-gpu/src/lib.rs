@@ -44,6 +44,7 @@ pub mod cost;
 pub mod device;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod kernel;
 pub mod plain;
 pub mod pool;
@@ -57,6 +58,7 @@ pub use cost::{CostModel, SimDuration};
 pub use device::{Device, DeviceId, ScopedDeviceContext};
 pub use error::GpuError;
 pub use event::Event;
+pub use fault::{DeviceLoss, FaultPlan, FaultSite};
 pub use kernel::{GridDim, KernelArgs, LaunchConfig};
 pub use plain::Plain;
 pub use trace::{GpuOpKind, GpuTraceEvent, GpuTraceSink, OpLabel};

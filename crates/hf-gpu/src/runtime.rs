@@ -3,7 +3,10 @@
 use crate::cost::CostModel;
 use crate::device::{Device, DeviceId};
 use crate::error::GpuError;
+use crate::fault::{FaultInjector, FaultPlan};
+use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Configuration for a [`GpuRuntime`].
@@ -32,6 +35,8 @@ impl Default for GpuConfig {
 pub struct GpuRuntime {
     devices: Vec<Device>,
     engines: Vec<JoinHandle<()>>,
+    /// Installed fault injector (shared with every device).
+    fault: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl std::fmt::Debug for GpuRuntime {
@@ -52,7 +57,11 @@ impl GpuRuntime {
             devices.push(d);
             engines.push(h);
         }
-        Self { devices, engines }
+        Self {
+            devices,
+            engines,
+            fault: Mutex::new(None),
+        }
     }
 
     /// Number of devices.
@@ -91,6 +100,39 @@ impl GpuRuntime {
     /// True when any device has a trace sink installed.
     pub fn tracing_enabled(&self) -> bool {
         self.devices.iter().any(|d| d.tracing())
+    }
+
+    /// Installs (or removes, with `None`) a seeded [`FaultPlan`] on every
+    /// device. Installing a plan revives previously lost devices and
+    /// resets their op counters; the plan's draw counters and fault cap
+    /// are shared across devices so a plan behaves the same regardless of
+    /// device count.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        let inj = plan.map(|p| Arc::new(FaultInjector::new(p)));
+        for d in &self.devices {
+            d.set_fault_injector(inj.clone());
+        }
+        *self.fault.lock() = inj;
+    }
+
+    /// Probabilistic faults injected by the installed plan so far
+    /// (scheduled device losses are not counted).
+    pub fn faults_injected(&self) -> u64 {
+        self.fault.lock().as_ref().map_or(0, |i| i.injected())
+    }
+
+    /// Ids of devices currently marked lost.
+    pub fn lost_devices(&self) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|d| d.is_lost())
+            .map(|d| d.id())
+            .collect()
+    }
+
+    /// True when any device is marked lost.
+    pub fn any_device_lost(&self) -> bool {
+        self.devices.iter().any(|d| d.is_lost())
     }
 }
 

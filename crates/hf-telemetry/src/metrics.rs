@@ -189,6 +189,10 @@ impl MetricsRegistry {
         self.set_counter("hf_executor_notify_coalesced_total", "Wakeups saved by notification coalescing", l, s.notify_coalesced);
         self.set_counter("hf_executor_topo_cache_hits_total", "Cached freeze/placement plan reuses", l, s.topo_cache_hits);
         self.set_counter("hf_executor_topo_cache_misses_total", "Freeze + placement recomputations", l, s.topo_cache_misses);
+        self.set_counter("hf_executor_faults_injected_total", "Injected device faults observed by task failures", l, s.faults_injected);
+        self.set_counter("hf_executor_retries_total", "Task attempts re-scheduled by the retry policy", l, s.retries);
+        self.set_counter("hf_executor_devices_lost_total", "Devices observed as lost", l, s.devices_lost);
+        self.set_counter("hf_executor_cancelled_total", "Submissions finished as cancelled", l, s.cancelled);
     }
 
     /// Imports per-device engine and memory-pool statistics as

@@ -18,7 +18,6 @@
 //! validates the artifacts (parses the JSON, checks span invariants) and
 //! exits non-zero on violation — CI runs this mode.
 
-use heteroflow::core::{SpanCat, TraceCollector, Track};
 use heteroflow::prelude::*;
 use heteroflow::telemetry::{chrome_trace, critical_path, MetricsRegistry};
 use std::sync::Arc;

@@ -54,13 +54,10 @@ pub use hf_sync as sync;
 pub use hf_telemetry as telemetry;
 pub use hf_timing as timing;
 
-/// The commonly-used types in one import.
+/// The commonly-used types in one import: the hf-core prelude (graph
+/// building, executor, retry/failover policies, fault injection, run
+/// control) plus the telemetry entry points.
 pub mod prelude {
-    pub use hf_core::data::HostVec;
-    pub use hf_core::{
-        AsTask, Executor, ExecutorBuilder, Heteroflow, HfError, HostTask, KernelTask,
-        PlacementPolicy, PullTask, PushTask, RunFuture, TaskKind, TaskRef, TraceCollector,
-    };
-    pub use hf_gpu::{GpuConfig, KernelArgs, LaunchConfig};
+    pub use hf_core::prelude::*;
     pub use hf_telemetry::{critical_path, MetricsRegistry};
 }

@@ -1,0 +1,295 @@
+//! Chaos stress test: drive many seeded fault plans through real graphs
+//! and assert every run ends in a correct result or a structured error —
+//! never a hang, never silent corruption.
+//!
+//! The base seed comes from `HF_CHAOS_SEED` (decimal) when set, so CI can
+//! run one fixed and one time-derived pass; every assertion message
+//! carries the seed needed to reproduce the failure locally.
+
+use heteroflow::prelude::*;
+use std::time::Duration;
+
+const DEFAULT_SEED: u64 = 0x5eed_cafe_f00d_0001;
+const PLANS: usize = 100;
+const DEADLINE: Duration = Duration::from_secs(30);
+
+fn base_seed() -> u64 {
+    std::env::var("HF_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// splitmix64: cheap, well-mixed stream for deriving per-plan randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Build a randomized fault plan from one seed: per-site failure
+/// probabilities, an optional fault budget, and an occasional whole-device
+/// loss.
+fn plan_for(seed: u64) -> FaultPlan {
+    let mut rng = Rng(seed);
+    let mut plan = FaultPlan::seeded(seed);
+    for site in [
+        FaultSite::Alloc,
+        FaultSite::H2d,
+        FaultSite::D2h,
+        FaultSite::Kernel,
+    ] {
+        // 0.0 ..= 0.24 per site; often 0 so plenty of runs stay clean.
+        let p = (rng.next() % 100) as f64 / 400.0;
+        if rng.next().is_multiple_of(2) {
+            plan = plan.fail(site, p);
+        }
+    }
+    if !rng.next().is_multiple_of(3) {
+        // Bound the storm so most faulty runs can still retry to success.
+        plan = plan.max_faults(1 + rng.next() % 6);
+    }
+    if rng.next().is_multiple_of(4) {
+        let dev = (rng.next() % 2) as u32;
+        let after = rng.next() % 8;
+        plan = plan.lose_device(dev, after);
+    }
+    plan
+}
+
+fn chaos_executor(plan: FaultPlan) -> Executor {
+    let ex = Executor::builder(2, 2)
+        .retry_policy(RetryPolicy::new(3))
+        .build();
+    ex.gpu_runtime().set_fault_plan(Some(plan));
+    ex
+}
+
+/// Pre-filled saxpy (Listing 1 without the host fill tasks): y += a*x.
+fn run_saxpy(ex: &Executor, seed: u64) -> bool {
+    const N: usize = 256;
+    let x: HostVec<i32> = HostVec::from_vec(vec![1; N]);
+    let y: HostVec<i32> = HostVec::from_vec(vec![2; N]);
+    let g = Heteroflow::new("chaos_saxpy");
+    let pull_x = g.pull("pull_x", &x);
+    let pull_y = g.pull("pull_y", &y);
+    let kernel = g.kernel("saxpy", &[&pull_x, &pull_y], |cfg, args| {
+        let (xs, ys) = args.slice2_mut::<i32, i32>(0, 1).unwrap();
+        for i in cfg.threads() {
+            if i < ys.len() {
+                ys[i] += 2 * xs[i];
+            }
+        }
+    });
+    kernel.cover(N, 64);
+    let push_y = g.push("push_y", &pull_y, &y);
+    kernel.succeed_all(&[&pull_x, &pull_y]);
+    kernel.precede(&push_y);
+
+    let fut = ex.run(&g);
+    match fut.wait_timeout(DEADLINE) {
+        None => panic!("saxpy hung under fault plan (seed {seed})"),
+        Some(Ok(())) => {
+            assert!(
+                y.read().iter().all(|&v| v == 4),
+                "saxpy reported success with wrong data (seed {seed}): {:?}...",
+                &y.read()[..8]
+            );
+            true
+        }
+        Some(Err(e)) => {
+            // Structured failure is acceptable; silent corruption is not.
+            assert!(
+                !matches!(e, HfError::Cancelled),
+                "uncancelled saxpy ended Cancelled (seed {seed}): {e}"
+            );
+            false
+        }
+    }
+}
+
+/// Miniature wavefront (examples/wavefront.rs): a grid of tiles where each
+/// kernel reads its own pull plus the upper and left neighbors' pulls, with
+/// a CPU reference recurrence for validation.
+fn run_wavefront(ex: &Executor, seed: u64) -> bool {
+    const GRID: usize = 3;
+    const TILE: usize = 8;
+    let tiles: Vec<HostVec<f32>> = (0..GRID * GRID)
+        .map(|idx| HostVec::from_vec(vec![(idx % 7) as f32; TILE * TILE]))
+        .collect();
+
+    let g = Heteroflow::new("chaos_wavefront");
+    let pulls: Vec<PullTask> = (0..GRID * GRID)
+        .map(|idx| g.pull(&format!("pull_{idx}"), &tiles[idx]))
+        .collect();
+    let mut kernels: Vec<KernelTask> = Vec::with_capacity(GRID * GRID);
+    for i in 0..GRID {
+        for j in 0..GRID {
+            let mut sources: Vec<&PullTask> = vec![&pulls[i * GRID + j]];
+            if i > 0 {
+                sources.push(&pulls[(i - 1) * GRID + j]);
+            }
+            if j > 0 {
+                sources.push(&pulls[i * GRID + j - 1]);
+            }
+            let n_src = sources.len();
+            let k = g.kernel(&format!("block_{i}_{j}"), &sources, move |cfg, args| {
+                let mut incoming = 0.0f32;
+                for s in 1..n_src {
+                    let nb = args.slice::<f32>(s).unwrap();
+                    incoming += nb.iter().sum::<f32>() / nb.len() as f32;
+                }
+                let own = args.slice_mut::<f32>(0).unwrap();
+                for t in cfg.threads() {
+                    if t < own.len() {
+                        own[t] = 0.5 * own[t] + incoming;
+                    }
+                }
+            });
+            k.cover(TILE * TILE, 64);
+            k.succeed(&pulls[i * GRID + j]);
+            if i > 0 {
+                k.succeed(&kernels[(i - 1) * GRID + j]);
+            }
+            if j > 0 {
+                k.succeed(&kernels[i * GRID + j - 1]);
+            }
+            kernels.push(k);
+        }
+    }
+    let corner = GRID * GRID - 1;
+    let push = g.push("push_corner", &pulls[corner], &tiles[corner]);
+    push.succeed(&kernels[corner]);
+
+    // CPU reference for the corner tile's uniform value.
+    let mut reference = vec![vec![0.0f32; GRID]; GRID];
+    for i in 0..GRID {
+        for j in 0..GRID {
+            let idx = i * GRID + j;
+            let up = if i > 0 { reference[i - 1][j] } else { 0.0 };
+            let left = if j > 0 { reference[i][j - 1] } else { 0.0 };
+            reference[i][j] = 0.5 * (idx % 7) as f32 + up + left;
+        }
+    }
+    let expect = reference[GRID - 1][GRID - 1];
+
+    let fut = ex.run(&g);
+    match fut.wait_timeout(DEADLINE) {
+        None => panic!("wavefront hung under fault plan (seed {seed})"),
+        Some(Ok(())) => {
+            let got = tiles[corner].read()[0];
+            assert!(
+                (got - expect).abs() < 1e-3,
+                "wavefront reported success with wrong data (seed {seed}): got {got}, want {expect}"
+            );
+            true
+        }
+        Some(Err(e)) => {
+            assert!(
+                !matches!(e, HfError::Cancelled),
+                "uncancelled wavefront ended Cancelled (seed {seed}): {e}"
+            );
+            false
+        }
+    }
+}
+
+/// 100 randomized fault plans over both workloads: every run must settle
+/// within the deadline with either a correct result or a structured error.
+#[test]
+fn chaos_fault_plans_never_hang_or_corrupt() {
+    let base = base_seed();
+    eprintln!("chaos base seed: {base} (set HF_CHAOS_SEED={base} to reproduce)");
+    let mut rng = Rng(base);
+    let (mut ok, mut failed) = (0u32, 0u32);
+    let (mut faults, mut retries, mut losses) = (0u64, 0u64, 0u64);
+    for iter in 0..PLANS {
+        let seed = rng.next();
+        eprintln!("iteration {iter}: plan seed {seed}");
+        for (workload, plan_seed) in [("saxpy", seed), ("wavefront", seed ^ 0xabcd)] {
+            let ex = chaos_executor(plan_for(plan_seed));
+            let succeeded = match workload {
+                "saxpy" => run_saxpy(&ex, seed),
+                _ => run_wavefront(&ex, seed),
+            };
+            if succeeded {
+                ok += 1;
+            } else {
+                failed += 1;
+            }
+            let snap = ex.stats().snapshot();
+            faults += snap.faults_injected;
+            retries += snap.retries;
+            losses += snap.devices_lost;
+        }
+    }
+    eprintln!(
+        "chaos summary (base seed {base}): {ok} ok, {failed} structured failures, \
+         {faults} faults injected, {retries} retries, {losses} device losses"
+    );
+    // The campaign must actually exercise the fault paths: some runs keep
+    // succeeding, and faults/retries fire somewhere across 200 runs.
+    assert!(ok > 0, "no run succeeded under chaos (base seed {base})");
+    assert!(
+        faults > 0 || losses > 0,
+        "no fault ever fired across {PLANS} plans (base seed {base})"
+    );
+}
+
+/// Acceptance criterion: a run that loses a device mid-flight completes on
+/// the survivors, and the loss is visible in the stats snapshot.
+#[test]
+fn device_loss_completes_on_survivors() {
+    let seed = base_seed();
+    let ex = Executor::builder(2, 2)
+        .retry_policy(RetryPolicy::new(3))
+        .build();
+    ex.gpu_runtime()
+        .set_fault_plan(Some(FaultPlan::seeded(seed).lose_device(1, 1)));
+
+    // Two independent lanes => two placement groups => both devices used,
+    // so device 1 is guaranteed to host live work when it dies.
+    let bufs: Vec<HostVec<i32>> = (0..2)
+        .map(|_| HostVec::from_vec(vec![3; 64]))
+        .collect();
+    let g = Heteroflow::new("lose_one");
+    for (i, b) in bufs.iter().enumerate() {
+        let p = g.pull(&format!("pull_{i}"), b);
+        let k = g.kernel(&format!("double_{i}"), &[&p], |cfg, args| {
+            let xs = args.slice_mut::<i32>(0).unwrap();
+            for t in cfg.threads() {
+                if t < xs.len() {
+                    xs[t] *= 2;
+                }
+            }
+        });
+        k.block_x(64);
+        let s = g.push(&format!("push_{i}"), &p, b);
+        p.precede(&k);
+        k.precede(&s);
+    }
+
+    let res = ex
+        .run(&g)
+        .wait_timeout(DEADLINE)
+        .unwrap_or_else(|| panic!("device-loss run hung (seed {seed})"));
+    assert_eq!(res, Ok(()), "device-loss run failed (seed {seed})");
+    for b in &bufs {
+        assert!(
+            b.read().iter().all(|&v| v == 6),
+            "device-loss run corrupted data (seed {seed})"
+        );
+    }
+    let snap = ex.stats().snapshot();
+    assert!(
+        snap.devices_lost >= 1,
+        "expected devices_lost >= 1 in stats (seed {seed}), got {}",
+        snap.devices_lost
+    );
+}
