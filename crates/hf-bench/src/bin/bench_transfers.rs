@@ -1,0 +1,214 @@
+//! Data-movement fast-path benchmark: transfer elision on resubmitted
+//! copy-heavy graphs, magazine-cache throughput vs a mutex-only buddy
+//! pool, pool allocation latency percentiles, and trace evidence that a
+//! chunked copy overlaps a kernel on the same device.
+//!
+//! Usage: `cargo run --release -p hf-bench --bin bench_transfers --
+//! [--smoke] [--out BENCH_transfers.json]`
+
+use hf_bench::cli::Args;
+use hf_core::data::HostVec;
+use hf_core::observer::{SpanCat, TraceCollector, Track};
+use hf_core::{Executor, Heteroflow};
+use hf_gpu::{BuddyAllocator, MemoryPool};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let out = args.get_str("out").unwrap_or("BENCH_transfers.json").to_string();
+
+    let copy_heavy = copy_heavy_elision(smoke);
+    let pool = pool_throughput(smoke);
+    let overlap = chunked_overlap(smoke);
+
+    let doc = json!({
+        "bench": "transfers",
+        "smoke": smoke,
+        "copy_heavy": copy_heavy,
+        "pool": pool,
+        "overlap": overlap,
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serializes");
+    std::fs::write(&out, &text).expect("write report");
+    println!("{text}");
+    println!("\nwrote {out}");
+}
+
+/// Resubmits a copy-heavy graph (parallel pull -> push lanes) and
+/// measures throughput plus the fraction of H2D copies elided after the
+/// first submission establishes residency.
+fn copy_heavy_elision(smoke: bool) -> serde_json::Value {
+    let (lanes, n, resubmissions) = if smoke { (4, 1 << 14, 10) } else { (8, 1 << 18, 30) };
+    let ex = Executor::new(4, 2);
+    let g = Heteroflow::new("copy_heavy");
+    let mut bufs = Vec::new();
+    for lane in 0..lanes {
+        let data: HostVec<i64> = HostVec::from_vec(vec![lane as i64; n]);
+        let p = g.pull(&format!("pull{lane}"), &data);
+        let s = g.push(&format!("push{lane}"), &p, &data);
+        p.precede(&s);
+        bufs.push(data);
+    }
+
+    let t0 = Instant::now();
+    for _ in 0..resubmissions {
+        ex.run(&g).wait().expect("copy-heavy graph runs");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+
+    let s = ex.stats().snapshot();
+    let pull_execs = (lanes * resubmissions) as u64;
+    let elided_ratio = s.transfers_elided as f64 / pull_execs as f64;
+    json!({
+        "lanes": lanes,
+        "bytes_per_pull": n * 8,
+        "resubmissions": resubmissions,
+        "tasks_per_sec": s.tasks_executed as f64 / secs,
+        "pull_executions": pull_execs,
+        "transfers_elided": s.transfers_elided,
+        "elided_ratio": elided_ratio,
+        "bytes_h2d": s.bytes_h2d,
+        "bytes_d2h": s.bytes_d2h,
+    })
+}
+
+/// Same-size alloc/free storms from several threads: the magazine-fronted
+/// device pool vs a plain mutex-guarded buddy allocator, plus latency
+/// percentiles for the pool fast path.
+fn pool_throughput(smoke: bool) -> serde_json::Value {
+    let threads = 4usize;
+    let iters = if smoke { 20_000 } else { 200_000 };
+    let size = 4096usize;
+    let capacity = 1usize << 26;
+
+    // Magazine-fronted pool (the first free per class parks a block, so
+    // every later alloc is a lock-free magazine hit).
+    let pool = MemoryPool::new(0, capacity, 256);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for _ in 0..iters {
+                    let p = pool.alloc(size).expect("alloc");
+                    pool.free(p).expect("free");
+                }
+            });
+        }
+    });
+    let magazine_secs = t0.elapsed().as_secs_f64();
+
+    // Baseline: every alloc and free takes the buddy mutex.
+    let buddy = parking_lot::Mutex::new(BuddyAllocator::new(capacity, 256));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for _ in 0..iters {
+                    let off = buddy.lock().alloc(size).expect("alloc");
+                    buddy.lock().free(off).expect("free");
+                }
+            });
+        }
+    });
+    let mutex_secs = t0.elapsed().as_secs_f64();
+
+    let ops = (threads * iters * 2) as f64;
+
+    // Latency percentiles of the warm (magazine-hit) alloc path.
+    let samples = if smoke { 20_000 } else { 100_000 };
+    let mut nanos = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        let p = pool.alloc(size).expect("alloc");
+        nanos.push(t.elapsed().as_nanos() as u64);
+        pool.free(p).expect("free");
+    }
+    nanos.sort_unstable();
+    let p50 = nanos[samples / 2];
+    let p99 = nanos[samples * 99 / 100];
+
+    let stats = pool.stats();
+    json!({
+        "threads": threads,
+        "iters_per_thread": iters,
+        "alloc_size": size,
+        "magazine_ops_per_sec": ops / magazine_secs,
+        "mutex_ops_per_sec": ops / mutex_secs,
+        "speedup": mutex_secs / magazine_secs,
+        "alloc_p50_ns": p50,
+        "alloc_p99_ns": p99,
+        "magazine_hits": stats.magazine_hits,
+        "magazine_misses": stats.magazine_misses,
+    })
+}
+
+/// Runs a two-lane graph — one big chunked pull, one independent kernel —
+/// under the stitched tracer and reports whether a kernel span executed
+/// inside the chunked copy's extent on the same device (pipelining
+/// evidence). Retries a few times because the interleaving is a race the
+/// scheduler usually, but not always, wins on the first attempt.
+fn chunked_overlap(smoke: bool) -> serde_json::Value {
+    let n = if smoke { 1 << 20 } else { 1 << 22 }; // f32 elements
+    let chunk = 64 * 1024;
+    let kn = if smoke { 1 << 15 } else { 1 << 17 };
+    const ATTEMPTS: usize = 10;
+
+    for attempt in 1..=ATTEMPTS {
+        let trace = TraceCollector::shared();
+        let ex = Executor::builder(2, 1)
+            .copy_chunk_threshold(chunk)
+            .copy_lanes(2)
+            .tracer(Arc::clone(&trace))
+            .build();
+
+        let g = Heteroflow::new("overlap");
+        let big: HostVec<f32> = HostVec::from_vec(vec![1.0; n]);
+        g.pull("big_pull", &big);
+        let small: HostVec<f32> = HostVec::from_vec(vec![2.0; kn]);
+        let p = g.pull("small_pull", &small);
+        let k = g.kernel("busy_kernel", &[&p], |cfg, args| {
+            let v = args.slice_mut::<f32>(0).expect("arg");
+            for t in cfg.threads() {
+                if t < v.len() {
+                    v[t] = v[t].sin().mul_add(1.5, 0.25);
+                }
+            }
+        });
+        k.cover(kn, 128);
+        p.precede(&k);
+
+        ex.run(&g).wait().expect("overlap graph runs");
+        drop(ex);
+        let spans = trace.spans();
+
+        let chunks: Vec<_> = spans
+            .iter()
+            .filter(|s| {
+                matches!(s.track, Track::Device(_))
+                    && s.cat == SpanCat::Task
+                    && s.name.contains("#c")
+            })
+            .collect();
+        let kernel = spans
+            .iter()
+            .find(|s| s.cat == SpanCat::Task && s.name == "busy_kernel");
+        if let (Some(k), false) = (kernel, chunks.is_empty()) {
+            let first = chunks.iter().map(|c| c.start_us).min().unwrap();
+            let last = chunks.iter().map(|c| c.end_us()).max().unwrap();
+            let overlaps = k.start_us < last && first < k.end_us();
+            if overlaps {
+                return json!({
+                    "observed": true,
+                    "attempts": attempt,
+                    "chunks": chunks.len(),
+                    "chunk_extent_us": vec![first, last],
+                    "kernel_span_us": vec![k.start_us, k.end_us()],
+                });
+            }
+        }
+    }
+    json!({ "observed": false, "attempts": ATTEMPTS })
+}

@@ -8,10 +8,26 @@
 //! vector — as the binding endpoint. The stateful property is identical:
 //! pull reads the vector's *current* contents when the copy executes, and
 //! push writes back into the vector at execution time.
+//!
+//! Every [`HostVec`] additionally carries a **monotonic version counter**,
+//! bumped whenever a write guard is taken. Pull tasks record the version
+//! they copied to the device; on re-execution with an unchanged version
+//! (and unchanged placement) the H2D copy is *elided* because the device
+//! bytes are already current — see the executor's residency tracking.
 
 use hf_gpu::plain::{self, Plain};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+struct Shared<T> {
+    data: RwLock<Vec<T>>,
+    /// Bumped (under the write lock) every time a write guard is handed
+    /// out. Conservative: taking the guard counts as a mutation even if
+    /// nothing is written, which can only cause a redundant copy, never a
+    /// stale one.
+    version: AtomicU64,
+}
 
 /// A shared host vector bindable to pull and push tasks.
 ///
@@ -26,7 +42,7 @@ use std::sync::Arc;
 /// assert_eq!(x.read().as_slice(), &[7, 7, 7, 7]);
 /// ```
 pub struct HostVec<T> {
-    inner: Arc<RwLock<Vec<T>>>,
+    inner: Arc<Shared<T>>,
 }
 
 impl<T> Clone for HostVec<T> {
@@ -45,55 +61,66 @@ impl<T> Default for HostVec<T> {
 
 impl<T: std::fmt::Debug> std::fmt::Debug for HostVec<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_tuple("HostVec").field(&*self.inner.read()).finish()
+        f.debug_tuple("HostVec").field(&*self.inner.data.read()).finish()
     }
 }
 
 impl<T> HostVec<T> {
     /// Creates an empty shared vector.
     pub fn new() -> Self {
-        Self {
-            inner: Arc::new(RwLock::new(Vec::new())),
-        }
+        Self::from_vec(Vec::new())
     }
 
     /// Creates from existing contents.
     pub fn from_vec(v: Vec<T>) -> Self {
         Self {
-            inner: Arc::new(RwLock::new(v)),
+            inner: Arc::new(Shared {
+                data: RwLock::new(v),
+                version: AtomicU64::new(0),
+            }),
         }
     }
 
     /// Read guard over the contents.
     pub fn read(&self) -> parking_lot::RwLockReadGuard<'_, Vec<T>> {
-        self.inner.read()
+        self.inner.data.read()
     }
 
-    /// Write guard over the contents.
+    /// Write guard over the contents. Taking the guard bumps the version
+    /// counter, invalidating any device-resident copy of this vector.
     pub fn write(&self) -> parking_lot::RwLockWriteGuard<'_, Vec<T>> {
-        self.inner.write()
+        let guard = self.inner.data.write();
+        // Bumped under the write lock so a concurrent versioned read
+        // cannot pair the new version with the old bytes.
+        self.inner.version.fetch_add(1, Ordering::Release);
+        guard
+    }
+
+    /// Current value of the monotonic version counter.
+    pub fn version(&self) -> u64 {
+        self.inner.version.load(Ordering::Acquire)
     }
 
     /// Current element count.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.data.read().len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.data.read().is_empty()
     }
 
     /// Extracts the contents, leaving the shared vector empty.
     pub fn take(&self) -> Vec<T> {
-        std::mem::take(&mut *self.inner.write())
+        std::mem::take(&mut *self.write())
     }
 }
 
 impl<T: Clone> HostVec<T> {
     /// Clones the contents out.
     pub fn to_vec(&self) -> Vec<T> {
-        self.inner.read().clone()
+        self.inner.data.read().clone()
     }
 }
 
@@ -110,6 +137,17 @@ pub trait HostSource: Send + Sync + 'static {
     fn fetch_bytes(&self) -> Vec<u8>;
     /// Current byte length (used to size the device allocation).
     fn byte_len(&self) -> usize;
+    /// Monotonic version of the contents, if the source tracks one.
+    /// Sources returning `None` are never elided. The default tracks
+    /// nothing.
+    fn version(&self) -> Option<u64> {
+        None
+    }
+    /// Snapshot of the current bytes together with their version, read
+    /// atomically (the version must describe exactly these bytes).
+    fn fetch_bytes_versioned(&self) -> (Vec<u8>, Option<u64>) {
+        (self.fetch_bytes(), None)
+    }
 }
 
 /// Anything a push task can write device bytes back into at execution
@@ -117,24 +155,51 @@ pub trait HostSource: Send + Sync + 'static {
 pub trait HostSink: Send + Sync + 'static {
     /// Overwrites the host storage with the device bytes.
     fn store_bytes(&self, bytes: &[u8]);
+    /// Overwrites the host storage and returns the resulting version, if
+    /// the sink tracks one. After a push the host and device bytes agree,
+    /// so a pull of the same buffer may treat the returned version as
+    /// device-resident.
+    fn store_bytes_versioned(&self, bytes: &[u8]) -> Option<u64> {
+        self.store_bytes(bytes);
+        None
+    }
 }
 
 impl<T: Plain> HostSource for HostVec<T> {
     fn fetch_bytes(&self) -> Vec<u8> {
-        plain::as_bytes(self.inner.read().as_slice()).to_vec()
+        plain::as_bytes(self.inner.data.read().as_slice()).to_vec()
     }
 
     fn byte_len(&self) -> usize {
-        self.inner.read().len() * std::mem::size_of::<T>()
+        self.inner.data.read().len() * std::mem::size_of::<T>()
+    }
+
+    fn version(&self) -> Option<u64> {
+        Some(HostVec::version(self))
+    }
+
+    fn fetch_bytes_versioned(&self) -> (Vec<u8>, Option<u64>) {
+        // Version read under the read lock: a writer bumps before its
+        // guard is granted, so the pair is consistent.
+        let guard = self.inner.data.read();
+        let version = self.inner.version.load(Ordering::Acquire);
+        (plain::as_bytes(guard.as_slice()).to_vec(), Some(version))
     }
 }
 
 impl<T: Plain> HostSink for HostVec<T> {
     fn store_bytes(&self, bytes: &[u8]) {
-        let mut guard = self.inner.write();
+        self.store_bytes_versioned(bytes);
+    }
+
+    fn store_bytes_versioned(&self, bytes: &[u8]) -> Option<u64> {
+        let mut guard = self.write();
         let elems: &[T] = plain::from_bytes(&bytes[..bytes.len() - bytes.len() % std::mem::size_of::<T>()]);
         guard.clear();
         guard.extend_from_slice(elems);
+        // Read back under the still-held write lock: this is the version
+        // that describes exactly the bytes just stored.
+        Some(self.inner.version.load(Ordering::Acquire))
     }
 }
 
@@ -168,5 +233,42 @@ mod tests {
         assert_eq!(b.to_vec(), vec![1.5]);
         assert_eq!(b.take(), vec![1.5]);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn write_bumps_version() {
+        let v: HostVec<i32> = HostVec::from_vec(vec![1]);
+        let v0 = v.version();
+        {
+            let _g = v.write();
+        }
+        assert_eq!(v.version(), v0 + 1);
+        // Reads do not bump.
+        let _ = v.read();
+        let _ = v.to_vec();
+        assert_eq!(v.version(), v0 + 1);
+    }
+
+    #[test]
+    fn versioned_fetch_and_store_agree() {
+        let v: HostVec<i32> = HostVec::from_vec(vec![3, 4]);
+        let src: &dyn HostSource = &v.clone();
+        let (bytes, ver) = src.fetch_bytes_versioned();
+        assert_eq!(ver, Some(v.version()));
+        assert_eq!(bytes, plain::as_bytes(&[3i32, 4]).to_vec());
+
+        let sink: &dyn HostSink = &v.clone();
+        let stored = sink.store_bytes_versioned(plain::as_bytes(&[7i32]));
+        assert_eq!(stored, Some(v.version()), "store returns the new version");
+        assert_eq!(v.to_vec(), vec![7]);
+    }
+
+    #[test]
+    fn clones_share_version_counter() {
+        let a: HostVec<u8> = HostVec::new();
+        let b = a.clone();
+        let v0 = a.version();
+        b.write().push(1);
+        assert_eq!(a.version(), v0 + 1);
     }
 }

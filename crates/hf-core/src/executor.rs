@@ -31,9 +31,10 @@ use crate::placement::PlacementPolicy;
 use crate::retry::{OnDeviceLoss, RetryPolicy};
 use crate::stats::ExecutorStats;
 use crate::topology::{FusionPlan, RunFuture, Topology};
+use crate::data::{HostSink, HostSource};
 use hf_gpu::{
-    Device, FaultSite, GpuConfig, GpuError, GpuRuntime, KernelArgs, LaunchConfig, OpReport,
-    ScopedDeviceContext, Stream,
+    Device, DevicePtr, Event, FaultSite, GpuConfig, GpuError, GpuRuntime, KernelArgs,
+    LaunchConfig, OpReport, ScopedDeviceContext, Stream,
 };
 use hf_sync::{Injector, Notifier, Steal, StealDeque, Stealer};
 use parking_lot::{Condvar, Mutex};
@@ -61,6 +62,14 @@ fn unpack(token: Token) -> (u32, usize) {
 /// Newly-ready nodes are dispatched in chunks of this size: one chunk is
 /// one injector spray and one coalesced wakeup.
 const RELEASE_BATCH: usize = 32;
+
+/// Default byte size above which H2D/D2H transfers are chunked across
+/// copy-lane streams. Large enough that typical test graphs stay on the
+/// single-op path.
+const DEFAULT_COPY_CHUNK_THRESHOLD: usize = 1 << 20;
+
+/// Default number of copy-lane streams per (worker, device).
+const DEFAULT_COPY_LANES: usize = 2;
 
 /// Tokens a thief claims from the injector in one batched pop; extras are
 /// banked in its local deque.
@@ -229,6 +238,11 @@ struct ExecInner {
     /// Per-device "already counted as lost" latch for the
     /// `devices_lost` stat (each device counted once per executor).
     lost_seen: Vec<AtomicBool>,
+    /// H2D/D2H transfers larger than this many bytes are split into
+    /// chunks pipelined across copy-lane streams (`usize::MAX` disables).
+    copy_chunk_threshold: usize,
+    /// Copy-lane streams per (worker, device) used by chunked transfers.
+    copy_lanes: usize,
 }
 
 /// What [`ExecInner::failure_action`] decided about a failed task body.
@@ -254,6 +268,8 @@ pub struct ExecutorBuilder {
     observers: Vec<Arc<dyn ExecutorObserver>>,
     tracer: Option<Arc<crate::observer::TraceCollector>>,
     retry: RetryPolicy,
+    copy_chunk_threshold: usize,
+    copy_lanes: usize,
 }
 
 impl std::fmt::Debug for ExecutorBuilder {
@@ -282,7 +298,25 @@ impl ExecutorBuilder {
             observers: Vec::new(),
             tracer: None,
             retry: RetryPolicy::default(),
+            copy_chunk_threshold: DEFAULT_COPY_CHUNK_THRESHOLD,
+            copy_lanes: DEFAULT_COPY_LANES,
         }
+    }
+
+    /// Sets the byte size above which H2D/D2H transfers are split into
+    /// chunks enqueued round-robin across copy-lane streams, letting long
+    /// copies interleave with kernels on the same device (default 1 MiB;
+    /// `usize::MAX` disables chunking).
+    pub fn copy_chunk_threshold(mut self, bytes: usize) -> Self {
+        self.copy_chunk_threshold = bytes.max(1);
+        self
+    }
+
+    /// Sets how many copy-lane streams each worker opens per device for
+    /// chunked transfers (default 2; clamped to at least 1).
+    pub fn copy_lanes(mut self, lanes: usize) -> Self {
+        self.copy_lanes = lanes.max(1);
+        self
     }
 
     /// Sets the retry/failover policy applied when task bodies fail with
@@ -386,6 +420,8 @@ impl ExecutorBuilder {
             lost_seen: (0..gpu.num_devices())
                 .map(|_| AtomicBool::new(false))
                 .collect(),
+            copy_chunk_threshold: self.copy_chunk_threshold,
+            copy_lanes: self.copy_lanes,
         });
 
         let threads = deques
@@ -720,14 +756,13 @@ impl ExecInner {
     /// Completes a topology: settles its promise and promotes the next
     /// queued topology of the same graph, if any.
     fn finish_topology(&self, topo: Arc<Topology>) {
-        // Free device allocations made by pull tasks this run.
-        for node in &topo.frozen.nodes {
-            let mut st = node.pull_state.lock();
-            if let Some(ptr) = st.ptr.take() {
-                if let Ok(dev) = self.gpu.device(ptr.device) {
-                    let _ = dev.free(ptr);
-                }
-            }
+        // Pull allocations stay device-resident so an unchanged
+        // resubmission can elide its H2D copies; they are freed when the
+        // frozen snapshot drops (graph mutation or teardown). Give the
+        // pools' magazine caches back to the buddy allocator instead, so
+        // parked blocks can coalesce between runs.
+        for dev in self.gpu.devices() {
+            dev.trim_pool();
         }
 
         // Release the registry slot: every token of this topology has
@@ -818,8 +853,9 @@ impl ExecInner {
         topo.rounds.fetch_add(1, Ordering::Relaxed);
         self.stats.rounds.incr();
 
-        // Pull allocations persist across rounds (sizes usually repeat);
-        // they are reclaimed at topology completion.
+        // Pull allocations persist across rounds and submissions (sizes
+        // usually repeat, and unchanged data elides the copy entirely);
+        // they are reclaimed when the frozen snapshot drops.
         let stop = topo.cancelled.load(Ordering::Acquire)
             || topo.cancel_requested()
             || (topo.predicate.lock())();
@@ -992,6 +1028,8 @@ impl ExecInner {
             if let Some(p) = st.ptr {
                 if lost.get(p.device as usize).copied().unwrap_or(true) {
                     st.ptr = None;
+                    st.resident_version = None;
+                    st.device = None;
                 } else if new_placement.device_of[i] != Some(p.device) {
                     // Defensive: surviving groups keep their device, but if
                     // one ever moves, release the stale buffer properly.
@@ -999,6 +1037,8 @@ impl ExecInner {
                         let _ = dev.free(p);
                     }
                     st.ptr = None;
+                    st.resident_version = None;
+                    st.device = None;
                 }
             }
         }
@@ -1070,6 +1110,10 @@ struct Worker {
     /// Lazily created per-device streams — "each worker keeps a
     /// per-thread CUDA stream" (§III-C).
     streams: Vec<Option<Stream>>,
+    /// Lazily created per-device copy-lane streams: chunked transfers
+    /// round-robin their chunks across these so long copies interleave
+    /// with kernels on the device engine.
+    copy_streams: Vec<Vec<Stream>>,
     /// xorshift state for victim selection.
     rng: u64,
 }
@@ -1082,6 +1126,7 @@ impl Worker {
             deque: Arc::new(deque),
             inner,
             streams: (0..n_gpus).map(|_| None).collect(),
+            copy_streams: (0..n_gpus).map(|_| Vec::new()).collect(),
             rng: 0x9E3779B97F4A7C15 ^ (id as u64 + 1),
         }
     }
@@ -1107,6 +1152,21 @@ impl Worker {
             *slot = Some(Stream::new(&dev));
         }
         slot.clone().expect("just created")
+    }
+
+    /// Copy-lane streams for `device`, created on first chunked transfer.
+    fn copy_lanes(&mut self, device: u32) -> Vec<Stream> {
+        let lanes = self.inner.copy_lanes;
+        let slot = &mut self.copy_streams[device as usize];
+        if slot.is_empty() {
+            let dev = self
+                .inner
+                .gpu
+                .device(device)
+                .expect("placement produced a valid device id");
+            slot.extend((0..lanes).map(|_| Stream::new(&dev)));
+        }
+        slot.clone()
     }
 
     fn run(mut self) {
@@ -1384,17 +1444,27 @@ impl Worker {
         // drops it unused when tracing is off.
         let tracing = self.inner.gpu.tracing_enabled();
         for (&nid, op) in chain.iter().zip(ops) {
-            if tracing {
+            let label = if tracing {
                 let n = &topo.frozen.nodes[nid];
-                stream.exec_labeled(
-                    Some(hf_gpu::OpLabel {
-                        name: Arc::from(n.name.as_str()),
-                        tag: crate::observer::kind_to_tag(n.work.kind()),
-                    }),
-                    op,
-                );
+                Some(hf_gpu::OpLabel {
+                    name: Arc::from(n.name.as_str()),
+                    tag: crate::observer::kind_to_tag(n.work.kind()),
+                })
             } else {
-                stream.exec(op);
+                None
+            };
+            match op {
+                PreparedOp::Single(f) => stream.exec_labeled(label, f),
+                PreparedOp::ChunkedH2d { node, ptr, source } => {
+                    self.enqueue_chunked_h2d(
+                        topo, node, ptr, source, &device, &stream, &state, label,
+                    );
+                }
+                PreparedOp::ChunkedD2h { node, pull, ptr, sink } => {
+                    self.enqueue_chunked_d2h(
+                        topo, node, pull, ptr, sink, &device, &stream, &state, label,
+                    );
+                }
             }
         }
         let inner = Arc::clone(&self.inner);
@@ -1425,14 +1495,16 @@ impl Worker {
     }
 
     /// Builds the device op for one GPU node (without enqueueing it).
-    /// Pull tasks also (re)allocate their device buffer here.
+    /// Pull tasks also (re)use or (re)allocate their device buffer here;
+    /// transfers larger than the chunk threshold come back as chunked
+    /// descriptors that `dispatch_gpu_chain` pipelines across copy lanes.
     fn prepare_op(
         &mut self,
         topo: &Arc<Topology>,
         id: usize,
         device: &Device,
         state: &Arc<ChainState>,
-    ) -> Result<hf_gpu::stream::ExecFn, HfError> {
+    ) -> Result<PreparedOp, HfError> {
         let frozen: &FrozenGraph = &topo.frozen;
         let node = &frozen.nodes[id];
         let dev_id = device.id();
@@ -1442,29 +1514,65 @@ impl Worker {
         };
         match &node.work {
             Work::Pull { source } => {
-                // (Re)allocate to the source's *current* size — stateful.
+                // (Re)use or (re)allocate the device buffer for the
+                // source's *current* size — stateful. A same-device buffer
+                // whose reserved capacity still fits is kept: a changed
+                // length only adjusts `len` (and drops residency); a
+                // changed device or outgrown capacity reallocates.
                 let bytes = source.byte_len();
                 let ptr = {
                     let mut st = node.pull_state.lock();
-                    match st.ptr {
-                        Some(p) if p.len as usize == bytes => p,
-                        old => {
-                            if let Some(p) = old {
-                                device.free(p).map_err(|e| wrap(&node.name, e))?;
-                            }
-                            let p = device.alloc(bytes).map_err(|e| wrap(&node.name, e))?;
+                    let reuse = matches!((&st.ptr, &st.device), (Some(p), Some(d))
+                        if d.same_device(device) && bytes as u64 <= p.capacity);
+                    if reuse {
+                        let mut p = st.ptr.expect("reuse checked");
+                        if p.len as usize != bytes {
+                            p.len = bytes as u64;
                             st.ptr = Some(p);
-                            p
+                            st.resident_version = None;
                         }
+                        p
+                    } else {
+                        if let (Some(p), Some(d)) = (st.ptr.take(), st.device.take()) {
+                            // Best-effort: a dead or lost device rejects
+                            // the free; its arena died with it.
+                            let _ = d.free(p);
+                        }
+                        st.resident_version = None;
+                        let p = device.alloc(bytes).map_err(|e| wrap(&node.name, e))?;
+                        st.ptr = Some(p);
+                        st.device = Some(device.clone());
+                        p
                     }
                 };
+                if bytes > self.inner.copy_chunk_threshold {
+                    return Ok(PreparedOp::ChunkedH2d {
+                        node: id,
+                        ptr,
+                        source: Arc::clone(source),
+                    });
+                }
                 let src = Arc::clone(source);
                 let topo2 = Arc::clone(topo);
                 let state2 = Arc::clone(state);
                 let dev = device.clone();
+                let inner = Arc::clone(&self.inner);
                 let task = node.name.clone();
-                Ok(Box::new(move |view, cost| {
+                Ok(PreparedOp::Single(Box::new(move |view, cost| {
                     if state2.skip(&topo2) {
+                        return Ok(OpReport::default());
+                    }
+                    let node = &topo2.frozen.nodes[id];
+                    // Transfer elision: the device buffer already holds
+                    // exactly this host version — skip the copy entirely
+                    // (no fault draw either: no transfer happens).
+                    let host_ver = src.version();
+                    if host_ver.is_some() && {
+                        let st = node.pull_state.lock();
+                        st.resident_version == host_ver && st.ptr == Some(ptr)
+                    } {
+                        inner.stats.transfers_elided.incr();
+                        state2.done.fetch_add(1, Ordering::Release);
                         return Ok(OpReport::default());
                     }
                     if let Err(e) = dev.fault_check(FaultSite::H2d) {
@@ -1474,7 +1582,7 @@ impl Worker {
                         });
                         return Err(e);
                     }
-                    let data = src.fetch_bytes();
+                    let (data, ver) = src.fetch_bytes_versioned();
                     let n = data.len();
                     if let Err(e) = view.copy_in(ptr, &data) {
                         state2.fail(HfError::TaskFailed {
@@ -1483,16 +1591,29 @@ impl Worker {
                         });
                         return Err(e);
                     }
+                    // Publish residency. `copy_in` is all-or-nothing, so a
+                    // failure above left the previous residency intact; a
+                    // partial fill (host shrank since prepare) stays
+                    // invalid.
+                    {
+                        let mut st = node.pull_state.lock();
+                        if st.ptr == Some(ptr) {
+                            st.resident_version =
+                                if n == ptr.len as usize { ver } else { None };
+                        }
+                    }
+                    inner.stats.bytes_h2d.add(n as u64);
                     state2.done.fetch_add(1, Ordering::Release);
                     Ok(OpReport {
                         duration: cost.h2d(n),
                         h2d_bytes: n as u64,
                         ..Default::default()
                     })
-                }))
+                })))
             }
             Work::Push { source_pull, sink } => {
-                let pull_node = &frozen.nodes[*source_pull];
+                let pull_id = *source_pull;
+                let pull_node = &frozen.nodes[pull_id];
                 let ptr = pull_node.pull_state.lock().ptr.ok_or_else(|| {
                     HfError::PushBeforePull {
                         push: node.name.clone(),
@@ -1500,12 +1621,21 @@ impl Worker {
                     }
                 })?;
                 debug_assert_eq!(dev_id, ptr.device);
+                if ptr.len as usize > self.inner.copy_chunk_threshold {
+                    return Ok(PreparedOp::ChunkedD2h {
+                        node: id,
+                        pull: pull_id,
+                        ptr,
+                        sink: Arc::clone(sink),
+                    });
+                }
                 let sink = Arc::clone(sink);
                 let topo2 = Arc::clone(topo);
                 let state2 = Arc::clone(state);
                 let dev = device.clone();
+                let inner = Arc::clone(&self.inner);
                 let task = node.name.clone();
-                Ok(Box::new(move |view, cost| {
+                Ok(PreparedOp::Single(Box::new(move |view, cost| {
                     if state2.skip(&topo2) {
                         return Ok(OpReport::default());
                     }
@@ -1527,14 +1657,24 @@ impl Worker {
                         }
                     };
                     let n = bytes.len();
-                    sink.store_bytes(bytes);
+                    let ver = sink.store_bytes_versioned(bytes);
+                    // Push revalidation: the host now mirrors the device
+                    // buffer exactly, so a subsequent pull of unchanged
+                    // host data may elide its copy.
+                    if ver.is_some() {
+                        let mut st = topo2.frozen.nodes[pull_id].pull_state.lock();
+                        if st.ptr == Some(ptr) {
+                            st.resident_version = ver;
+                        }
+                    }
+                    inner.stats.bytes_d2h.add(n as u64);
                     state2.done.fetch_add(1, Ordering::Release);
                     Ok(OpReport {
                         duration: cost.d2h(n),
                         d2h_bytes: n as u64,
                         ..Default::default()
                     })
-                }))
+                })))
             }
             Work::Kernel { func, sources } => {
                 let mut ptrs = Vec::with_capacity(sources.len());
@@ -1559,11 +1699,12 @@ impl Worker {
                     cfg.total_threads() as f64
                 };
                 let func = Arc::clone(func);
+                let src_ids = sources.clone();
                 let topo2 = Arc::clone(topo);
                 let state2 = Arc::clone(state);
                 let dev = device.clone();
                 let task_name = node.name.clone();
-                Ok(Box::new(move |view, cost| {
+                Ok(PreparedOp::Single(Box::new(move |view, cost| {
                     if state2.skip(&topo2) {
                         return Ok(OpReport::default());
                     }
@@ -1573,6 +1714,14 @@ impl Worker {
                             source: e.clone(),
                         });
                         return Err(e);
+                    }
+                    // Kernels take mutable views of their sources with no
+                    // declared access modes, so assume every source buffer
+                    // is mutated: its device bytes no longer match any
+                    // host version. (A faulted kernel above never ran, so
+                    // residency survives the retry.)
+                    for &sid in &src_ids {
+                        topo2.frozen.nodes[sid].pull_state.lock().resident_version = None;
                     }
                     let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut args = KernelArgs::new(view, &ptrs);
@@ -1590,10 +1739,347 @@ impl Worker {
                         kernels: 1,
                         ..Default::default()
                     })
-                }))
+                })))
             }
             Work::Empty | Work::Host(_) => unreachable!("not a GPU task"),
         }
+    }
+
+    /// Enqueues a chunked H2D pull (pipelined copy): a fetch op on the
+    /// worker's main stream snapshots the host bytes (or elides the whole
+    /// transfer via residency), chunk copies fan out round-robin across
+    /// the copy-lane streams behind an event, and a join op back on the
+    /// main stream waits for every chunk, publishes residency, and counts
+    /// the task done. The device engine round-robins runnable stream
+    /// heads, so chunks interleave with other streams' kernels instead of
+    /// occupying the device end-to-end.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_chunked_h2d(
+        &mut self,
+        topo: &Arc<Topology>,
+        node_id: usize,
+        ptr: DevicePtr,
+        source: Arc<dyn HostSource>,
+        device: &Device,
+        stream: &Stream,
+        state: &Arc<ChainState>,
+        label: Option<hf_gpu::OpLabel>,
+    ) {
+        let chunk = self.inner.copy_chunk_threshold;
+        let lanes = self.copy_lanes(device.id());
+        let total = ptr.len as usize;
+        let n_chunks = total.div_ceil(chunk).max(1);
+        let xfer = Arc::new(ChunkXfer::default());
+        let task = topo.frozen.nodes[node_id].name.clone();
+
+        {
+            let topo2 = Arc::clone(topo);
+            let state2 = Arc::clone(state);
+            let xfer2 = Arc::clone(&xfer);
+            let src = Arc::clone(&source);
+            let task = task.clone();
+            stream.exec(Box::new(move |_view, _cost| {
+                if state2.skip(&topo2) {
+                    xfer2.aborted.store(true, Ordering::Release);
+                    return Ok(OpReport::default());
+                }
+                let node = &topo2.frozen.nodes[node_id];
+                let host_ver = src.version();
+                {
+                    let mut st = node.pull_state.lock();
+                    if host_ver.is_some()
+                        && st.resident_version == host_ver
+                        && st.ptr == Some(ptr)
+                    {
+                        xfer2.elided.store(true, Ordering::Release);
+                        return Ok(OpReport::default());
+                    }
+                    // Chunks are about to partially overwrite the buffer;
+                    // a mid-copy fault must not leave residency valid.
+                    st.resident_version = None;
+                }
+                let (data, ver) = src.fetch_bytes_versioned();
+                if data.len() > ptr.len as usize {
+                    let e = GpuError::SizeMismatch {
+                        dst: ptr.len as usize,
+                        src: data.len(),
+                    };
+                    xfer2.aborted.store(true, Ordering::Release);
+                    state2.fail(HfError::TaskFailed {
+                        task: task.clone(),
+                        source: e.clone(),
+                    });
+                    return Err(e);
+                }
+                *xfer2.version.lock() = ver;
+                *xfer2.staging.lock() = data;
+                Ok(OpReport::default())
+            }));
+        }
+        let fetched = Event::new();
+        stream.record_event(&fetched);
+
+        let mut chunk_events = Vec::with_capacity(n_chunks);
+        for i in 0..n_chunks {
+            let lane = &lanes[i % lanes.len()];
+            lane.wait_event(&fetched);
+            let off = i * chunk;
+            let len = chunk.min(total - off);
+            let state2 = Arc::clone(state);
+            let topo2 = Arc::clone(topo);
+            let xfer2 = Arc::clone(&xfer);
+            let dev = device.clone();
+            let task = task.clone();
+            let body: hf_gpu::stream::ExecFn = Box::new(move |view, cost| {
+                if state2.skip(&topo2) || xfer2.inert() {
+                    return Ok(OpReport::default());
+                }
+                if let Err(e) = dev.fault_check(FaultSite::H2d) {
+                    xfer2.aborted.store(true, Ordering::Release);
+                    state2.fail(HfError::TaskFailed {
+                        task: task.clone(),
+                        source: e.clone(),
+                    });
+                    return Err(e);
+                }
+                let staging = xfer2.staging.lock();
+                // The host may have shrunk between sizing and fetch; copy
+                // only the staged part of this chunk's range.
+                let end = (off + len).min(staging.len());
+                let n = end.saturating_sub(off);
+                if n > 0 {
+                    let sub = DevicePtr {
+                        device: ptr.device,
+                        offset: ptr.offset + off as u64,
+                        len: n as u64,
+                        capacity: n as u64,
+                    };
+                    if let Err(e) = view.copy_in(sub, &staging[off..end]) {
+                        xfer2.aborted.store(true, Ordering::Release);
+                        state2.fail(HfError::TaskFailed {
+                            task: task.clone(),
+                            source: e.clone(),
+                        });
+                        return Err(e);
+                    }
+                }
+                Ok(OpReport {
+                    duration: cost.h2d(n),
+                    h2d_bytes: n as u64,
+                    ..Default::default()
+                })
+            });
+            match &label {
+                Some(l) => lane.exec_labeled(
+                    Some(hf_gpu::OpLabel {
+                        name: Arc::from(format!("{}#c{i}", l.name)),
+                        tag: l.tag,
+                    }),
+                    body,
+                ),
+                None => lane.exec(body),
+            }
+            let done = Event::new();
+            lane.record_event(&done);
+            chunk_events.push(done);
+        }
+        for ev in &chunk_events {
+            stream.wait_event(ev);
+        }
+
+        let topo2 = Arc::clone(topo);
+        let state2 = Arc::clone(state);
+        let xfer2 = Arc::clone(&xfer);
+        let inner = Arc::clone(&self.inner);
+        stream.exec_labeled(
+            label,
+            Box::new(move |_view, _cost| {
+                if state2.skip(&topo2) || xfer2.aborted.load(Ordering::Acquire) {
+                    return Ok(OpReport::default());
+                }
+                if xfer2.elided.load(Ordering::Acquire) {
+                    inner.stats.transfers_elided.incr();
+                    state2.done.fetch_add(1, Ordering::Release);
+                    return Ok(OpReport::default());
+                }
+                let n = xfer2.staging.lock().len();
+                {
+                    let mut st = topo2.frozen.nodes[node_id].pull_state.lock();
+                    if st.ptr == Some(ptr) {
+                        st.resident_version = if n == ptr.len as usize {
+                            *xfer2.version.lock()
+                        } else {
+                            None
+                        };
+                    }
+                }
+                inner.stats.bytes_h2d.add(n as u64);
+                state2.done.fetch_add(1, Ordering::Release);
+                Ok(OpReport::default())
+            }),
+        );
+    }
+
+    /// Enqueues a chunked D2H push: chunk reads fan out across the
+    /// copy-lane streams behind a readiness event, and a join op on the
+    /// main stream stores the assembled bytes into the host sink and
+    /// revalidates the source pull's residency.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_chunked_d2h(
+        &mut self,
+        topo: &Arc<Topology>,
+        node_id: usize,
+        pull_id: usize,
+        ptr: DevicePtr,
+        sink: Arc<dyn HostSink>,
+        device: &Device,
+        stream: &Stream,
+        state: &Arc<ChainState>,
+        label: Option<hf_gpu::OpLabel>,
+    ) {
+        let chunk = self.inner.copy_chunk_threshold;
+        let lanes = self.copy_lanes(device.id());
+        let total = ptr.len as usize;
+        let n_chunks = total.div_ceil(chunk).max(1);
+        let xfer = Arc::new(ChunkXfer::default());
+        *xfer.staging.lock() = vec![0u8; total];
+        let task = topo.frozen.nodes[node_id].name.clone();
+
+        // The chunk lanes must order after everything already enqueued on
+        // the main stream (the chain prefix this push depends on).
+        let ready = Event::new();
+        stream.record_event(&ready);
+
+        let mut chunk_events = Vec::with_capacity(n_chunks);
+        for i in 0..n_chunks {
+            let lane = &lanes[i % lanes.len()];
+            lane.wait_event(&ready);
+            let off = i * chunk;
+            let len = chunk.min(total - off);
+            let state2 = Arc::clone(state);
+            let topo2 = Arc::clone(topo);
+            let xfer2 = Arc::clone(&xfer);
+            let dev = device.clone();
+            let task = task.clone();
+            let body: hf_gpu::stream::ExecFn = Box::new(move |view, cost| {
+                if state2.skip(&topo2) || xfer2.inert() {
+                    return Ok(OpReport::default());
+                }
+                if let Err(e) = dev.fault_check(FaultSite::D2h) {
+                    xfer2.aborted.store(true, Ordering::Release);
+                    state2.fail(HfError::TaskFailed {
+                        task: task.clone(),
+                        source: e.clone(),
+                    });
+                    return Err(e);
+                }
+                let sub = DevicePtr {
+                    device: ptr.device,
+                    offset: ptr.offset + off as u64,
+                    len: len as u64,
+                    capacity: len as u64,
+                };
+                let bytes = match view.bytes(sub) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        xfer2.aborted.store(true, Ordering::Release);
+                        state2.fail(HfError::TaskFailed {
+                            task: task.clone(),
+                            source: e.clone(),
+                        });
+                        return Err(e);
+                    }
+                };
+                xfer2.staging.lock()[off..off + len].copy_from_slice(bytes);
+                Ok(OpReport {
+                    duration: cost.d2h(len),
+                    d2h_bytes: len as u64,
+                    ..Default::default()
+                })
+            });
+            match &label {
+                Some(l) => lane.exec_labeled(
+                    Some(hf_gpu::OpLabel {
+                        name: Arc::from(format!("{}#c{i}", l.name)),
+                        tag: l.tag,
+                    }),
+                    body,
+                ),
+                None => lane.exec(body),
+            }
+            let done = Event::new();
+            lane.record_event(&done);
+            chunk_events.push(done);
+        }
+        for ev in &chunk_events {
+            stream.wait_event(ev);
+        }
+
+        let topo2 = Arc::clone(topo);
+        let state2 = Arc::clone(state);
+        let xfer2 = Arc::clone(&xfer);
+        let inner = Arc::clone(&self.inner);
+        stream.exec_labeled(
+            label,
+            Box::new(move |_view, _cost| {
+                if state2.skip(&topo2) || xfer2.inert() {
+                    return Ok(OpReport::default());
+                }
+                let staging = std::mem::take(&mut *xfer2.staging.lock());
+                let ver = sink.store_bytes_versioned(&staging);
+                // Push revalidation, as in the single-op path.
+                if ver.is_some() {
+                    let mut st = topo2.frozen.nodes[pull_id].pull_state.lock();
+                    if st.ptr == Some(ptr) {
+                        st.resident_version = ver;
+                    }
+                }
+                inner.stats.bytes_d2h.add(staging.len() as u64);
+                state2.done.fetch_add(1, Ordering::Release);
+                Ok(OpReport::default())
+            }),
+        );
+    }
+}
+
+/// What [`Worker::prepare_op`] produced for one chain node.
+enum PreparedOp {
+    /// One stream op, enqueued on the worker's main per-device stream.
+    Single(hf_gpu::stream::ExecFn),
+    /// A pull whose transfer exceeds the chunk threshold: pipelined as
+    /// fetch + chunk fan-out + join (see `enqueue_chunked_h2d`).
+    ChunkedH2d {
+        node: usize,
+        ptr: DevicePtr,
+        source: Arc<dyn HostSource>,
+    },
+    /// A push whose transfer exceeds the chunk threshold.
+    ChunkedD2h {
+        node: usize,
+        pull: usize,
+        ptr: DevicePtr,
+        sink: Arc<dyn HostSink>,
+    },
+}
+
+/// Shared state of one chunked (pipelined) transfer.
+#[derive(Default)]
+struct ChunkXfer {
+    /// Host staging buffer: filled by the fetch op (H2D) or assembled by
+    /// the chunk reads (D2H).
+    staging: Mutex<Vec<u8>>,
+    /// Host version describing the staged bytes (H2D only).
+    version: Mutex<Option<u64>>,
+    /// The whole transfer was elided via residency; chunks no-op.
+    elided: AtomicBool,
+    /// A fetch or chunk op failed (or the run was cancelled); remaining
+    /// chunk ops and the join no-op.
+    aborted: AtomicBool,
+}
+
+impl ChunkXfer {
+    fn inert(&self) -> bool {
+        self.elided.load(Ordering::Acquire) || self.aborted.load(Ordering::Acquire)
     }
 }
 

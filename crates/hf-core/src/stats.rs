@@ -53,6 +53,14 @@ pub struct ExecutorStats {
     pub devices_lost: GlobalCounter,
     /// Submissions that finished as cancelled (`RunFuture::cancel`).
     pub cancelled: GlobalCounter,
+    /// Host-to-device bytes actually copied by pull tasks (elided
+    /// transfers contribute nothing).
+    pub bytes_h2d: GlobalCounter,
+    /// Device-to-host bytes copied by push tasks.
+    pub bytes_d2h: GlobalCounter,
+    /// Pull executions that skipped their H2D copy because the device
+    /// buffer already held the source's current version.
+    pub transfers_elided: GlobalCounter,
 }
 
 impl ExecutorStats {
@@ -73,6 +81,9 @@ impl ExecutorStats {
             retries: GlobalCounter::new(),
             devices_lost: GlobalCounter::new(),
             cancelled: GlobalCounter::new(),
+            bytes_h2d: GlobalCounter::new(),
+            bytes_d2h: GlobalCounter::new(),
+            transfers_elided: GlobalCounter::new(),
         }
     }
 
@@ -93,6 +104,9 @@ impl ExecutorStats {
         self.retries.reset();
         self.devices_lost.reset();
         self.cancelled.reset();
+        self.bytes_h2d.reset();
+        self.bytes_d2h.reset();
+        self.transfers_elided.reset();
     }
 
     /// Steal success rate in `[0, 1]`; 1.0 when no attempts were made.
@@ -127,6 +141,9 @@ impl ExecutorStats {
             retries: self.retries.sum(),
             devices_lost: self.devices_lost.sum(),
             cancelled: self.cancelled.sum(),
+            bytes_h2d: self.bytes_h2d.sum(),
+            bytes_d2h: self.bytes_d2h.sum(),
+            transfers_elided: self.transfers_elided.sum(),
         }
     }
 }
@@ -169,6 +186,12 @@ pub struct StatsSnapshot {
     pub devices_lost: u64,
     /// Submissions that finished as cancelled.
     pub cancelled: u64,
+    /// Host-to-device bytes actually copied (elisions excluded).
+    pub bytes_h2d: u64,
+    /// Device-to-host bytes copied.
+    pub bytes_d2h: u64,
+    /// Pull executions that skipped their H2D copy via residency.
+    pub transfers_elided: u64,
 }
 
 #[cfg(test)]
@@ -221,6 +244,20 @@ mod tests {
     }
 
     #[test]
+    fn data_movement_counters_snapshot() {
+        let s = ExecutorStats::new(1);
+        s.bytes_h2d.add(1024);
+        s.bytes_d2h.add(512);
+        s.transfers_elided.add(9);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_h2d, 1024);
+        assert_eq!(snap.bytes_d2h, 512);
+        assert_eq!(snap.transfers_elided, 9);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"transfers_elided\":9"));
+    }
+
+    #[test]
     fn fault_counters_snapshot_and_reset() {
         let s = ExecutorStats::new(1);
         s.faults_injected.add(3);
@@ -236,6 +273,7 @@ mod tests {
         assert!(json.contains("\"devices_lost\":1"));
         s.reset();
         assert_eq!(s.faults_injected.sum(), 0);
+        assert_eq!(s.bytes_h2d.sum(), 0);
         assert_eq!(s.retries.sum(), 0);
         assert_eq!(s.devices_lost.sum(), 0);
         assert_eq!(s.cancelled.sum(), 0);

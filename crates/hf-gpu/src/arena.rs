@@ -20,6 +20,11 @@ pub struct DevicePtr {
     /// Logical allocation length in bytes (what the user asked for, not
     /// the rounded buddy block).
     pub len: u64,
+    /// Reserved capacity in bytes — the rounded buddy block backing this
+    /// allocation. Always `>= len`. Residency reuse may grow `len` up to
+    /// `capacity` without reallocating, and `free` accounting matches the
+    /// reservation rather than the request.
+    pub capacity: u64,
 }
 
 impl DevicePtr {
@@ -28,6 +33,7 @@ impl DevicePtr {
         device: u32::MAX,
         offset: u64::MAX,
         len: 0,
+        capacity: 0,
     };
 
     /// True for the null pointer.
@@ -237,7 +243,7 @@ mod tests {
     use super::*;
 
     fn ptr(offset: u64, len: u64) -> DevicePtr {
-        DevicePtr { device: 0, offset, len }
+        DevicePtr { device: 0, offset, len, capacity: len }
     }
 
     #[test]

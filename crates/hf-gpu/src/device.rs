@@ -209,6 +209,20 @@ impl Device {
         self.inner.pool.stats()
     }
 
+    /// True when `other` is a handle to this same device instance (not
+    /// merely the same id on another runtime). Residency checks use this to
+    /// tell a cached device pointer still belongs to the live runtime.
+    pub fn same_device(&self, other: &Device) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Flushes the memory pool's magazine caches back into the buddy
+    /// allocator so parked blocks can coalesce. Called by the executor at
+    /// topology completion.
+    pub fn trim_pool(&self) {
+        self.inner.pool.flush();
+    }
+
     /// Modeled busy time accumulated by this device's ops.
     pub fn busy_time(&self) -> SimDuration {
         SimDuration::from_nanos(self.inner.stats.busy_nanos.load(Ordering::Relaxed))

@@ -177,8 +177,8 @@ mod tests {
     #[test]
     fn saxpy_through_kernel_args() {
         let mut arena = Arena::new(0, 1024);
-        let px = DevicePtr { device: 0, offset: 0, len: 16 };
-        let py = DevicePtr { device: 0, offset: 16, len: 16 };
+        let px = DevicePtr { device: 0, offset: 0, len: 16, capacity: 16 };
+        let py = DevicePtr { device: 0, offset: 16, len: 16, capacity: 16 };
         {
             let mut view = arena.view();
             view.slice_mut::<i32>(px).unwrap().copy_from_slice(&[1; 4]);

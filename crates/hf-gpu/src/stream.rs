@@ -415,7 +415,7 @@ mod tests {
         let dev = rt.device(0).unwrap();
         let s = Stream::new(&dev);
         // Copy to a pointer owned by the other device.
-        let bad = DevicePtr { device: 1, offset: 0, len: 4 };
+        let bad = DevicePtr { device: 1, offset: 0, len: 4, capacity: 4 };
         s.h2d_async(bad, vec![0u8; 4]);
         s.synchronize();
         assert!(matches!(dev.take_error(), Some(GpuError::WrongDevice { .. })));

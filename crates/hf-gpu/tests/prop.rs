@@ -65,8 +65,8 @@ proptest! {
         use hf_gpu::arena::{Arena, DevicePtr};
         let mut arena = Arena::new(0, 512);
         let mut view = arena.view();
-        let pa = DevicePtr { device: 0, offset: a_off, len: a_len };
-        let pb = DevicePtr { device: 0, offset: b_off, len: b_len };
+        let pa = DevicePtr { device: 0, offset: a_off, len: a_len, capacity: a_len };
+        let pb = DevicePtr { device: 0, offset: b_off, len: b_len, capacity: b_len };
         let overlap = a_off < b_off + b_len && b_off < a_off + a_len;
         let res = view.slice2_mut::<u8, u8>(pa, pb);
         if overlap {
@@ -113,5 +113,50 @@ proptest! {
             dev.free(p).unwrap();
         }
         prop_assert!(dev.pool_stats().bytes_in_use == 0);
+    }
+}
+
+proptest! {
+    /// Random interleavings of pool alloc/free across size classes: the
+    /// magazine fast path and the buddy slow path together never hand out
+    /// overlapping blocks, never leak, and never double-free. After
+    /// freeing everything and flushing the magazines the pool is empty.
+    #[test]
+    fn pool_magazines_never_overlap_or_leak(
+        ops in proptest::collection::vec((any::<bool>(), 1usize..3000), 1..300)
+    ) {
+        let rt = GpuRuntime::new(1, GpuConfig::default());
+        let dev = rt.device(0).unwrap();
+        let mut live: Vec<hf_gpu::arena::DevicePtr> = Vec::new();
+        for (is_alloc, sz) in ops {
+            if is_alloc || live.is_empty() {
+                if let Ok(p) = dev.alloc(sz) {
+                    prop_assert!(p.len as usize == sz);
+                    prop_assert!(p.capacity >= p.len);
+                    for q in &live {
+                        let disjoint = p.offset + p.capacity <= q.offset
+                            || q.offset + q.capacity <= p.offset;
+                        prop_assert!(disjoint, "overlap {p:?} vs {q:?}");
+                    }
+                    live.push(p);
+                }
+            } else {
+                let idx = sz % live.len();
+                let p = live.swap_remove(idx);
+                dev.free(p).unwrap();
+            }
+        }
+        // Reported usage counts exactly the live blocks (magazine-parked
+        // blocks are excluded).
+        let in_use: usize = live.iter().map(|p| p.capacity as usize).sum();
+        prop_assert_eq!(dev.pool_stats().bytes_in_use, in_use);
+        for p in live.drain(..) {
+            dev.free(p).unwrap();
+        }
+        dev.trim_pool();
+        let s = dev.pool_stats();
+        prop_assert_eq!(s.bytes_in_use, 0);
+        prop_assert_eq!(s.magazine_cached_bytes, 0);
+        prop_assert_eq!(s.allocs, s.frees, "every alloc freed exactly once");
     }
 }

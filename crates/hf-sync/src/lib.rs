@@ -30,6 +30,7 @@ pub mod backoff;
 pub mod counter;
 pub mod deque;
 pub mod injector;
+pub mod magazine;
 pub mod notifier;
 pub mod pad;
 pub mod ring;
@@ -39,6 +40,7 @@ pub use backoff::Backoff;
 pub use counter::{GlobalCounter, ShardedCounter};
 pub use deque::{Steal, StealDeque, Stealer};
 pub use injector::Injector;
+pub use magazine::SlotCache;
 pub use notifier::{Notifier, WaitToken};
 pub use pad::CachePadded;
 pub use ring::EventRing;

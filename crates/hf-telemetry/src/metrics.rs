@@ -193,6 +193,9 @@ impl MetricsRegistry {
         self.set_counter("hf_executor_retries_total", "Task attempts re-scheduled by the retry policy", l, s.retries);
         self.set_counter("hf_executor_devices_lost_total", "Devices observed as lost", l, s.devices_lost);
         self.set_counter("hf_executor_cancelled_total", "Submissions finished as cancelled", l, s.cancelled);
+        self.set_counter("hf_executor_bytes_h2d_total", "Host-to-device bytes actually copied by pull tasks", l, s.bytes_h2d);
+        self.set_counter("hf_executor_bytes_d2h_total", "Device-to-host bytes copied back by push tasks", l, s.bytes_d2h);
+        self.set_counter("hf_executor_transfers_elided_total", "H2D copies skipped because the device bytes were already current", l, s.transfers_elided);
     }
 
     /// Imports per-device engine and memory-pool statistics as
@@ -213,6 +216,9 @@ impl MetricsRegistry {
             self.set_counter("hf_gpu_pool_splits_total", "Buddy block splits", l, p.splits);
             self.set_counter("hf_gpu_pool_merges_total", "Buddy coalesces", l, p.merges);
             self.set_counter("hf_gpu_pool_failures_total", "Out-of-memory allocation failures", l, p.failures);
+            self.set_counter("hf_gpu_pool_magazine_hits_total", "Allocations served from a lock-free magazine", l, p.magazine_hits);
+            self.set_counter("hf_gpu_pool_magazine_misses_total", "Allocations that fell through to the buddy allocator", l, p.magazine_misses);
+            self.set_gauge("hf_gpu_pool_magazine_cached_bytes", "Bytes parked in magazine caches", l, p.magazine_cached_bytes as f64);
             self.set_gauge("hf_gpu_pool_bytes_in_use", "Bytes currently handed out", l, p.bytes_in_use as f64);
             self.set_gauge("hf_gpu_pool_peak_bytes", "High-water mark of bytes in use", l, p.peak_bytes as f64);
         }

@@ -293,3 +293,73 @@ fn device_loss_completes_on_survivors() {
         snap.devices_lost
     );
 }
+
+/// H2D faults aimed at the transfer-elision path: a graph whose pull has
+/// valid residency is mutated and re-run under an H2D fault budget. The
+/// retried copy must deliver the *new* host bytes — a bug that left stale
+/// residency valid across the fault would surface as the old values.
+/// Exercises both the single-op and the chunked (pipelined) copy paths.
+#[test]
+fn h2d_faults_never_serve_stale_residency() {
+    const N: usize = 256;
+    let seed = base_seed() ^ 0xe11d;
+    for threshold in [usize::MAX, 128] {
+        let ex = Executor::builder(2, 1)
+            .retry_policy(RetryPolicy::new(4))
+            .copy_chunk_threshold(threshold)
+            .build();
+        let data: HostVec<i32> = HostVec::from_vec(vec![0; N]);
+        let g = Heteroflow::new("elide_chaos");
+        let p = g.pull("pull", &data);
+        let k = g.kernel("incr", &[&p], |cfg, args| {
+            let v = args.slice_mut::<i32>(0).unwrap();
+            for t in cfg.threads() {
+                if t < v.len() {
+                    v[t] += 1;
+                }
+            }
+        });
+        k.cover(N, 64);
+        let s = g.push("push", &p, &data);
+        p.precede(&k);
+        k.precede(&s);
+
+        // Clean run establishes residency (push revalidates it).
+        ex.run(&g)
+            .wait_timeout(DEADLINE)
+            .unwrap_or_else(|| panic!("clean run hung (seed {seed})"))
+            .expect("clean run");
+        assert!(data.read().iter().all(|&v| v == 1));
+
+        // Every H2D draw faults until the budget runs out.
+        ex.gpu_runtime().set_fault_plan(Some(
+            FaultPlan::seeded(seed).fail(FaultSite::H2d, 1.0).max_faults(2),
+        ));
+
+        // Unchanged rerun: the copy elides, drawing no fault, so the run
+        // succeeds without touching the budget-limited fault stream.
+        ex.run(&g)
+            .wait_timeout(DEADLINE)
+            .unwrap_or_else(|| panic!("elided rerun hung (seed {seed})"))
+            .unwrap_or_else(|e| panic!("elided rerun failed (seed {seed}): {e}"));
+        assert!(
+            data.read().iter().all(|&v| v == 2),
+            "elided rerun corrupted data (seed {seed}, threshold {threshold})"
+        );
+        assert!(ex.stats().snapshot().transfers_elided >= 1);
+
+        // Mutated rerun: the copy must really happen; the first attempts
+        // fault and the retry re-copies. Stale residency would read 3.
+        data.write().iter_mut().for_each(|v| *v = 10);
+        ex.run(&g)
+            .wait_timeout(DEADLINE)
+            .unwrap_or_else(|| panic!("faulted rerun hung (seed {seed})"))
+            .unwrap_or_else(|e| panic!("faulted rerun failed (seed {seed}): {e}"));
+        assert!(
+            data.read().iter().all(|&v| v == 11),
+            "stale bytes served across H2D fault (seed {seed}, threshold \
+             {threshold}): {:?}...",
+            &data.read()[..4]
+        );
+    }
+}

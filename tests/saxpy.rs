@@ -142,8 +142,9 @@ fn run_until_observes_gpu_results() {
     assert!(data.read().iter().all(|&v| v == 1024));
 }
 
-/// Device pool must be pristine after the topology completes (pull
-/// allocations are reclaimed).
+/// Device pool must be pristine after the graph is dropped (pull
+/// allocations persist with the frozen graph for transfer elision, and
+/// are reclaimed when it goes away).
 #[test]
 fn pull_allocations_are_reclaimed() {
     const N: usize = 2048;
@@ -153,12 +154,25 @@ fn pull_allocations_are_reclaimed() {
     let y: HostVec<i32> = HostVec::new();
     build_saxpy(&g, &x, &y, N, 2);
     ex.run(&g).wait().expect("runs");
-    for d in ex.gpu_runtime().devices() {
-        assert_eq!(
-            d.pool_stats().bytes_in_use,
-            0,
-            "device {} leaked pull memory",
-            d.id()
+    drop(g);
+    // Worker and engine threads release their reference to the frozen
+    // snapshot asynchronously after the completion promise settles, so
+    // poll briefly instead of asserting instantly.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let leaked: usize = ex
+            .gpu_runtime()
+            .devices()
+            .iter()
+            .map(|d| d.pool_stats().bytes_in_use)
+            .sum();
+        if leaked == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pull memory leaked: {leaked} bytes still in use"
         );
+        std::thread::yield_now();
     }
 }

@@ -1,0 +1,209 @@
+//! Data-movement fast path: transfer elision, pull-buffer persistence
+//! across rounds and resubmissions, and pipelined (chunked) copies.
+
+use heteroflow::core::{SpanCat, TraceCollector, Track};
+use heteroflow::prelude::*;
+use std::sync::Arc;
+
+/// pull -> push round trip with no kernel: after one round the device
+/// bytes mirror the host bytes exactly.
+fn copy_through(n: usize) -> (Heteroflow, HostVec<i32>) {
+    let data = HostVec::from_vec(vec![7i32; n]);
+    let g = Heteroflow::new("copy");
+    let p = g.pull("pull", &data);
+    let s = g.push("push", &p, &data);
+    p.precede(&s);
+    (g, data)
+}
+
+/// pull -> kernel(+1) -> push: each round increments every element, so
+/// stale device bytes are visible as wrong values.
+fn increment_graph(data: &HostVec<i32>, n: usize) -> Heteroflow {
+    let g = Heteroflow::new("incr");
+    let p = g.pull("pull", data);
+    let k = g.kernel("incr", &[&p], |cfg, args| {
+        let v = args.slice_mut::<i32>(0).expect("arg");
+        for t in cfg.threads() {
+            if t < v.len() {
+                v[t] += 1;
+            }
+        }
+    });
+    k.cover(n, 128);
+    let s = g.push("push", &p, data);
+    p.precede(&k);
+    k.precede(&s);
+    g
+}
+
+/// The pull buffer is allocated once and reused across every round of a
+/// multi-round run: the pool sees one allocation, not one per round.
+#[test]
+fn pull_buffer_persists_across_rounds() {
+    const N: usize = 1024;
+    let ex = Executor::new(2, 1);
+    let (g, data) = copy_through(N);
+    ex.run_n(&g, 8).wait().expect("runs");
+    assert!(data.read().iter().all(|&v| v == 7));
+    let allocs: u64 = ex
+        .gpu_runtime()
+        .devices()
+        .iter()
+        .map(|d| d.pool_stats().allocs)
+        .sum();
+    assert_eq!(allocs, 1, "one pull buffer allocated, reused every round");
+}
+
+/// With unchanged host data, every round after the first elides its H2D
+/// copy (push wrote the same bytes back, revalidating residency).
+#[test]
+fn unchanged_rounds_elide_h2d_copies() {
+    const N: usize = 1024;
+    const ROUNDS: u64 = 8;
+    let ex = Executor::new(2, 1);
+    let (g, data) = copy_through(N);
+    ex.run_n(&g, ROUNDS as usize).wait().expect("runs");
+    assert!(data.read().iter().all(|&v| v == 7));
+    let s = ex.stats().snapshot();
+    assert_eq!(s.transfers_elided, ROUNDS - 1, "all but the first round elide");
+    assert_eq!(s.bytes_h2d, (N * 4) as u64, "exactly one real H2D copy");
+    assert_eq!(s.bytes_d2h, ROUNDS * (N * 4) as u64, "push copies every round");
+}
+
+/// Resubmitting the same graph elides the pull: residency survives
+/// between `run` calls because the frozen snapshot is cached.
+#[test]
+fn resubmission_elides_h2d() {
+    const N: usize = 512;
+    let ex = Executor::new(2, 1);
+    let (g, data) = copy_through(N);
+    ex.run(&g).wait().expect("first run");
+    ex.run(&g).wait().expect("second run");
+    assert!(data.read().iter().all(|&v| v == 7));
+    let s = ex.stats().snapshot();
+    assert_eq!(s.transfers_elided, 1, "second submission skips the copy");
+    assert_eq!(s.bytes_h2d, (N * 4) as u64);
+}
+
+/// Mutating the host vector between runs invalidates residency: the next
+/// pull re-copies and the kernel sees the new values, never stale bytes.
+#[test]
+fn host_mutation_forces_recopy() {
+    const N: usize = 256;
+    let ex = Executor::new(2, 1);
+    let data = HostVec::from_vec(vec![0i32; N]);
+    let g = increment_graph(&data, N);
+
+    ex.run(&g).wait().expect("first run");
+    assert!(data.read().iter().all(|&v| v == 1));
+
+    data.write().iter_mut().for_each(|v| *v = 10);
+    ex.run(&g).wait().expect("second run");
+    // Stale elision would leave the device at 1 and produce 2 here.
+    assert!(
+        data.read().iter().all(|&v| v == 11),
+        "kernel must see mutated host data, got {:?}...",
+        &data.read()[..4]
+    );
+    assert_eq!(ex.stats().snapshot().transfers_elided, 0);
+}
+
+/// Transfers above the chunk threshold are split across copy lanes and
+/// reassemble to exactly the right bytes in both directions.
+#[test]
+fn chunked_copies_are_correct() {
+    const N: usize = 1000; // 4000 bytes -> 63 chunks at a 64-byte threshold
+    let ex = Executor::builder(2, 1)
+        .copy_chunk_threshold(64)
+        .copy_lanes(3)
+        .build();
+    let data = HostVec::from_vec((0..N as i32).collect());
+    let g = increment_graph(&data, N);
+    ex.run(&g).wait().expect("runs");
+    let d = data.read();
+    for (i, &v) in d.iter().enumerate() {
+        assert_eq!(v, i as i32 + 1, "element {i}");
+    }
+    let s = ex.stats().snapshot();
+    assert_eq!(s.bytes_h2d, (N * 4) as u64);
+    assert_eq!(s.bytes_d2h, (N * 4) as u64);
+}
+
+/// The chunked path participates in elision too: an unchanged rerun
+/// skips the whole pipelined copy.
+#[test]
+fn chunked_copy_elides_on_rerun() {
+    const N: usize = 2048;
+    let ex = Executor::builder(2, 1)
+        .copy_chunk_threshold(256)
+        .build();
+    let (g, data) = copy_through(N);
+    ex.run(&g).wait().expect("first run");
+    ex.run(&g).wait().expect("second run");
+    assert!(data.read().iter().all(|&v| v == 7));
+    let s = ex.stats().snapshot();
+    assert_eq!(s.transfers_elided, 1);
+    assert_eq!(s.bytes_h2d, (N * 4) as u64, "only the first run copies");
+}
+
+/// Chunked copies show up in the stitched trace as per-chunk device
+/// spans, while the task itself still appears exactly once under its
+/// canonical name (the telemetry exactly-once invariant).
+#[test]
+fn chunked_copy_traces_per_chunk_spans() {
+    const N: usize = 4096; // 16 KiB -> 4 chunks
+    let trace = TraceCollector::shared();
+    let ex = Executor::builder(2, 1)
+        .copy_chunk_threshold(4096)
+        .copy_lanes(2)
+        .tracer(Arc::clone(&trace))
+        .build();
+    let data = HostVec::from_vec(vec![1i32; N]);
+    let g = increment_graph(&data, N);
+    ex.run(&g).wait().expect("runs");
+    drop(ex);
+    let spans = trace.spans();
+    let chunk_spans: Vec<_> = spans
+        .iter()
+        .filter(|s| {
+            matches!(s.track, Track::Device(_))
+                && s.cat == SpanCat::Task
+                && s.name.contains("#c")
+        })
+        .collect();
+    assert!(
+        chunk_spans.len() >= 4,
+        "expected per-chunk spans, got {:?}",
+        spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+    );
+    // The canonical task names still appear exactly once each.
+    for name in ["pull", "incr", "push"] {
+        let n = spans
+            .iter()
+            .filter(|s| s.cat == SpanCat::Task && s.name == name)
+            .count();
+        assert_eq!(n, 1, "{name} appears exactly once");
+    }
+}
+
+/// Running the cached graph on a different executor (different devices)
+/// must not reuse the first executor's residency: the buffer reallocates
+/// on the new device and the data stays correct.
+#[test]
+fn cross_executor_rerun_reallocates() {
+    const N: usize = 512;
+    let ex1 = Executor::new(2, 1);
+    let ex2 = Executor::new(2, 1);
+    let data = HostVec::from_vec(vec![0i32; N]);
+    let g = increment_graph(&data, N);
+
+    ex1.run(&g).wait().expect("first executor");
+    assert!(data.read().iter().all(|&v| v == 1));
+    ex2.run(&g).wait().expect("second executor");
+    assert!(
+        data.read().iter().all(|&v| v == 2),
+        "second executor must copy fresh data, got {:?}...",
+        &data.read()[..4]
+    );
+    assert_eq!(ex2.stats().snapshot().transfers_elided, 0);
+}
