@@ -1,0 +1,207 @@
+//! Locality-aware placement A/B ablation: `PlacementPolicy::Locality`
+//! versus the default `BalancedLoad` on two workloads.
+//!
+//! * **copy_heavy** — unequal pull-only lanes resubmitted across mutated
+//!   epochs while an alternating interference graph skews the cross-graph
+//!   device-load bias. BalancedLoad chases the bias and flips lanes
+//!   between devices (recopying every flip); Locality's warm-residency
+//!   credit keeps lanes pinned to the device already holding their bytes,
+//!   so resubmissions elide. The bench asserts Locality never moves more
+//!   bytes than BalancedLoad (and ≥25% fewer in full mode).
+//! * **wavefront** — a dependency-dominated kernel grid where placement
+//!   barely matters; guards that Locality's makespan stays within 5% of
+//!   BalancedLoad (full mode).
+//!
+//! Usage: `cargo run --release -p hf-bench --bin bench_locality --
+//! [--smoke] [--out BENCH_locality.json]`
+
+use hf_bench::cli::Args;
+use hf_core::data::HostVec;
+use hf_core::{Executor, Heteroflow, PlacementPolicy};
+use serde_json::json;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let out = args.get_str("out").unwrap_or("BENCH_locality.json").to_string();
+
+    let copy_heavy = copy_heavy_ab(smoke);
+    let wavefront = wavefront_ab(smoke);
+
+    let bal_bytes = copy_heavy
+        .get("balanced")
+        .and_then(|v| v.get("bytes_h2d"))
+        .and_then(|v| v.as_u64())
+        .expect("balanced bytes");
+    let loc_bytes = copy_heavy
+        .get("locality")
+        .and_then(|v| v.get("bytes_h2d"))
+        .and_then(|v| v.as_u64())
+        .expect("locality bytes");
+    let reduction = 1.0 - loc_bytes as f64 / bal_bytes as f64;
+    let ratio = wavefront
+        .get("makespan_ratio")
+        .and_then(|v| v.as_f64())
+        .expect("makespan ratio");
+
+    let doc = json!({
+        "bench": "locality",
+        "smoke": smoke,
+        "copy_heavy": copy_heavy,
+        "wavefront": wavefront,
+        "bytes_reduction": reduction,
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serializes");
+    std::fs::write(&out, &text).expect("write report");
+    println!("{text}");
+    println!("\nwrote {out}");
+
+    // Self-checks: CI runs --smoke and relies on these to gate merges.
+    assert!(
+        loc_bytes <= bal_bytes,
+        "Locality moved MORE bytes than BalancedLoad: {loc_bytes} > {bal_bytes}"
+    );
+    println!("PASS copy_heavy: locality bytes {loc_bytes} <= balanced bytes {bal_bytes}");
+    if !smoke {
+        assert!(
+            reduction >= 0.25,
+            "Locality bytes reduction {reduction:.3} below the 25% target"
+        );
+        println!("PASS copy_heavy: bytes reduction {:.1}% >= 25%", reduction * 100.0);
+        assert!(
+            ratio <= 1.05,
+            "Locality wavefront makespan ratio {ratio:.3} exceeds 1.05"
+        );
+        println!("PASS wavefront: makespan ratio {ratio:.3} <= 1.05");
+    }
+}
+
+/// Runs the copy-heavy lane workload under one policy and reports the
+/// transfer counters.
+fn run_lanes(policy: PlacementPolicy, smoke: bool) -> serde_json::Value {
+    let lanes = 4usize;
+    let (lane_unit, epochs) = if smoke { (8 << 10, 6) } else { (64 << 10, 20) };
+    let noise_elems = lane_unit / 2;
+
+    let ex = Executor::builder(4, 2).placement_policy(policy).build();
+
+    // Unequal lanes so LPT order (and therefore any bias-driven flip) is
+    // deterministic: lane i pulls (i+1) x lane_unit i64 elements.
+    let g = Heteroflow::new("lanes");
+    let mut bufs = Vec::new();
+    for lane in 0..lanes {
+        let data: HostVec<i64> = HostVec::from_vec(vec![lane as i64; (lane + 1) * lane_unit]);
+        g.pull(&format!("lane{lane}"), &data);
+        bufs.push(data);
+    }
+
+    // Two single-pull interference graphs, run on alternating epochs.
+    // Each caches its own placement, so re-running one re-applies its
+    // modeled load to *its* device — alternating them seesaws the
+    // cross-graph bias between the two devices every epoch.
+    let noise_a_buf: HostVec<i64> = HostVec::from_vec(vec![1; noise_elems]);
+    let noise_a = Heteroflow::new("noise_a");
+    noise_a.pull("na", &noise_a_buf);
+    let noise_b_buf: HostVec<i64> = HostVec::from_vec(vec![2; noise_elems]);
+    let noise_b = Heteroflow::new("noise_b");
+    noise_b.pull("nb", &noise_b_buf);
+
+    let t0 = Instant::now();
+    for epoch in 0..epochs {
+        ex.run(&g).wait().expect("lane graph runs");
+        let noise = if epoch % 2 == 0 { &noise_a } else { &noise_b };
+        ex.run(noise).wait().expect("noise graph runs");
+        // Any mutation bumps the builder epoch: the next submission
+        // misses the scheduling cache and re-places against the shifted
+        // bias, with lane residency carried over from this epoch.
+        g.host(&format!("tick{epoch}"), || {});
+    }
+    let secs = t0.elapsed().as_secs_f64();
+
+    let s = ex.stats().snapshot();
+    let lane_bytes: u64 = (1..=lanes as u64).map(|k| k * lane_unit as u64 * 8).sum();
+    json!({
+        "epochs": epochs,
+        "lane_bytes_total": lane_bytes,
+        "bytes_h2d": s.bytes_h2d,
+        "transfers_elided": s.transfers_elided,
+        "placement_warm_hits": s.placement_warm_hits,
+        "placement_est_bytes_saved": s.placement_est_bytes_saved,
+        "placement_imbalance": s.placement_imbalance,
+        "tasks_executed": s.tasks_executed,
+        "secs": secs,
+    })
+}
+
+/// Copy-heavy A/B: same workload, both policies, fresh executors.
+fn copy_heavy_ab(smoke: bool) -> serde_json::Value {
+    let balanced = run_lanes(PlacementPolicy::BalancedLoad, smoke);
+    let locality = run_lanes(PlacementPolicy::Locality, smoke);
+    json!({
+        "balanced": balanced,
+        "locality": locality,
+    })
+}
+
+/// Builds a WxW wavefront kernel grid (each block's kernel waits on its
+/// left and upper neighbors) and returns the makespan of one submission.
+fn wavefront_once(policy: PlacementPolicy, w: usize, n: usize) -> f64 {
+    let ex = Executor::builder(4, 2).placement_policy(policy).build();
+    let g = Heteroflow::new("wavefront");
+    let mut bufs = Vec::new();
+    let mut kernels: Vec<Vec<hf_core::KernelTask>> = Vec::new();
+    for i in 0..w {
+        let mut row: Vec<hf_core::KernelTask> = Vec::new();
+        for j in 0..w {
+            let data: HostVec<f32> = HostVec::from_vec(vec![0.5; n]);
+            let p = g.pull(&format!("pull_{i}_{j}"), &data);
+            let k = g.kernel(&format!("block_{i}_{j}"), &[&p], move |cfg, args| {
+                let v = args.slice_mut::<f32>(0).expect("arg");
+                for t in cfg.threads() {
+                    if t < v.len() {
+                        v[t] = v[t].sin().mul_add(1.5, 0.25);
+                    }
+                }
+            });
+            k.cover(n, 128);
+            p.precede(&k);
+            if i > 0 {
+                kernels[i - 1][j].precede(&k);
+            }
+            if j > 0 {
+                row[j - 1].precede(&k);
+            }
+            row.push(k);
+            bufs.push(data);
+        }
+        kernels.push(row);
+    }
+    // Warm once (placement + pools), then time the steady-state run.
+    ex.run(&g).wait().expect("wavefront warms");
+    let t0 = Instant::now();
+    ex.run(&g).wait().expect("wavefront runs");
+    t0.elapsed().as_secs_f64()
+}
+
+/// Wavefront makespan guard: min-of-N for each policy to squeeze out
+/// scheduler noise, then the Locality/BalancedLoad ratio.
+fn wavefront_ab(smoke: bool) -> serde_json::Value {
+    let (w, n, reps) = if smoke { (3, 1 << 12, 2) } else { (4, 1 << 16, 7) };
+    // Interleave the two policies so machine-load drift hits both sides
+    // equally, and take each side's minimum.
+    let mut balanced_secs = f64::INFINITY;
+    let mut locality_secs = f64::INFINITY;
+    for _ in 0..reps {
+        balanced_secs = balanced_secs.min(wavefront_once(PlacementPolicy::BalancedLoad, w, n));
+        locality_secs = locality_secs.min(wavefront_once(PlacementPolicy::Locality, w, n));
+    }
+    json!({
+        "grid": w,
+        "elems_per_block": n,
+        "reps": reps,
+        "balanced_secs": balanced_secs,
+        "locality_secs": locality_secs,
+        "makespan_ratio": locality_secs / balanced_secs,
+    })
+}

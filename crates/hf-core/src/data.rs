@@ -143,6 +143,15 @@ pub trait HostSource: Send + Sync + 'static {
     fn version(&self) -> Option<u64> {
         None
     }
+    /// Stable identity of the underlying storage, if the source has one.
+    /// Two sources with the same id share the same bytes (e.g. clones of
+    /// one [`HostVec`]). Used to carry device residency across graph
+    /// re-freezes: a re-frozen pull of the same storage inherits the old
+    /// snapshot's warm device buffer. Sources returning `None` never
+    /// carry residency over. The default tracks nothing.
+    fn source_id(&self) -> Option<usize> {
+        None
+    }
     /// Snapshot of the current bytes together with their version, read
     /// atomically (the version must describe exactly these bytes).
     fn fetch_bytes_versioned(&self) -> (Vec<u8>, Option<u64>) {
@@ -176,6 +185,12 @@ impl<T: Plain> HostSource for HostVec<T> {
 
     fn version(&self) -> Option<u64> {
         Some(HostVec::version(self))
+    }
+
+    fn source_id(&self) -> Option<usize> {
+        // The shared allocation's address: stable and unique for as long
+        // as any clone (and thus any pull task holding the source) lives.
+        Some(Arc::as_ptr(&self.inner) as *const () as usize)
     }
 
     fn fetch_bytes_versioned(&self) -> (Vec<u8>, Option<u64>) {
@@ -270,5 +285,17 @@ mod tests {
         let v0 = a.version();
         b.write().push(1);
         assert_eq!(a.version(), v0 + 1);
+    }
+
+    #[test]
+    fn source_id_identifies_shared_storage() {
+        let a: HostVec<u8> = HostVec::new();
+        let b = a.clone();
+        let c: HostVec<u8> = HostVec::new();
+        let (sa, sb, sc): (&dyn HostSource, &dyn HostSource, &dyn HostSource) =
+            (&a, &b, &c);
+        assert!(sa.source_id().is_some());
+        assert_eq!(sa.source_id(), sb.source_id());
+        assert_ne!(sa.source_id(), sc.source_id());
     }
 }

@@ -243,6 +243,53 @@ struct ExecInner {
     copy_chunk_threshold: usize,
     /// Copy-lane streams per (worker, device) used by chunked transfers.
     copy_lanes: usize,
+    /// EWMA feedback of modeled per-task durations; consulted by the
+    /// locality placement policy and seedable from external history.
+    cost_db: crate::costmodel::CostDb,
+    /// Device of the GPU chain each worker most recently dispatched
+    /// (`u64::MAX` = none yet). Thieves prefer victims sharing their
+    /// focus device: those deques hold tasks whose data is most likely
+    /// resident where the thief's streams already live.
+    worker_focus: Vec<AtomicU64>,
+    /// Pin worker `i` to CPU core `i % cores` (feature `core_affinity`).
+    pin_workers: bool,
+}
+
+impl ExecInner {
+    /// True when the locality policy is active — the only mode that pays
+    /// for per-task cost observation.
+    fn locality(&self) -> bool {
+        matches!(self.policy, PlacementPolicy::Locality)
+    }
+
+    /// Records one executed task's modeled duration into the cost
+    /// database (locality policy only; other policies skip the feedback
+    /// loop entirely so their hot path is unchanged).
+    fn observe_cost(&self, graph: &str, task: &str, nanos: f64) {
+        if self.locality() {
+            self.cost_db.observe(graph, task, nanos);
+        }
+    }
+
+    /// EWMA cost snapshot for placing `graph`, when the policy uses one.
+    fn refined_costs(&self, graph: &str) -> Option<crate::costmodel::TaskCosts> {
+        if self.locality() {
+            Some(self.cost_db.snapshot_for(graph))
+        } else {
+            None
+        }
+    }
+
+    /// Publishes a freshly computed placement's locality metrics.
+    fn record_placement(&self, p: &crate::placement::Placement) {
+        if p.warm_hits > 0 {
+            self.stats.placement_warm_hits.add(p.warm_hits);
+        }
+        if p.est_bytes_saved > 0 {
+            self.stats.placement_est_bytes_saved.add(p.est_bytes_saved);
+        }
+        self.stats.placement_imbalance.set(p.imbalance());
+    }
 }
 
 /// What [`ExecInner::failure_action`] decided about a failed task body.
@@ -270,6 +317,7 @@ pub struct ExecutorBuilder {
     retry: RetryPolicy,
     copy_chunk_threshold: usize,
     copy_lanes: usize,
+    pin_workers: bool,
 }
 
 impl std::fmt::Debug for ExecutorBuilder {
@@ -300,7 +348,18 @@ impl ExecutorBuilder {
             retry: RetryPolicy::default(),
             copy_chunk_threshold: DEFAULT_COPY_CHUNK_THRESHOLD,
             copy_lanes: DEFAULT_COPY_LANES,
+            pin_workers: false,
         }
+    }
+
+    /// Pins worker thread `i` to CPU core `i % available_cores` on spawn,
+    /// keeping each worker's cache and NUMA locality stable across its
+    /// lifetime (default off). Pinning requires the `core_affinity`
+    /// feature on Linux/x86-64; elsewhere the knob is accepted but
+    /// pinning is a no-op.
+    pub fn pin_workers(mut self, on: bool) -> Self {
+        self.pin_workers = on;
+        self
     }
 
     /// Sets the byte size above which H2D/D2H transfers are split into
@@ -422,6 +481,9 @@ impl ExecutorBuilder {
                 .collect(),
             copy_chunk_threshold: self.copy_chunk_threshold,
             copy_lanes: self.copy_lanes,
+            cost_db: crate::costmodel::CostDb::new(),
+            worker_focus: (0..cpus).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            pin_workers: self.pin_workers,
         });
 
         let threads = deques
@@ -493,6 +555,28 @@ impl Executor {
         &self.inner.stats
     }
 
+    /// The per-task cost database backing the locality placement policy.
+    /// Exposed for inspection; prefer [`Executor::seed_task_cost`] for
+    /// pre-loading estimates.
+    pub fn cost_db(&self) -> &crate::costmodel::CostDb {
+        &self.inner.cost_db
+    }
+
+    /// Seeds the locality cost model with an external duration estimate
+    /// (nanoseconds of modeled device time) for `task` of `graph` — e.g.
+    /// from a persisted timing profile — so the very first placement of a
+    /// known workload is already informed. Estimates observed at runtime
+    /// take precedence over seeds.
+    pub fn seed_task_cost(&self, graph: &str, task: &str, nanos: f64) {
+        self.inner.cost_db.seed(graph, task, nanos);
+    }
+
+    /// Current decaying modeled-load estimate per device (nanoseconds),
+    /// as used to bias placement of later topologies toward idle GPUs.
+    pub fn device_loads(&self) -> Vec<f64> {
+        self.inner.device_load.lock().clone()
+    }
+
     /// Runs the graph once. Non-blocking; returns a future.
     pub fn run(&self, hf: &Heteroflow) -> RunFuture {
         self.run_n(hf, 1)
@@ -544,15 +628,19 @@ impl Executor {
                 }
             }
             inner.stats.topo_cache_misses.incr();
-            let p = match crate::placement::failover_placement(
+            let refined = inner.refined_costs(frozen.name());
+            let p = match crate::placement::failover_placement_ext(
                 &*frozen,
                 &[],
                 &lost,
                 &self.gpu_cost_model(),
+                inner.policy,
+                refined.as_ref(),
             ) {
                 Ok(p) => p,
                 Err(e) => return RunFuture::ready(Err(e)),
             };
+            inner.record_placement(&p);
             let placement = Arc::new(p);
             let fusion = Arc::new(FusionPlan::compute(&frozen, &placement, inner.fusion));
             return self.submit(hf, frozen, placement, fusion, Box::new(stop));
@@ -589,16 +677,19 @@ impl Executor {
                 for l in dl.iter_mut() {
                     *l *= 0.5;
                 }
-                let p = match crate::placement::device_placement_biased(
+                let refined = inner.refined_costs(frozen.name());
+                let p = match crate::placement::device_placement_ext(
                     &*frozen,
                     self.gpu.num_devices(),
                     inner.policy,
                     &self.gpu_cost_model(),
                     &dl,
+                    refined.as_ref(),
                 ) {
                     Ok(p) => p,
                     Err(e) => return RunFuture::ready(Err(e)),
                 };
+                inner.record_placement(&p);
                 let own_loads: Vec<f64> =
                     p.loads.iter().zip(dl.iter()).map(|(l, b)| l - b).collect();
                 dl.copy_from_slice(&p.loads);
@@ -1005,11 +1096,14 @@ impl ExecInner {
             .first()
             .map(|d| d.cost_model())
             .unwrap_or_default();
-        let new_placement = match crate::placement::failover_placement(
+        let refined = self.refined_costs(frozen.name());
+        let new_placement = match crate::placement::failover_placement_ext(
             &**frozen,
             &placement.device_of,
             &lost,
             &cost,
+            self.policy,
+            refined.as_ref(),
         ) {
             Ok(p) => p,
             Err(e) => {
@@ -1019,6 +1113,7 @@ impl ExecInner {
                 return false;
             }
         };
+        self.record_placement(&new_placement);
 
         // Device buffers on lost devices vanished with their arenas; a
         // replayed pull re-allocates on its new device. (Nothing to free —
@@ -1170,6 +1265,12 @@ impl Worker {
     }
 
     fn run(mut self) {
+        if self.inner.pin_workers {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let _ = crate::affinity::pin_current_thread(self.id % cores);
+        }
         WORKER_DEQUE.with(|d| *d.borrow_mut() = Some(Arc::clone(&self.deque)));
         loop {
             // Exploit: drain the local queue.
@@ -1242,10 +1343,34 @@ impl Worker {
     /// Our own id maps to the injector, so every draw is a real attempt
     /// (no wasted self-steal); injector hits claim a whole batch and bank
     /// the extras in the local deque.
+    ///
+    /// Topology-aware preference: before the random draw, probe one
+    /// victim sharing this worker's device focus (its deque most likely
+    /// holds tasks placed where this worker's streams and caches are
+    /// already warm). Misses fall straight through to the random sweep,
+    /// so the affine pass can delay but never prevent a steal.
     fn try_steal_once(&mut self) -> Option<Token> {
         let inner = Arc::clone(&self.inner);
         let n = inner.stealers.len();
         inner.stats.steal_attempts.incr(self.id);
+        let focus = inner.worker_focus[self.id].load(Ordering::Relaxed);
+        if focus != u64::MAX && n > 1 {
+            let start = (self.next_rand() % n as u64) as usize;
+            for k in 0..n {
+                let v = (start + k) % n;
+                if v == self.id || inner.worker_focus[v].load(Ordering::Relaxed) != focus {
+                    continue;
+                }
+                if let Steal::Success(token) = inner.stealers[v].steal() {
+                    inner.stats.steals.incr(self.id);
+                    inner.stats.steals_affine.incr(self.id);
+                    return Some(token);
+                }
+                // One affine probe per attempt; empty or contended falls
+                // back to the random draw below.
+                break;
+            }
+        }
         let v = (self.next_rand() % n as u64) as usize;
         if v == self.id {
             let mut first = None;
@@ -1418,6 +1543,10 @@ impl Worker {
         let dev_id = placement.device_of[head].expect("GPU task placed");
         let device = self.inner.gpu.device(dev_id)?;
         let _ctx = ScopedDeviceContext::new(dev_id);
+        // Publish this worker's device focus for topology-aware stealing:
+        // peers whose last GPU chain hit the same device likely queue
+        // work warm on it.
+        self.inner.worker_focus[self.id].store(dev_id as u64, Ordering::Relaxed);
 
         let state = Arc::new(ChainState::default());
         let mut chain = vec![head];
@@ -1603,9 +1732,14 @@ impl Worker {
                         }
                     }
                     inner.stats.bytes_h2d.add(n as u64);
+                    // Locality feedback: the modeled duration of the copy
+                    // that actually happened (current bytes, not the
+                    // placement-time size estimate).
+                    let dur = cost.h2d(n);
+                    inner.observe_cost(&topo2.frozen.name, &task, dur.as_nanos() as f64);
                     state2.done.fetch_add(1, Ordering::Release);
                     Ok(OpReport {
-                        duration: cost.h2d(n),
+                        duration: dur,
                         h2d_bytes: n as u64,
                         ..Default::default()
                     })
@@ -1668,9 +1802,11 @@ impl Worker {
                         }
                     }
                     inner.stats.bytes_d2h.add(n as u64);
+                    let dur = cost.d2h(n);
+                    inner.observe_cost(&topo2.frozen.name, &task, dur.as_nanos() as f64);
                     state2.done.fetch_add(1, Ordering::Release);
                     Ok(OpReport {
-                        duration: cost.d2h(n),
+                        duration: dur,
                         d2h_bytes: n as u64,
                         ..Default::default()
                     })
@@ -1703,6 +1839,7 @@ impl Worker {
                 let topo2 = Arc::clone(topo);
                 let state2 = Arc::clone(state);
                 let dev = device.clone();
+                let inner = Arc::clone(&self.inner);
                 let task_name = node.name.clone();
                 Ok(PreparedOp::Single(Box::new(move |view, cost| {
                     if state2.skip(&topo2) {
@@ -1733,9 +1870,11 @@ impl Worker {
                         });
                         return Ok(OpReport::default());
                     }
+                    let dur = cost.kernel(work_units);
+                    inner.observe_cost(&topo2.frozen.name, &task_name, dur.as_nanos() as f64);
                     state2.done.fetch_add(1, Ordering::Release);
                     Ok(OpReport {
-                        duration: cost.kernel(work_units),
+                        duration: dur,
                         kernels: 1,
                         ..Default::default()
                     })
@@ -1893,7 +2032,7 @@ impl Worker {
         let inner = Arc::clone(&self.inner);
         stream.exec_labeled(
             label,
-            Box::new(move |_view, _cost| {
+            Box::new(move |_view, cost| {
                 if state2.skip(&topo2) || xfer2.aborted.load(Ordering::Acquire) {
                     return Ok(OpReport::default());
                 }
@@ -1914,6 +2053,9 @@ impl Worker {
                     }
                 }
                 inner.stats.bytes_h2d.add(n as u64);
+                // Chunk durations were reported per lane; feed the whole
+                // transfer's modeled cost back as this task's estimate.
+                inner.observe_cost(&topo2.frozen.name, &task, cost.h2d(n).as_nanos() as f64);
                 state2.done.fetch_add(1, Ordering::Release);
                 Ok(OpReport::default())
             }),
@@ -2021,7 +2163,7 @@ impl Worker {
         let inner = Arc::clone(&self.inner);
         stream.exec_labeled(
             label,
-            Box::new(move |_view, _cost| {
+            Box::new(move |_view, cost| {
                 if state2.skip(&topo2) || xfer2.inert() {
                     return Ok(OpReport::default());
                 }
@@ -2035,6 +2177,11 @@ impl Worker {
                     }
                 }
                 inner.stats.bytes_d2h.add(staging.len() as u64);
+                inner.observe_cost(
+                    &topo2.frozen.name,
+                    &task,
+                    cost.d2h(staging.len()).as_nanos() as f64,
+                );
                 state2.done.fetch_add(1, Ordering::Release);
                 Ok(OpReport::default())
             }),
@@ -2529,5 +2676,88 @@ mod tests {
         ex2.run(&g).wait().unwrap();
         assert_eq!(ex2.stats().topo_cache_misses.sum(), 1);
         assert_eq!(ex2.stats().topo_cache_hits.sum(), 0);
+    }
+
+    /// Locality policy end-to-end: correct results, the placement cache
+    /// still hits on unchanged resubmission, and the resubmission elides
+    /// its transfers via residency.
+    #[test]
+    fn locality_policy_runs_and_caches() {
+        let ex = Executor::builder(2, 2)
+            .placement_policy(PlacementPolicy::Locality)
+            .build();
+        let g = Heteroflow::new("loc");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1; 256]);
+        let y: HostVec<i32> = HostVec::from_vec(vec![2; 256]);
+        let px = g.pull("px", &x);
+        let py = g.pull("py", &y);
+        let _ = (px, py);
+        ex.run(&g).wait().unwrap();
+        ex.run(&g).wait().unwrap();
+        let snap = ex.stats().snapshot();
+        assert_eq!(snap.topo_cache_misses, 1);
+        assert_eq!(snap.topo_cache_hits, 1);
+        // Second submission found both buffers warm.
+        assert_eq!(snap.transfers_elided, 2);
+        assert_eq!(snap.bytes_h2d, 2048, "each buffer copied exactly once");
+        // The locality runs fed the cost model.
+        assert!(ex.cost_db().get("loc", "px").is_some());
+        assert!(ex.cost_db().get("loc", "py").is_some());
+    }
+
+    /// The cost database only accumulates under the locality policy —
+    /// the default policy's hot path stays observation-free.
+    #[test]
+    fn balanced_load_skips_cost_feedback() {
+        let ex = Executor::new(2, 1);
+        let g = Heteroflow::new("nofb");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1; 64]);
+        gpu_lane(&g, "lane", &x);
+        ex.run(&g).wait().unwrap();
+        assert!(ex.cost_db().is_empty());
+        assert_eq!(ex.stats().snapshot().placement_warm_hits, 0);
+    }
+
+    #[test]
+    fn seeded_costs_survive_until_observed() {
+        let ex = Executor::builder(1, 1)
+            .placement_policy(PlacementPolicy::Locality)
+            .build();
+        ex.seed_task_cost("g", "t", 1234.0);
+        assert_eq!(ex.cost_db().get("g", "t"), Some(1234.0));
+        let g = Heteroflow::new("g");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1; 32]);
+        g.pull("t", &x);
+        ex.run(&g).wait().unwrap();
+        // Observation replaced the seed with the modeled copy duration.
+        let observed = ex.cost_db().get("g", "t").unwrap();
+        assert_ne!(observed, 1234.0);
+        assert!(observed > 0.0);
+    }
+
+    #[test]
+    fn device_loads_tracks_gpu_count() {
+        let ex = Executor::new(1, 3);
+        assert_eq!(ex.device_loads().len(), 3);
+        let g = Heteroflow::new("dl");
+        let x: HostVec<i32> = HostVec::from_vec(vec![1; 128]);
+        gpu_lane(&g, "lane", &x);
+        ex.run(&g).wait().unwrap();
+        assert!(ex.device_loads().iter().any(|&l| l > 0.0));
+    }
+
+    /// `pin_workers` must be a safe no-op knob regardless of whether the
+    /// `core_affinity` feature (and thus real pinning) is compiled in.
+    #[test]
+    fn pinned_workers_still_schedule() {
+        let ex = Executor::builder(3, 1).pin_workers(true).build();
+        let g = Heteroflow::new("pin");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        g.host("inc", move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        ex.run_n(&g, 20).wait().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
     }
 }

@@ -502,17 +502,46 @@ impl Heteroflow {
         if self.shared.run_state.lock().active {
             return Err(HfError::GraphBusy);
         }
+        // Residency carry-over: a re-freeze (graph mutated) would reset
+        // every pull's device buffer, forcing full recopies even of
+        // untouched data. Instead, move each still-present pull's state —
+        // matched by (name, storage identity) — from the retiring
+        // snapshot into the new one. The old topology has fully drained
+        // (`active` is false), so nothing is executing against the old
+        // state; taking it out also keeps the old snapshot's `Drop` from
+        // freeing the transplanted buffer.
+        let prev = self.shared.frozen.lock().clone();
+        let mut carry: std::collections::HashMap<(String, usize), usize> = Default::default();
+        if let Some(prev) = &prev {
+            for (i, n) in prev.nodes.iter().enumerate() {
+                if let Work::Pull { source } = &n.work {
+                    if let Some(sid) = source.source_id() {
+                        carry.insert((n.name.clone(), sid), i);
+                    }
+                }
+            }
+        }
         let nodes: Vec<FrozenNode> = b
             .nodes
             .iter()
-            .map(|n| FrozenNode {
-                name: n.name.clone(),
-                work: n.work.clone_payload(),
-                succ: n.succ.clone(),
-                num_deps: n.pred.len(),
-                cfg: n.cfg,
-                work_units: n.work_units,
-                pull_state: Mutex::new(PullState::default()),
+            .map(|n| {
+                let pull_state = match (&n.work, &prev) {
+                    (Work::Pull { source }, Some(prev)) => source
+                        .source_id()
+                        .and_then(|sid| carry.remove(&(n.name.clone(), sid)))
+                        .map(|old| std::mem::take(&mut *prev.nodes[old].pull_state.lock()))
+                        .unwrap_or_default(),
+                    _ => PullState::default(),
+                };
+                FrozenNode {
+                    name: n.name.clone(),
+                    work: n.work.clone_payload(),
+                    succ: n.succ.clone(),
+                    num_deps: n.pred.len(),
+                    cfg: n.cfg,
+                    work_units: n.work_units,
+                    pull_state: Mutex::new(pull_state),
+                }
             })
             .collect();
         if let Some(task) = FrozenGraph::find_cycle(&nodes) {

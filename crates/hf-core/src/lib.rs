@@ -54,6 +54,8 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
+pub mod costmodel;
 pub mod data;
 pub mod dot;
 pub mod error;
@@ -68,12 +70,16 @@ pub mod stats;
 pub mod task;
 pub(crate) mod topology;
 
+pub use costmodel::{CostDb, TaskCosts};
 pub use error::HfError;
 pub use executor::{Executor, ExecutorBuilder};
 pub use graph::{FrozenGraph, Heteroflow, TaskKind};
 pub use inspect::{GraphInfo, NodeInfo};
 pub use observer::{ExecutorObserver, SpanCat, TaskMeta, TraceCollector, TraceSpan, Track};
-pub use placement::{device_placement, failover_placement, Placement, PlacementPolicy};
+pub use placement::{
+    device_placement, device_placement_ext, failover_placement, failover_placement_ext,
+    Placement, PlacementPolicy,
+};
 pub use retry::{OnDeviceLoss, RetryPolicy};
 pub use stats::{ExecutorStats, StatsSnapshot};
 pub use task::{AsTask, HostTask, KernelTask, PullTask, PushTask, TaskRef};

@@ -11,6 +11,7 @@
 //! their source pull task (their stream "is guaranteed to live in the same
 //! GPU context as the source pull task", Listing 6 discussion).
 
+use crate::costmodel::TaskCosts;
 use crate::error::HfError;
 use crate::graph::{FrozenGraph, TaskKind, Work};
 use crate::inspect::GraphInfo;
@@ -34,6 +35,22 @@ pub trait PlacementView {
     fn name_of(&self, i: usize) -> String;
     /// Modeled device-time weight of node `i` for bin packing.
     fn weight_of(&self, i: usize, cost: &CostModel) -> f64;
+    /// Bytes node `i` would move (pulls/pushes; 0 otherwise). Feeds the
+    /// locality policy's estimate of transfer bytes saved by warm
+    /// placement. Views without byte information may keep the default.
+    fn bytes_of(&self, i: usize) -> usize {
+        let _ = i;
+        0
+    }
+    /// Device currently holding a warm, version-valid copy of pull `i`'s
+    /// buffer, if any. The locality policy zeroes that edge's transfer
+    /// cost on this device so placement gravitates to where the
+    /// transfer-elision layer will actually fire. Structural views with
+    /// no runtime residency keep the default (`None`).
+    fn warm_device(&self, i: usize) -> Option<u32> {
+        let _ = i;
+        None
+    }
 }
 
 impl PlacementView for FrozenGraph {
@@ -66,6 +83,35 @@ impl PlacementView for FrozenGraph {
     fn weight_of(&self, i: usize, cost: &CostModel) -> f64 {
         node_weight(self, i, cost)
     }
+
+    fn bytes_of(&self, i: usize) -> usize {
+        match &self.nodes[i].work {
+            Work::Pull { source } => source.byte_len(),
+            Work::Push { source_pull, .. } => match &self.nodes[*source_pull].work {
+                Work::Pull { source } => source.byte_len(),
+                _ => 0,
+            },
+            _ => 0,
+        }
+    }
+
+    fn warm_device(&self, i: usize) -> Option<u32> {
+        match &self.nodes[i].work {
+            Work::Pull { source } => {
+                let st = self.nodes[i].pull_state.lock();
+                // Warm = a live device buffer holding exactly the
+                // source's current version. A mutated host buffer bumps
+                // the version, so stale residency never attracts.
+                let host_ver = source.version()?;
+                if st.resident_version == Some(host_ver) {
+                    st.ptr.map(|p| p.device)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
 }
 
 impl PlacementView for GraphInfo {
@@ -97,6 +143,10 @@ impl PlacementView for GraphInfo {
             _ => 0.0,
         }
     }
+
+    fn bytes_of(&self, i: usize) -> usize {
+        self.nodes[i].bytes
+    }
 }
 
 /// Strategy for packing task groups onto GPU bins. `BalancedLoad` is the
@@ -115,6 +165,13 @@ pub enum PlacementPolicy {
         /// PRNG seed.
         seed: u64,
     },
+    /// Cost-model-driven, residency-warm packing: groups are weighed in
+    /// modeled seconds (analytic costs refined by EWMA feedback when a
+    /// [`TaskCosts`] snapshot is supplied), and a device already holding
+    /// a warm, version-valid copy of a pull's buffer has that edge's
+    /// transfer cost zeroed — resubmissions gravitate to where transfer
+    /// elision actually fires instead of chasing queue depth alone.
+    Locality,
 }
 
 
@@ -128,18 +185,33 @@ pub struct Placement {
     /// Modeled load per GPU bin after packing, including any initial
     /// loads passed to [`device_placement_biased`] (nanoseconds).
     pub loads: Vec<f64>,
+    /// Groups the locality policy placed on a device already holding a
+    /// warm copy of at least one of their pulls (0 for other policies).
+    pub warm_hits: u64,
+    /// Transfer bytes the locality policy expects warm placement to save
+    /// via elision (0 for other policies).
+    pub est_bytes_saved: u64,
 }
 
 impl Placement {
-    /// Max/min bin load ratio — 1.0 is perfectly balanced. Returns 1.0
-    /// when any bin is empty-free (no meaningful ratio).
+    /// Max bin load over *mean* bin load, weighted by modeled cost —
+    /// 1.0 is perfectly balanced, `num_bins` is everything on one bin.
+    /// Returns 1.0 for an empty placement.
+    ///
+    /// (The previous max/min ratio reported a misleading 1.0 whenever
+    /// any bin was empty — exactly the most imbalanced outcome — because
+    /// a zero minimum has no meaningful ratio. Max/mean stays defined
+    /// and monotone in the heaviest bin's modeled overload.)
     pub fn imbalance(&self) -> f64 {
+        if self.loads.is_empty() {
+            return 1.0;
+        }
         let max = self.loads.iter().cloned().fold(0.0f64, f64::max);
-        let min = self.loads.iter().cloned().fold(f64::INFINITY, f64::min);
-        if min <= 0.0 || !min.is_finite() {
+        let mean = self.loads.iter().sum::<f64>() / self.loads.len() as f64;
+        if mean <= 0.0 || !mean.is_finite() {
             1.0
         } else {
-            max / min
+            max / mean
         }
     }
 }
@@ -156,6 +228,19 @@ fn node_weight(graph: &FrozenGraph, id: usize, cost: &CostModel) -> f64 {
         }
         _ => 0.0,
     }
+}
+
+/// Weight of one node with EWMA refinement: the cost database's observed
+/// estimate when one exists, the analytic model otherwise.
+fn refined_weight<G: PlacementView + ?Sized>(
+    graph: &G,
+    id: usize,
+    cost: &CostModel,
+    refined: Option<&TaskCosts>,
+) -> f64 {
+    refined
+        .and_then(|r| r.get(&graph.name_of(id)))
+        .unwrap_or_else(|| graph.weight_of(id, cost))
 }
 
 /// Runs Algorithm 1 (*DevicePlacement*) on any [`PlacementView`].
@@ -184,12 +269,31 @@ pub fn device_placement_biased<G: PlacementView + ?Sized>(
     cost: &CostModel,
     initial_loads: &[f64],
 ) -> Result<Placement, HfError> {
+    device_placement_ext(graph, num_gpus, policy, cost, initial_loads, None)
+}
+
+/// [`device_placement_biased`] with an optional per-task refined cost
+/// snapshot (EWMA feedback from executed epochs, see
+/// [`crate::costmodel::CostDb`]). Refined costs replace the analytic
+/// weights wherever an estimate exists; the locality policy additionally
+/// consults [`PlacementView::warm_device`] to zero transfer costs on
+/// devices already holding current data.
+pub fn device_placement_ext<G: PlacementView + ?Sized>(
+    graph: &G,
+    num_gpus: u32,
+    policy: PlacementPolicy,
+    cost: &CostModel,
+    initial_loads: &[f64],
+    refined: Option<&TaskCosts>,
+) -> Result<Placement, HfError> {
     let n = graph.num_nodes();
     let mut device_of: Vec<Option<u32>> = vec![None; n];
     let mut loads = vec![0.0f64; num_gpus as usize];
     for (l, &init) in loads.iter_mut().zip(initial_loads) {
         *l = init;
     }
+    let mut warm_hits = 0u64;
+    let mut est_bytes_saved = 0u64;
 
     // Reject GPU work with no GPUs.
     if num_gpus == 0 {
@@ -207,6 +311,8 @@ pub fn device_placement_biased<G: PlacementView + ?Sized>(
             device_of,
             num_groups: 0,
             loads,
+            warm_hits: 0,
+            est_bytes_saved: 0,
         });
     }
 
@@ -228,7 +334,7 @@ pub fn device_placement_biased<G: PlacementView + ?Sized>(
         let k = graph.kind_of(id);
         if k == TaskKind::Kernel || k == TaskKind::Pull {
             let root = uf.find(id);
-            *group_weight.entry(root).or_insert(0.0) += graph.weight_of(id, cost);
+            *group_weight.entry(root).or_insert(0.0) += refined_weight(graph, id, cost, refined);
             group_members.entry(root).or_default().push(id);
         }
     }
@@ -249,6 +355,44 @@ pub fn device_placement_biased<G: PlacementView + ?Sized>(
                     .map(|(i, _)| i)
                     .expect("num_gpus > 0");
                 loads[bin] += w;
+                for &m in &group_members[&root] {
+                    device_of[m] = Some(bin as u32);
+                }
+            }
+        }
+        PlacementPolicy::Locality => {
+            // LPT order by residency-blind weight, then pick per group
+            // the bin minimizing *effective* cost: current load plus the
+            // group's weight minus whatever transfers the bin's warm
+            // buffers would elide. A warm device thus strictly wins load
+            // ties, and only loses when the load gap exceeds the copy
+            // cost it saves.
+            groups.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite"));
+            for (root, w) in groups {
+                let mut save = vec![0.0f64; num_gpus as usize];
+                let mut saved_bytes = vec![0u64; num_gpus as usize];
+                for &m in &group_members[&root] {
+                    if graph.kind_of(m) == TaskKind::Pull {
+                        if let Some(d) = graph.warm_device(m) {
+                            if let Some(s) = save.get_mut(d as usize) {
+                                *s += refined_weight(graph, m, cost, refined);
+                                saved_bytes[d as usize] += graph.bytes_of(m) as u64;
+                            }
+                        }
+                    }
+                }
+                let bin = (0..num_gpus as usize)
+                    .min_by(|&a, &b| {
+                        (loads[a] + w - save[a])
+                            .partial_cmp(&(loads[b] + w - save[b]))
+                            .expect("loads are finite")
+                    })
+                    .expect("num_gpus > 0");
+                loads[bin] += (w - save[bin]).max(0.0);
+                if save[bin] > 0.0 {
+                    warm_hits += 1;
+                    est_bytes_saved += saved_bytes[bin];
+                }
                 for &m in &group_members[&root] {
                     device_of[m] = Some(bin as u32);
                 }
@@ -295,6 +439,8 @@ pub fn device_placement_biased<G: PlacementView + ?Sized>(
         device_of,
         num_groups,
         loads,
+        warm_hits,
+        est_bytes_saved,
     })
 }
 
@@ -311,6 +457,22 @@ pub fn failover_placement<G: PlacementView + ?Sized>(
     old_device_of: &[Option<u32>],
     lost: &[bool],
     cost: &CostModel,
+) -> Result<Placement, HfError> {
+    failover_placement_ext(graph, old_device_of, lost, cost, PlacementPolicy::BalancedLoad, None)
+}
+
+/// [`failover_placement`] reusing the locality cost model: under
+/// [`PlacementPolicy::Locality`], stranded groups are re-packed onto the
+/// surviving bins with EWMA-refined weights and warm-residency savings
+/// (restricted to alive devices — a lost device's warmth died with its
+/// arena). Other policies keep the plain LPT re-pack.
+pub fn failover_placement_ext<G: PlacementView + ?Sized>(
+    graph: &G,
+    old_device_of: &[Option<u32>],
+    lost: &[bool],
+    cost: &CostModel,
+    policy: PlacementPolicy,
+    refined: Option<&TaskCosts>,
 ) -> Result<Placement, HfError> {
     let n = graph.num_nodes();
     let num_gpus = lost.len() as u32;
@@ -333,6 +495,8 @@ pub fn failover_placement<G: PlacementView + ?Sized>(
             device_of,
             num_groups: 0,
             loads,
+            warm_hits: 0,
+            est_bytes_saved: 0,
         });
     }
 
@@ -351,11 +515,13 @@ pub fn failover_placement<G: PlacementView + ?Sized>(
         let k = graph.kind_of(id);
         if k == TaskKind::Kernel || k == TaskKind::Pull {
             let root = uf.find(id);
-            *group_weight.entry(root).or_insert(0.0) += graph.weight_of(id, cost);
+            *group_weight.entry(root).or_insert(0.0) += refined_weight(graph, id, cost, refined);
             group_members.entry(root).or_default().push(id);
         }
     }
     let num_groups = group_members.len();
+    let mut warm_hits = 0u64;
+    let mut est_bytes_saved = 0u64;
 
     // Partition: groups on an alive device stay put; the rest re-pack.
     let mut stranded: Vec<(usize, f64)> = Vec::new();
@@ -376,14 +542,39 @@ pub fn failover_placement<G: PlacementView + ?Sized>(
         }
     }
 
-    // LPT greedy over the alive bins only.
+    // LPT greedy over the alive bins only; under the locality policy the
+    // bin choice subtracts warm-residency savings on alive devices.
     stranded.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite"));
+    let locality = matches!(policy, PlacementPolicy::Locality);
     for (root, w) in stranded {
+        let mut save = vec![0.0f64; num_gpus as usize];
+        let mut saved_bytes = vec![0u64; num_gpus as usize];
+        if locality {
+            for &m in &group_members[&root] {
+                if graph.kind_of(m) == TaskKind::Pull {
+                    if let Some(d) = graph.warm_device(m) {
+                        let d = d as usize;
+                        if d < save.len() && !lost[d] {
+                            save[d] += refined_weight(graph, m, cost, refined);
+                            saved_bytes[d] += graph.bytes_of(m) as u64;
+                        }
+                    }
+                }
+            }
+        }
         let bin = *alive
             .iter()
-            .min_by(|&&a, &&b| loads[a].partial_cmp(&loads[b]).expect("loads are finite"))
+            .min_by(|&&a, &&b| {
+                (loads[a] + w - save[a])
+                    .partial_cmp(&(loads[b] + w - save[b]))
+                    .expect("loads are finite")
+            })
             .expect("alive is non-empty");
-        loads[bin] += w;
+        loads[bin] += (w - save[bin]).max(0.0);
+        if save[bin] > 0.0 {
+            warm_hits += 1;
+            est_bytes_saved += saved_bytes[bin];
+        }
         for &m in &group_members[&root] {
             device_of[m] = Some(bin as u32);
         }
@@ -400,6 +591,8 @@ pub fn failover_placement<G: PlacementView + ?Sized>(
         device_of,
         num_groups,
         loads,
+        warm_hits,
+        est_bytes_saved,
     })
 }
 
@@ -607,6 +800,188 @@ mod tests {
             failover_placement(&*f, &[], &[true, true], &CostModel::default()),
             Err(HfError::NoGpus { .. })
         ));
+    }
+
+    /// Marks a frozen pull node's device buffer warm: a fake allocation
+    /// on `device` holding exactly `version` of the source's bytes.
+    fn set_warm(f: &FrozenGraph, id: usize, device: u32, version: u64, bytes: u64) {
+        let mut st = f.nodes[id].pull_state.lock();
+        st.ptr = Some(hf_gpu::DevicePtr {
+            device,
+            offset: 0,
+            len: bytes,
+            capacity: bytes,
+        });
+        st.resident_version = Some(version);
+    }
+
+    /// A warm, version-valid device wins load ties under the locality
+    /// policy, and the placement reports the expected savings.
+    #[test]
+    fn locality_warm_device_wins_ties() {
+        let g = Heteroflow::new("warm");
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 4096]);
+        let y: HostVec<u8> = HostVec::from_vec(vec![0; 4096]);
+        let px = g.pull("px", &x);
+        let py = g.pull("py", &y);
+        let f = g.freeze().unwrap();
+        // Residency deliberately opposite to the tie-break order (device
+        // 0 first): only warm attraction can produce this placement.
+        set_warm(&f, px.id(), 1, x.version(), 4096);
+        set_warm(&f, py.id(), 0, y.version(), 4096);
+        let p = device_placement(&*f, 2, PlacementPolicy::Locality, &CostModel::default())
+            .unwrap();
+        assert_eq!(p.device_of[px.id()], Some(1));
+        assert_eq!(p.device_of[py.id()], Some(0));
+        assert_eq!(p.warm_hits, 2);
+        assert_eq!(p.est_bytes_saved, 8192);
+        // Warm transfers are elided, so they add no modeled load.
+        assert!(p.loads.iter().all(|&l| l == 0.0), "loads {:?}", p.loads);
+    }
+
+    /// Stale residency (host buffer mutated since the copy) must not
+    /// attract placement: the version no longer matches, so the policy
+    /// falls back to plain balanced packing.
+    #[test]
+    fn locality_stale_residency_does_not_attract() {
+        let g = Heteroflow::new("stale");
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 4096]);
+        let y: HostVec<u8> = HostVec::from_vec(vec![0; 4096]);
+        let px = g.pull("px", &x);
+        let py = g.pull("py", &y);
+        let f = g.freeze().unwrap();
+        set_warm(&f, px.id(), 1, x.version(), 4096);
+        set_warm(&f, py.id(), 0, y.version(), 4096);
+        // Mutate both hosts: residency versions are now stale.
+        x.write()[0] = 1;
+        y.write()[0] = 1;
+        let p = device_placement(&*f, 2, PlacementPolicy::Locality, &CostModel::default())
+            .unwrap();
+        assert_eq!(p.warm_hits, 0);
+        assert_eq!(p.est_bytes_saved, 0);
+        // Tie-break order reasserts itself: px (first group) on device 0,
+        // not its stale device 1.
+        assert_eq!(p.device_of[px.id()], Some(0));
+        assert_eq!(p.device_of[py.id()], Some(1));
+    }
+
+    /// Warm residency is only worth its transfer cost: a large load gap
+    /// still moves the group off the warm device.
+    #[test]
+    fn locality_load_gap_overrides_warmth() {
+        let g = Heteroflow::new("gap");
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 1024]);
+        let px = g.pull("px", &x);
+        let f = g.freeze().unwrap();
+        set_warm(&f, px.id(), 0, x.version(), 1024);
+        let cost = CostModel::default();
+        let w = cost.h2d(1024).as_nanos() as f64;
+        // Device 0 is warm but pre-loaded far beyond the copy saving.
+        let bias = [w * 10.0, 0.0];
+        let p = device_placement_ext(
+            &*f,
+            2,
+            PlacementPolicy::Locality,
+            &cost,
+            &bias,
+            None,
+        )
+        .unwrap();
+        assert_eq!(p.device_of[px.id()], Some(1));
+        assert_eq!(p.warm_hits, 0);
+    }
+
+    /// EWMA-refined costs replace analytic weights in the packing.
+    #[test]
+    fn refined_costs_reweigh_groups() {
+        let g = Heteroflow::new("refined");
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 1024]);
+        let mut pulls = Vec::new();
+        for i in 0..3 {
+            pulls.push(g.pull(&format!("p{i}"), &x));
+        }
+        let f = g.freeze().unwrap();
+        let cost = CostModel::default();
+        let db = crate::costmodel::CostDb::new();
+        // p0 is observed to be 10x heavier than the analytic estimate;
+        // LPT must isolate it and pair the two light pulls.
+        let analytic = cost.h2d(1024).as_nanos() as f64;
+        db.observe("refined", "p0", analytic * 10.0);
+        let snap = db.snapshot_for("refined");
+        let p = device_placement_ext(
+            &*f,
+            2,
+            PlacementPolicy::BalancedLoad,
+            &cost,
+            &[],
+            Some(&snap),
+        )
+        .unwrap();
+        let d0 = p.device_of[pulls[0].id()].unwrap();
+        assert_eq!(p.device_of[pulls[1].id()], p.device_of[pulls[2].id()]);
+        assert_ne!(p.device_of[pulls[1].id()], Some(d0));
+    }
+
+    /// Failover under the locality policy re-homes a stranded group onto
+    /// the alive device already holding its data warm.
+    #[test]
+    fn failover_locality_prefers_warm_survivor() {
+        let g = Heteroflow::new("fw");
+        let x: HostVec<u8> = HostVec::from_vec(vec![0; 2048]);
+        let px = g.pull("px", &x);
+        let f = g.freeze().unwrap();
+        // Warm on device 2; previously placed on device 0, now lost.
+        set_warm(&f, px.id(), 2, x.version(), 2048);
+        let old = vec![Some(0)];
+        let lost = vec![true, false, false];
+        let cost = CostModel::default();
+        let balanced =
+            failover_placement(&*f, &old, &lost, &cost).unwrap();
+        // Plain LPT picks the first alive bin (device 1).
+        assert_eq!(balanced.device_of[px.id()], Some(1));
+        let locality = failover_placement_ext(
+            &*f,
+            &old,
+            &lost,
+            &cost,
+            PlacementPolicy::Locality,
+            None,
+        )
+        .unwrap();
+        assert_eq!(locality.device_of[px.id()], Some(2));
+        assert_eq!(locality.warm_hits, 1);
+        assert_eq!(locality.est_bytes_saved, 2048);
+    }
+
+    /// The cost-weighted imbalance metric: max over mean, defined even
+    /// with empty bins (the old max/min ratio reported a misleading 1.0
+    /// whenever a bin was empty).
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let p = Placement {
+            device_of: Vec::new(),
+            num_groups: 1,
+            loads: vec![2.0, 0.0],
+            warm_hits: 0,
+            est_bytes_saved: 0,
+        };
+        assert!((p.imbalance() - 2.0).abs() < 1e-12);
+        let empty = Placement {
+            device_of: Vec::new(),
+            num_groups: 0,
+            loads: Vec::new(),
+            warm_hits: 0,
+            est_bytes_saved: 0,
+        };
+        assert_eq!(empty.imbalance(), 1.0);
+        let balanced = Placement {
+            device_of: Vec::new(),
+            num_groups: 4,
+            loads: vec![3.0, 3.0, 3.0],
+            warm_hits: 0,
+            est_bytes_saved: 0,
+        };
+        assert!((balanced.imbalance() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -7,6 +7,34 @@
 
 use hf_sync::{GlobalCounter, ShardedCounter};
 use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free `f64` gauge (bit-stored in an [`AtomicU64`]): last value
+/// wins, no read-modify-write. Used for per-placement quantities like the
+/// cost-weighted imbalance ratio.
+#[derive(Debug)]
+pub struct F64Gauge {
+    bits: AtomicU64,
+}
+
+impl F64Gauge {
+    /// Creates a gauge holding `v`.
+    pub fn new(v: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(v.to_bits()),
+        }
+    }
+
+    /// Stores a new value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Reads the current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
 
 /// Counters gathered by the executor's scheduling loop. Per-worker events
 /// are sharded and summed on read; events raised from arbitrary threads
@@ -61,6 +89,18 @@ pub struct ExecutorStats {
     /// Pull executions that skipped their H2D copy because the device
     /// buffer already held the source's current version.
     pub transfers_elided: GlobalCounter,
+    /// Groups the locality policy placed onto a device already holding a
+    /// warm copy of at least one of their pull buffers.
+    pub placement_warm_hits: GlobalCounter,
+    /// Transfer bytes placement expects its warm-hit decisions to save
+    /// via elision (an estimate made at packing time).
+    pub placement_est_bytes_saved: GlobalCounter,
+    /// Successful steals that hit a topology-preferred victim (one whose
+    /// last GPU task ran on the same device as the thief's).
+    pub steals_affine: ShardedCounter,
+    /// Cost-weighted imbalance (max/mean bin load) of the most recent
+    /// placement computed by this executor.
+    pub placement_imbalance: F64Gauge,
 }
 
 impl ExecutorStats {
@@ -84,6 +124,10 @@ impl ExecutorStats {
             bytes_h2d: GlobalCounter::new(),
             bytes_d2h: GlobalCounter::new(),
             transfers_elided: GlobalCounter::new(),
+            placement_warm_hits: GlobalCounter::new(),
+            placement_est_bytes_saved: GlobalCounter::new(),
+            steals_affine: ShardedCounter::new(workers),
+            placement_imbalance: F64Gauge::new(1.0),
         }
     }
 
@@ -107,6 +151,10 @@ impl ExecutorStats {
         self.bytes_h2d.reset();
         self.bytes_d2h.reset();
         self.transfers_elided.reset();
+        self.placement_warm_hits.reset();
+        self.placement_est_bytes_saved.reset();
+        self.steals_affine.reset();
+        self.placement_imbalance.set(1.0);
     }
 
     /// Steal success rate in `[0, 1]`; 1.0 when no attempts were made.
@@ -144,6 +192,10 @@ impl ExecutorStats {
             bytes_h2d: self.bytes_h2d.sum(),
             bytes_d2h: self.bytes_d2h.sum(),
             transfers_elided: self.transfers_elided.sum(),
+            placement_warm_hits: self.placement_warm_hits.sum(),
+            placement_est_bytes_saved: self.placement_est_bytes_saved.sum(),
+            steals_affine: self.steals_affine.sum(),
+            placement_imbalance: self.placement_imbalance.get(),
         }
     }
 }
@@ -192,6 +244,14 @@ pub struct StatsSnapshot {
     pub bytes_d2h: u64,
     /// Pull executions that skipped their H2D copy via residency.
     pub transfers_elided: u64,
+    /// Groups placed warm by the locality policy.
+    pub placement_warm_hits: u64,
+    /// Transfer bytes placement estimated its warm hits would save.
+    pub placement_est_bytes_saved: u64,
+    /// Successful steals from topology-preferred victims.
+    pub steals_affine: u64,
+    /// Cost-weighted imbalance (max/mean) of the latest placement.
+    pub placement_imbalance: f64,
 }
 
 #[cfg(test)]
@@ -255,6 +315,36 @@ mod tests {
         assert_eq!(snap.transfers_elided, 9);
         let json = serde_json::to_string(&snap).unwrap();
         assert!(json.contains("\"transfers_elided\":9"));
+    }
+
+    #[test]
+    fn placement_counters_snapshot_and_reset() {
+        let s = ExecutorStats::new(2);
+        s.placement_warm_hits.add(4);
+        s.placement_est_bytes_saved.add(65536);
+        s.steals_affine.incr(1);
+        s.placement_imbalance.set(1.75);
+        let snap = s.snapshot();
+        assert_eq!(snap.placement_warm_hits, 4);
+        assert_eq!(snap.placement_est_bytes_saved, 65536);
+        assert_eq!(snap.steals_affine, 1);
+        assert!((snap.placement_imbalance - 1.75).abs() < 1e-12);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"placement_warm_hits\":4"));
+        s.reset();
+        assert_eq!(s.placement_warm_hits.sum(), 0);
+        assert_eq!(s.placement_est_bytes_saved.sum(), 0);
+        assert_eq!(s.steals_affine.sum(), 0);
+        assert_eq!(s.placement_imbalance.get(), 1.0);
+    }
+
+    #[test]
+    fn f64_gauge_round_trips() {
+        let g = F64Gauge::new(0.0);
+        g.set(3.5);
+        assert_eq!(g.get(), 3.5);
+        g.set(-1.25);
+        assert_eq!(g.get(), -1.25);
     }
 
     #[test]

@@ -196,6 +196,26 @@ impl MetricsRegistry {
         self.set_counter("hf_executor_bytes_h2d_total", "Host-to-device bytes actually copied by pull tasks", l, s.bytes_h2d);
         self.set_counter("hf_executor_bytes_d2h_total", "Device-to-host bytes copied back by push tasks", l, s.bytes_d2h);
         self.set_counter("hf_executor_transfers_elided_total", "H2D copies skipped because the device bytes were already current", l, s.transfers_elided);
+        self.set_counter("hf_placement_warm_hits_total", "Groups the locality policy placed onto a device already holding their data warm", l, s.placement_warm_hits);
+        self.set_counter("hf_placement_est_bytes_saved_total", "Transfer bytes placement estimated its warm-hit decisions would save via elision", l, s.placement_est_bytes_saved);
+        self.set_counter("hf_executor_steals_affine_total", "Successful steals from topology-preferred victims", l, s.steals_affine);
+        self.set_gauge("hf_placement_imbalance", "Cost-weighted imbalance (max/mean bin load) of the latest placement", l, s.placement_imbalance);
+    }
+
+    /// Imports an executor's current per-device modeled-load estimates
+    /// (the decaying bias that placement uses to steer later topologies
+    /// toward idle GPUs) as `hf_placement_device_load_nanos` gauges
+    /// labeled by device.
+    pub fn collect_device_loads(&self, loads: &[f64]) {
+        for (d, &load) in loads.iter().enumerate() {
+            let id = d.to_string();
+            self.set_gauge(
+                "hf_placement_device_load_nanos",
+                "Decaying modeled load per device used to bias placement",
+                &[("device", id.as_str())],
+                load,
+            );
+        }
     }
 
     /// Imports per-device engine and memory-pool statistics as
@@ -436,11 +456,16 @@ mod tests {
         let r = MetricsRegistry::new();
         r.collect_executor(&ex.stats().snapshot());
         r.collect_gpu(ex.gpu_runtime());
+        r.collect_device_loads(&ex.device_loads());
         r.collect_spans(&trace.spans());
         let text = r.prometheus_text();
         assert!(text.contains("hf_executor_tasks_executed_total 3"));
         assert!(text.contains("hf_gpu_h2d_bytes_total{device=\"0\"} 4096"));
         assert!(text.contains("hf_gpu_pool_allocs_total{device=\"0\"} 1"));
+        assert!(text.contains("hf_placement_warm_hits_total 0"));
+        assert!(text.contains("hf_placement_est_bytes_saved_total 0"));
+        assert!(text.contains("hf_placement_imbalance 1"));
+        assert!(text.contains("hf_placement_device_load_nanos{device=\"0\"}"));
         assert!(text.contains("hf_span_duration_us_bucket"));
         // Every line is a comment or `name[{labels}] value`.
         for line in text.lines() {

@@ -1,0 +1,252 @@
+//! Persisted task-duration history for seeding locality-aware placement.
+//!
+//! The correlation pipeline (Fig 5) reruns the same task graph across
+//! incremental design iterations. Under `PlacementPolicy::Locality` the
+//! executor refines per-task cost estimates from what actually ran, but
+//! the *first* placement of a fresh process still packs from the analytic
+//! model alone. [`TaskTimingHistory`] closes that gap across process
+//! boundaries: capture the executor's refined estimates after a profiled
+//! run ([`TaskTimingHistory::capture`]), persist them as JSON
+//! ([`TaskTimingHistory::to_json`]), and seed the next session's executor
+//! before its first submission ([`TaskTimingHistory::seed_executor`], which
+//! feeds `Executor::seed_task_cost`). Seeds never clobber live
+//! observations — the cost database keeps measured data over history.
+
+use hf_core::Executor;
+use serde_json::{Map, Value};
+use std::collections::HashMap;
+
+/// One task's aggregated duration history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Sample {
+    /// Running mean of modeled duration, nanoseconds.
+    mean_nanos: f64,
+    /// Number of runs folded into the mean.
+    count: u64,
+}
+
+/// Per-(graph, task) duration history, mergeable across runs and
+/// round-trippable through JSON.
+#[derive(Debug, Clone, Default)]
+pub struct TaskTimingHistory {
+    entries: HashMap<(String, String), Sample>,
+}
+
+impl TaskTimingHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observed duration into the running mean for
+    /// `(graph, task)`.
+    pub fn record(&mut self, graph: &str, task: &str, nanos: f64) {
+        let s = self
+            .entries
+            .entry((graph.to_string(), task.to_string()))
+            .or_insert(Sample {
+                mean_nanos: 0.0,
+                count: 0,
+            });
+        s.count += 1;
+        s.mean_nanos += (nanos - s.mean_nanos) / s.count as f64;
+    }
+
+    /// Snapshots an executor's refined cost estimates into this history
+    /// (each estimate counts as one run). Only meaningful after running
+    /// under `PlacementPolicy::Locality`, which is when the executor
+    /// records cost feedback.
+    pub fn capture(&mut self, ex: &Executor) {
+        for (graph, task, nanos) in ex.cost_db().export() {
+            self.record(&graph, &task, nanos);
+        }
+    }
+
+    /// Merges another history into this one, weighting means by sample
+    /// counts.
+    pub fn merge(&mut self, other: &TaskTimingHistory) {
+        for (key, o) in &other.entries {
+            match self.entries.get_mut(key) {
+                Some(s) => {
+                    let total = s.count + o.count;
+                    if total > 0 {
+                        s.mean_nanos = (s.mean_nanos * s.count as f64
+                            + o.mean_nanos * o.count as f64)
+                            / total as f64;
+                        s.count = total;
+                    }
+                }
+                None => {
+                    self.entries.insert(key.clone(), *o);
+                }
+            }
+        }
+    }
+
+    /// Current mean estimate for `(graph, task)`, if recorded.
+    pub fn get(&self, graph: &str, task: &str) -> Option<f64> {
+        self.entries
+            .get(&(graph.to_string(), task.to_string()))
+            .map(|s| s.mean_nanos)
+    }
+
+    /// Number of (graph, task) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Seeds `ex`'s cost database with every entry, so the first
+    /// Locality placement of a known workload starts from measured
+    /// history instead of the analytic model alone.
+    pub fn seed_executor(&self, ex: &Executor) {
+        for ((graph, task), s) in &self.entries {
+            ex.seed_task_cost(graph, task, s.mean_nanos);
+        }
+    }
+
+    /// Serializes to a stable JSON document (entries sorted by key so
+    /// output is deterministic and diff-friendly).
+    pub fn to_json(&self) -> String {
+        let mut keys: Vec<_> = self.entries.keys().collect();
+        keys.sort();
+        let rows: Vec<Value> = keys
+            .into_iter()
+            .map(|key| {
+                let s = &self.entries[key];
+                let mut m = Map::new();
+                m.insert("graph".to_string(), Value::Str(key.0.clone()));
+                m.insert("task".to_string(), Value::Str(key.1.clone()));
+                m.insert("mean_nanos".to_string(), Value::Float(s.mean_nanos));
+                m.insert("count".to_string(), Value::UInt(s.count));
+                Value::Object(m)
+            })
+            .collect();
+        let mut root = Map::new();
+        root.insert("version".to_string(), Value::UInt(1));
+        root.insert("tasks".to_string(), Value::Array(rows));
+        serde_json::to_string_pretty(&Value::Object(root)).expect("infallible")
+    }
+
+    /// Parses a document produced by [`TaskTimingHistory::to_json`].
+    /// Returns `None` on malformed input or unknown version; rows with
+    /// missing fields are skipped rather than failing the whole load.
+    pub fn from_json(text: &str) -> Option<Self> {
+        let root = serde_json::from_str(text).ok()?;
+        if root.get("version")?.as_u64()? != 1 {
+            return None;
+        }
+        let mut out = Self::new();
+        for row in root.get("tasks")?.as_array()? {
+            let (Some(graph), Some(task), Some(mean), Some(count)) = (
+                row.get("graph").and_then(Value::as_str),
+                row.get("task").and_then(Value::as_str),
+                row.get("mean_nanos").and_then(Value::as_f64),
+                row.get("count").and_then(Value::as_u64),
+            ) else {
+                continue;
+            };
+            if count == 0 || !mean.is_finite() {
+                continue;
+            }
+            out.entries.insert(
+                (graph.to_string(), task.to_string()),
+                Sample {
+                    mean_nanos: mean,
+                    count,
+                },
+            );
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_keeps_running_mean() {
+        let mut h = TaskTimingHistory::new();
+        h.record("g", "t", 100.0);
+        h.record("g", "t", 300.0);
+        assert_eq!(h.get("g", "t"), Some(200.0));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn merge_weights_by_count() {
+        let mut a = TaskTimingHistory::new();
+        a.record("g", "t", 100.0); // count 1
+        let mut b = TaskTimingHistory::new();
+        for _ in 0..3 {
+            b.record("g", "t", 500.0); // count 3
+        }
+        b.record("g", "only_b", 7.0);
+        a.merge(&b);
+        assert_eq!(a.get("g", "t"), Some(400.0));
+        assert_eq!(a.get("g", "only_b"), Some(7.0));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut h = TaskTimingHistory::new();
+        h.record("corr", "pull_view0", 1.5e6);
+        h.record("corr", "fit_view0", 4.0e6);
+        h.record("other", "k", 9.0);
+        let text = h.to_json();
+        let back = TaskTimingHistory::from_json(&text).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.get("corr", "pull_view0"), Some(1.5e6));
+        assert_eq!(back.get("corr", "fit_view0"), Some(4.0e6));
+        assert_eq!(back.get("other", "k"), Some(9.0));
+        // Deterministic output.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_and_skips_bad_rows() {
+        assert!(TaskTimingHistory::from_json("not json").is_none());
+        assert!(TaskTimingHistory::from_json("{\"version\":2,\"tasks\":[]}").is_none());
+        let text = r#"{"version":1,"tasks":[
+            {"graph":"g","task":"good","mean_nanos":5.0,"count":2},
+            {"graph":"g","task":"zero","mean_nanos":5.0,"count":0},
+            {"graph":"g","mean_nanos":5.0,"count":1}
+        ]}"#;
+        let h = TaskTimingHistory::from_json(text).unwrap();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get("g", "good"), Some(5.0));
+    }
+
+    #[test]
+    fn capture_and_seed_executor_round_trip() {
+        use hf_core::prelude::*;
+
+        // Run a tiny graph under Locality so the executor records cost
+        // feedback, capture it, then seed a fresh executor from it.
+        let ex = Executor::builder(2, 1)
+            .placement_policy(PlacementPolicy::Locality)
+            .build();
+        let x: HostVec<u8> = HostVec::new();
+        x.write().resize(4096, 1);
+        let g = Heteroflow::new("hist");
+        let _p = g.pull("px", &x);
+        ex.run(&g).wait().unwrap();
+
+        let mut h = TaskTimingHistory::new();
+        h.capture(&ex);
+        assert!(h.get("hist", "px").is_some());
+
+        let ex2 = Executor::builder(2, 1).build();
+        h.seed_executor(&ex2);
+        assert_eq!(
+            ex2.cost_db().get("hist", "px"),
+            h.get("hist", "px"),
+            "seed should land verbatim in a fresh cost database"
+        );
+    }
+}

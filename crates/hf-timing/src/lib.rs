@@ -23,6 +23,7 @@
 pub mod bench_io;
 pub mod correlation;
 pub mod cppr;
+pub mod history;
 pub mod holdtime;
 pub mod incremental;
 pub mod netlist;
@@ -36,6 +37,7 @@ pub mod views;
 
 pub use bench_io::{parse_bench, write_bench, BenchParseError};
 pub use correlation::{build_correlation_graph, CorrelationConfig, CorrelationReport};
+pub use history::TaskTimingHistory;
 pub use holdtime::{run_early_late, EarlyLateReport};
 pub use incremental::IncrementalTimer;
 pub use parallel::run_sta_parallel;
