@@ -210,15 +210,17 @@ fn tasks_per_sec(c: &mut Criterion) {
     );
 }
 
-/// Telemetry overhead on the tasks/sec hot path: a wired-but-disabled
-/// trace collector must cost (approximately) nothing — one atomic load
-/// per observer callback. Three configurations: no observer at all, a
-/// tracer wired but disabled, and a tracer actively recording. After the
-/// criterion numbers, an interleaved min-of-samples guard asserts the
-/// disabled configuration stays within ~2% of the baseline (plus a small
-/// absolute slack so scheduler jitter cannot flake the suite).
+/// Telemetry overhead on the tasks/sec hot path: wired-but-disabled
+/// telemetry must cost (approximately) nothing — one atomic load per
+/// observer callback. Three configurations: no observer at all, a
+/// tracer plus flight recorder wired but disabled, and a tracer
+/// actively recording. After the criterion numbers, an interleaved
+/// min-of-samples guard asserts the disabled configuration stays within
+/// ~2% of the baseline (plus a small absolute slack so scheduler jitter
+/// cannot flake the suite).
 fn telemetry_overhead(c: &mut Criterion) {
     use hf_core::TraceCollector;
+    use hf_telemetry::FlightRecorder;
     use std::time::{Duration, Instant};
 
     const WIDTH: usize = 256;
@@ -235,7 +237,12 @@ fn telemetry_overhead(c: &mut Criterion) {
     grp.bench_function("tracer_disabled", |b| {
         let trace = TraceCollector::shared();
         trace.set_enabled(false);
-        let ex = Executor::builder(4, 0).tracer(Arc::clone(&trace)).build();
+        let recorder = FlightRecorder::shared();
+        recorder.set_enabled(false);
+        let ex = Executor::builder(4, 0)
+            .tracer(Arc::clone(&trace))
+            .observer(recorder)
+            .build();
         let (graph, _) = wide_graph(WIDTH);
         b.iter(|| ex.run_n(&graph, ROUNDS).wait().expect("runs"));
     });
@@ -257,7 +264,12 @@ fn telemetry_overhead(c: &mut Criterion) {
     let base_ex = Executor::new(4, 0);
     let trace = TraceCollector::shared();
     trace.set_enabled(false);
-    let dis_ex = Executor::builder(4, 0).tracer(Arc::clone(&trace)).build();
+    let recorder = FlightRecorder::shared();
+    recorder.set_enabled(false);
+    let dis_ex = Executor::builder(4, 0)
+        .tracer(Arc::clone(&trace))
+        .observer(recorder.clone())
+        .build();
     let (graph, _) = wide_graph(WIDTH);
     let sample = |ex: &Executor| {
         let t0 = Instant::now();
@@ -276,8 +288,13 @@ fn telemetry_overhead(c: &mut Criterion) {
     }
     let ratio = min_dis.as_secs_f64() / min_base.as_secs_f64();
     eprintln!(
-        "[telemetry] disabled-tracer overhead: base={min_base:?} disabled={min_dis:?} \
+        "[telemetry] disabled-telemetry overhead: base={min_base:?} disabled={min_dis:?} \
          ratio={ratio:.4}"
+    );
+    assert_eq!(
+        recorder.events_recorded(),
+        0,
+        "disabled flight recorder must not capture lifecycle events"
     );
     assert!(
         min_dis.as_secs_f64() <= min_base.as_secs_f64() * 1.02 + 300e-6,

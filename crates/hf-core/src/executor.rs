@@ -26,6 +26,7 @@
 
 use crate::error::HfError;
 use crate::graph::{FrozenGraph, Heteroflow, SchedCache, TaskKind, Work};
+use crate::lifecycle::{lifecycle_now_ns, LifecycleEvent, LifecyclePhase};
 use crate::observer::{ExecutorObserver, TaskMeta};
 use crate::placement::PlacementPolicy;
 use crate::retry::{OnDeviceLoss, RetryPolicy};
@@ -253,6 +254,9 @@ struct ExecInner {
     worker_focus: Vec<AtomicU64>,
     /// Pin worker `i` to CPU core `i % cores` (feature `core_affinity`).
     pin_workers: bool,
+    /// Submission ids handed to topologies/futures and stamped onto
+    /// lifecycle events (starts at 1; 0 is reserved for ready futures).
+    run_seq: AtomicU64,
 }
 
 impl ExecInner {
@@ -280,6 +284,84 @@ impl ExecInner {
         }
     }
 
+    /// Lifecycle fast-path gate: `true` only when at least one registered
+    /// observer is active. With no observers (or all inactive) every
+    /// lifecycle emission site reduces to this check — no event is
+    /// constructed, no timestamp taken, nothing allocated.
+    #[inline]
+    fn lc_active(&self) -> bool {
+        !self.observers.is_empty() && self.observers.iter().any(|o| o.is_active())
+    }
+
+    /// Emits a task-level lifecycle event to every observer. Internally
+    /// gated on [`ExecInner::lc_active`], so call sites need no guard
+    /// (loops over chains may still hoist the check).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_task_lc(
+        &self,
+        topo: &Topology,
+        phase: LifecyclePhase,
+        node: usize,
+        worker: Option<u32>,
+        chain: Option<u32>,
+        ok: bool,
+        detail: Option<&HfError>,
+    ) {
+        if !self.lc_active() {
+            return;
+        }
+        let nd = &topo.frozen.nodes[node];
+        let ev = LifecycleEvent {
+            run_id: topo.run_id,
+            graph: Arc::clone(&topo.graph_label),
+            phase,
+            task: Some(node as u32),
+            name: Arc::from(nd.name.as_str()),
+            kind: Some(nd.work.kind()),
+            device: topo.placement().device_of[node],
+            worker,
+            chain,
+            bytes: node_move_bytes(&topo.frozen, node),
+            ok,
+            detail: detail.map(|e| Arc::from(e.to_string().as_str())),
+            t_ns: lifecycle_now_ns(),
+        };
+        for o in &self.observers {
+            o.on_lifecycle(&ev);
+        }
+    }
+
+    /// Emits a run-level lifecycle event (`RunStart`/`Failover`/`RunEnd`).
+    fn emit_run_lc(
+        &self,
+        topo: &Topology,
+        phase: LifecyclePhase,
+        ok: bool,
+        detail: Option<&HfError>,
+    ) {
+        if !self.lc_active() {
+            return;
+        }
+        let ev = LifecycleEvent {
+            run_id: topo.run_id,
+            graph: Arc::clone(&topo.graph_label),
+            phase,
+            task: None,
+            name: Arc::clone(&topo.graph_label),
+            kind: None,
+            device: None,
+            worker: None,
+            chain: None,
+            bytes: 0,
+            ok,
+            detail: detail.map(|e| Arc::from(e.to_string().as_str())),
+            t_ns: lifecycle_now_ns(),
+        };
+        for o in &self.observers {
+            o.on_lifecycle(&ev);
+        }
+    }
+
     /// Publishes a freshly computed placement's locality metrics.
     fn record_placement(&self, p: &crate::placement::Placement) {
         if p.warm_hits > 0 {
@@ -289,6 +371,20 @@ impl ExecInner {
             self.stats.placement_est_bytes_saved.add(p.est_bytes_saved);
         }
         self.stats.placement_imbalance.set(p.imbalance());
+    }
+}
+
+/// PCIe bytes a task moves when it runs: a pull's current host size, a
+/// push's staged pull size, `0` for host/kernel tasks. Stamped onto
+/// lifecycle events so transfer-heavy stragglers are attributable.
+fn node_move_bytes(frozen: &FrozenGraph, node: usize) -> u64 {
+    match &frozen.nodes[node].work {
+        Work::Pull { source } => source.byte_len() as u64,
+        Work::Push { source_pull, .. } => match &frozen.nodes[*source_pull].work {
+            Work::Pull { source } => source.byte_len() as u64,
+            _ => 0,
+        },
+        _ => 0,
     }
 }
 
@@ -484,6 +580,7 @@ impl ExecutorBuilder {
             cost_db: crate::costmodel::CostDb::new(),
             worker_focus: (0..cpus).map(|_| AtomicU64::new(u64::MAX)).collect(),
             pin_workers: self.pin_workers,
+            run_seq: AtomicU64::new(0),
         });
 
         let threads = deques
@@ -553,6 +650,22 @@ impl Executor {
     /// Scheduling statistics (steals, sleeps, executed tasks).
     pub fn stats(&self) -> &ExecutorStats {
         &self.inner.stats
+    }
+
+    /// Statistics snapshot extended with the executor's *live* scheduling
+    /// gauges: `inflight_tasks` (task bodies currently executing on
+    /// workers) and `queue_depth` (tokens waiting in the injector plus
+    /// every worker deque). Unlike the counters these are point-in-time
+    /// reads of moving state — exactly what an external health monitor
+    /// needs to distinguish "busy" from "stuck". Plain
+    /// [`ExecutorStats::snapshot`] leaves both at zero.
+    pub fn snapshot(&self) -> crate::stats::StatsSnapshot {
+        let mut s = self.inner.stats.snapshot();
+        s.inflight_tasks = self.inner.num_actives.load(Ordering::SeqCst) as u64;
+        s.queue_depth = (self.inner.injector.len()
+            + self.inner.stealers.iter().map(|st| st.len()).sum::<usize>())
+            as u64;
+        s
     }
 
     /// The per-task cost database backing the locality placement policy.
@@ -721,14 +834,17 @@ impl Executor {
         stop: Box<dyn FnMut() -> bool + Send>,
     ) -> RunFuture {
         let inner = &self.inner;
-        let topo = Topology::new(Arc::clone(&hf.shared), frozen, placement, fusion, stop);
+        let run_id = inner.run_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let topo = Topology::new(Arc::clone(&hf.shared), frozen, run_id, placement, fusion, stop);
         let future = RunFuture {
             completion: Arc::clone(&topo.completion),
             cancel: Arc::clone(&topo.cancel),
+            run_id,
         };
 
         inner.registry.register(&topo);
         inner.num_topologies.fetch_add(1, Ordering::SeqCst);
+        inner.emit_run_lc(&topo, LifecyclePhase::RunStart, true, None);
 
         // Queue behind any active topology of the same graph.
         let submit_now = {
@@ -824,6 +940,16 @@ impl ExecInner {
         if k == 0 {
             return;
         }
+        // Ready events must fire before the tokens become stealable:
+        // once pushed, a peer can execute the token, drain the round, and
+        // deregister the slot — after which it no longer resolves.
+        if self.lc_active() {
+            for &t in tokens {
+                let (slot, node) = unpack(t);
+                let topo = self.registry.resolve(slot);
+                self.emit_task_lc(&topo, LifecyclePhase::Ready, node, None, None, true, None);
+            }
+        }
         let local_took = WORKER_DEQUE.with(|d| match d.borrow().as_ref() {
             Some(local) => {
                 local.push(tokens[0]);
@@ -879,6 +1005,9 @@ impl ExecInner {
         if matches!(result, Err(HfError::Cancelled)) {
             self.stats.cancelled.incr();
         }
+        // RunEnd is emitted before the promise settles so a recorder
+        // pumped after `wait()` returns always holds the terminal event.
+        self.emit_run_lc(&topo, LifecyclePhase::RunEnd, result.is_ok(), result.as_ref().err());
         topo.completion.complete(result);
 
         if self.num_topologies.fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -1011,6 +1140,15 @@ impl ExecInner {
                 // from there. Runs on the device engine thread, so the
                 // token lands in the injector.
                 self.stats.retries.incr();
+                self.emit_task_lc(
+                    topo,
+                    LifecyclePhase::Retried,
+                    failed,
+                    None,
+                    None,
+                    false,
+                    Some(&err),
+                );
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
                 }
@@ -1018,12 +1156,30 @@ impl ExecInner {
                 self.dispatch_batch(&[pack(slot, failed)]);
             }
             FailureAction::Failover => {
+                self.emit_task_lc(
+                    topo,
+                    LifecyclePhase::Failed,
+                    failed,
+                    None,
+                    None,
+                    false,
+                    Some(&err),
+                );
                 topo.request_failover(err);
                 for &n in rest {
                     self.finish_node(topo, n, false);
                 }
             }
             FailureAction::Fail => {
+                self.emit_task_lc(
+                    topo,
+                    LifecyclePhase::Failed,
+                    failed,
+                    None,
+                    None,
+                    false,
+                    Some(&err),
+                );
                 topo.fail(err);
                 for &n in rest {
                     self.finish_node(topo, n, false);
@@ -1171,6 +1327,7 @@ impl ExecInner {
 
         // Lift the skip barrier before dispatching replay work.
         topo.failover_pending.store(false, Ordering::Release);
+        self.emit_run_lc(topo, LifecyclePhase::Failover, true, Some(&cause));
 
         let fusion = topo.fusion();
         let slot = topo.slot.load(Ordering::Relaxed);
@@ -1425,6 +1582,15 @@ impl Worker {
 
         let observed = inner.observers.iter().any(|o| o.is_active());
         if observed {
+            inner.emit_task_lc(
+                &topo,
+                LifecyclePhase::Started,
+                node,
+                Some(self.id as u32),
+                None,
+                true,
+                None,
+            );
             let meta = self.task_meta(&topo, node);
             for o in &inner.observers {
                 o.on_task_begin(&meta);
@@ -1450,14 +1616,45 @@ impl Worker {
                 Err(e) => match inner.failure_action(&topo, node, &e) {
                     FailureAction::Retry(delay) => {
                         inner.stats.retries.incr();
+                        inner.emit_task_lc(
+                            &topo,
+                            LifecyclePhase::Retried,
+                            node,
+                            Some(self.id as u32),
+                            None,
+                            false,
+                            Some(&e),
+                        );
                         if !delay.is_zero() {
                             std::thread::sleep(delay);
                         }
                         inner.dispatch_batch(&[token]);
                         retried = true;
                     }
-                    FailureAction::Failover => topo.request_failover(e),
-                    FailureAction::Fail => topo.fail(e),
+                    FailureAction::Failover => {
+                        inner.emit_task_lc(
+                            &topo,
+                            LifecyclePhase::Failed,
+                            node,
+                            Some(self.id as u32),
+                            None,
+                            false,
+                            Some(&e),
+                        );
+                        topo.request_failover(e);
+                    }
+                    FailureAction::Fail => {
+                        inner.emit_task_lc(
+                            &topo,
+                            LifecyclePhase::Failed,
+                            node,
+                            Some(self.id as u32),
+                            None,
+                            false,
+                            Some(&e),
+                        );
+                        topo.fail(e);
+                    }
                 },
             }
         }
@@ -1478,6 +1675,15 @@ impl Worker {
             let mut node = node;
             loop {
                 let next = fusion.next[node];
+                inner.emit_task_lc(
+                    &topo,
+                    LifecyclePhase::Finished,
+                    node,
+                    Some(self.id as u32),
+                    None,
+                    ok,
+                    None,
+                );
                 inner.finish_node(&topo, node, ok);
                 match next {
                     Some(nxt) => node = nxt as usize,
@@ -1568,6 +1774,22 @@ impl Worker {
         }
 
         let stream = self.stream(dev_id);
+        // Dispatched events fire before the first op is enqueued: the
+        // engine may complete (and emit Finished for) the chain the
+        // moment an op lands on the stream.
+        if self.inner.lc_active() {
+            for &nid in &chain {
+                self.inner.emit_task_lc(
+                    topo,
+                    LifecyclePhase::Dispatched,
+                    nid,
+                    Some(self.id as u32),
+                    Some(head as u32),
+                    true,
+                    None,
+                );
+            }
+        }
         // Label ops with task name/kind only when a device trace sink is
         // installed: the label costs an Arc<str> per op, and the engine
         // drops it unused when tracing is off.
@@ -1609,11 +1831,29 @@ impl Worker {
                     // failover (if one is pending) replays them.
                     let all_ok = done == chain.len();
                     for &node in &chain {
+                        inner.emit_task_lc(
+                            &topo2,
+                            LifecyclePhase::Finished,
+                            node,
+                            None,
+                            Some(head as u32),
+                            all_ok,
+                            None,
+                        );
                         inner.finish_node(&topo2, node, all_ok);
                     }
                 }
                 Some(e) => {
                     for &node in &chain[..done] {
+                        inner.emit_task_lc(
+                            &topo2,
+                            LifecyclePhase::Finished,
+                            node,
+                            None,
+                            Some(head as u32),
+                            true,
+                            None,
+                        );
                         inner.finish_node(&topo2, node, true);
                     }
                     inner.chain_failure(&topo2, &chain[done..], e);

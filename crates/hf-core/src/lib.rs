@@ -62,6 +62,7 @@ pub mod error;
 pub mod executor;
 pub mod graph;
 pub mod inspect;
+pub mod lifecycle;
 pub mod observer;
 pub mod placement;
 pub mod prelude;
@@ -75,6 +76,7 @@ pub use error::HfError;
 pub use executor::{Executor, ExecutorBuilder};
 pub use graph::{FrozenGraph, Heteroflow, TaskKind};
 pub use inspect::{GraphInfo, NodeInfo};
+pub use lifecycle::{lifecycle_now_ns, LifecycleEvent, LifecyclePhase};
 pub use observer::{ExecutorObserver, SpanCat, TaskMeta, TraceCollector, TraceSpan, Track};
 pub use placement::{
     device_placement, device_placement_ext, failover_placement, failover_placement_ext,
@@ -83,7 +85,7 @@ pub use placement::{
 pub use retry::{OnDeviceLoss, RetryPolicy};
 pub use stats::{ExecutorStats, StatsSnapshot};
 pub use task::{AsTask, HostTask, KernelTask, PullTask, PushTask, TaskRef};
-pub use topology::RunFuture;
+pub use topology::{CancelHandle, RunFuture};
 
 // Re-export the GPU substrate types that appear in the public API.
 pub use hf_gpu::{GpuConfig, GpuRuntime, KernelArgs, LaunchConfig};

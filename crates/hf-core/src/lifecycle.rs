@@ -1,0 +1,170 @@
+//! Structured task-lifecycle events: the executor's flight-data stream.
+//!
+//! The scheduler's observable surface used to be spans (begin/end pairs
+//! around task bodies — [`crate::observer::TraceCollector`]) and
+//! aggregate counters ([`crate::stats::ExecutorStats`]). Neither answers
+//! *where is this run right now*: spans only exist once a body has both
+//! started and ended, and counters have no per-task identity. Lifecycle
+//! events fill that gap — every scheduling transition of every task
+//! (ready → started → dispatched → finished / failed / retried, plus
+//! run-level start/end/failover markers) is emitted as one structured
+//! [`LifecycleEvent`] through [`crate::ExecutorObserver::on_lifecycle`].
+//!
+//! Emission shares the observer fast path: when no registered observer
+//! reports [`crate::ExecutorObserver::is_active`], the executor skips
+//! event construction entirely (no timestamp, no allocation, no virtual
+//! call beyond the gate itself), so a binary with the flight recorder
+//! compiled in but disabled pays the same near-zero cost as one without.
+//!
+//! Timestamps are nanoseconds since a process-wide monotonic epoch
+//! ([`lifecycle_now_ns`]), so events from worker threads, device engine
+//! threads, and the submission path order on one clock.
+
+use crate::graph::TaskKind;
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-wide monotonic epoch shared by every lifecycle timestamp.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide lifecycle epoch.
+pub fn lifecycle_now_ns() -> u64 {
+    Instant::now().saturating_duration_since(epoch()).as_nanos() as u64
+}
+
+/// Which scheduling transition a [`LifecycleEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LifecyclePhase {
+    /// A submission was accepted (run-level; `task` is `None`).
+    RunStart,
+    /// A task's dependencies were satisfied and its token entered the
+    /// scheduling queues. Re-emitted when a retry re-queues the task.
+    Ready,
+    /// A worker picked the task's token and began running/dispatching it.
+    Started,
+    /// A GPU task's ops were enqueued on a device stream (one event per
+    /// fused chain member, all carrying the chain head in `chain`).
+    Dispatched,
+    /// The task finished this round (`ok` tells success).
+    Finished,
+    /// A task body failed and the failure was terminal for this attempt
+    /// (the run fails, or a device failover was requested).
+    Failed,
+    /// A failed attempt was re-scheduled by the retry policy.
+    Retried,
+    /// A device failover re-placed the run's unfinished tasks
+    /// (run-level; `task` is `None`).
+    Failover,
+    /// The submission completed (run-level; `ok` tells success, `detail`
+    /// carries the error for failed/cancelled runs).
+    RunEnd,
+}
+
+impl LifecyclePhase {
+    /// Stable lowercase name used in dumps and JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            LifecyclePhase::RunStart => "run_start",
+            LifecyclePhase::Ready => "ready",
+            LifecyclePhase::Started => "started",
+            LifecyclePhase::Dispatched => "dispatched",
+            LifecyclePhase::Finished => "finished",
+            LifecyclePhase::Failed => "failed",
+            LifecyclePhase::Retried => "retried",
+            LifecyclePhase::Failover => "failover",
+            LifecyclePhase::RunEnd => "run_end",
+        }
+    }
+}
+
+impl std::fmt::Display for LifecyclePhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One structured task-lifecycle transition.
+///
+/// Shared strings are `Arc<str>` so a bounded ring of events clones
+/// without reallocating the names.
+#[derive(Debug, Clone)]
+pub struct LifecycleEvent {
+    /// Process-unique id of the submission this event belongs to
+    /// (see `RunFuture::run_id`).
+    pub run_id: u64,
+    /// Name of the submitted graph.
+    pub graph: Arc<str>,
+    /// Which transition happened.
+    pub phase: LifecyclePhase,
+    /// Node index within the frozen graph; `None` for run-level events.
+    pub task: Option<u32>,
+    /// Task name (graph name for run-level events).
+    pub name: Arc<str>,
+    /// Task kind; `None` for run-level events.
+    pub kind: Option<TaskKind>,
+    /// Device the task is placed on, when it is a GPU task.
+    pub device: Option<u32>,
+    /// Worker thread that produced the event, when on a worker.
+    pub worker: Option<u32>,
+    /// Head node of the fused GPU chain this task was dispatched with
+    /// (equal to `task` for the head itself); `None` outside chains.
+    pub chain: Option<u32>,
+    /// Bytes this task moves across the PCIe link (pull/push tasks;
+    /// `0` otherwise).
+    pub bytes: u64,
+    /// Success flag for `Finished`/`RunEnd`; `true` elsewhere.
+    pub ok: bool,
+    /// Error rendering for `Failed`/`Retried` and failed `RunEnd`s.
+    pub detail: Option<Arc<str>>,
+    /// Nanoseconds since the process lifecycle epoch.
+    pub t_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = lifecycle_now_ns();
+        let b = lifecycle_now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(LifecyclePhase::RunStart.name(), "run_start");
+        assert_eq!(LifecyclePhase::Ready.name(), "ready");
+        assert_eq!(LifecyclePhase::Dispatched.to_string(), "dispatched");
+        assert_eq!(LifecyclePhase::RunEnd.name(), "run_end");
+    }
+
+    #[test]
+    fn events_clone_shared_names() {
+        let name: Arc<str> = Arc::from("saxpy");
+        let ev = LifecycleEvent {
+            run_id: 7,
+            graph: Arc::clone(&name),
+            phase: LifecyclePhase::Finished,
+            task: Some(3),
+            name: Arc::clone(&name),
+            kind: Some(TaskKind::Kernel),
+            device: Some(1),
+            worker: Some(0),
+            chain: Some(2),
+            bytes: 4096,
+            ok: true,
+            detail: None,
+            t_ns: lifecycle_now_ns(),
+        };
+        let c = ev.clone();
+        assert!(Arc::ptr_eq(&ev.name, &c.name));
+        assert_eq!(c.phase, LifecyclePhase::Finished);
+        assert_eq!(c.run_id, 7);
+    }
+}

@@ -77,6 +77,16 @@ pub trait ExecutorObserver: Send + Sync {
     fn is_active(&self) -> bool {
         true
     }
+    /// Called on every task-lifecycle transition (ready, started,
+    /// dispatched, finished, retried, run start/end — see
+    /// [`crate::lifecycle::LifecyclePhase`]). Shares the
+    /// [`ExecutorObserver::is_active`] fast path: with every observer
+    /// inactive the executor never constructs the event. Default no-op so
+    /// span-oriented observers ([`TraceCollector`]) are unaffected;
+    /// `hf_telemetry`'s flight recorder overrides it.
+    fn on_lifecycle(&self, event: &crate::lifecycle::LifecycleEvent) {
+        let _ = event;
+    }
 }
 
 /// The timeline a span belongs to.

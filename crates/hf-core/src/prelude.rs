@@ -29,12 +29,13 @@ pub use crate::data::HostVec;
 pub use crate::error::HfError;
 pub use crate::executor::{Executor, ExecutorBuilder};
 pub use crate::graph::{FrozenGraph, Heteroflow, TaskKind};
+pub use crate::lifecycle::{LifecycleEvent, LifecyclePhase};
 pub use crate::observer::{SpanCat, TraceCollector, Track};
 pub use crate::placement::{Placement, PlacementPolicy};
 pub use crate::retry::{OnDeviceLoss, RetryPolicy};
 pub use crate::stats::{ExecutorStats, StatsSnapshot};
 pub use crate::task::{AsTask, HostTask, KernelTask, PullTask, PushTask, TaskRef};
-pub use crate::topology::RunFuture;
+pub use crate::topology::{CancelHandle, RunFuture};
 
 // GPU substrate types that appear in the public API: device and launch
 // configuration, kernel arguments, errors, and the fault injector.

@@ -196,6 +196,8 @@ impl ExecutorStats {
             placement_est_bytes_saved: self.placement_est_bytes_saved.sum(),
             steals_affine: self.steals_affine.sum(),
             placement_imbalance: self.placement_imbalance.get(),
+            inflight_tasks: 0,
+            queue_depth: 0,
         }
     }
 }
@@ -204,7 +206,7 @@ impl ExecutorStats {
 /// [`ExecutorStats::snapshot`]: serializable (JSON via `serde`),
 /// comparable, and detached from the live counters — suitable for
 /// logging, metric export, and before/after diffing in benchmarks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct StatsSnapshot {
     /// Tasks executed (all kinds, fused members included).
     pub tasks_executed: u64,
@@ -252,6 +254,16 @@ pub struct StatsSnapshot {
     pub steals_affine: u64,
     /// Cost-weighted imbalance (max/mean) of the latest placement.
     pub placement_imbalance: f64,
+    /// Task bodies executing on workers at snapshot time. Live gauge
+    /// filled by `Executor::snapshot`; `ExecutorStats::snapshot` (no
+    /// executor in hand) leaves it at zero.
+    pub inflight_tasks: u64,
+    /// Tokens waiting in the injector plus all worker deques at snapshot
+    /// time. Live gauge filled by `Executor::snapshot`; zero from
+    /// `ExecutorStats::snapshot`. Together with `inflight_tasks` this
+    /// makes watchdog no-progress detection externally visible: stuck
+    /// runs show a non-draining queue with zero in-flight bodies.
+    pub queue_depth: u64,
 }
 
 #[cfg(test)]

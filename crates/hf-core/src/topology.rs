@@ -96,6 +96,51 @@ pub struct RunFuture {
     /// at task boundaries, round boundaries, and inside pending GPU
     /// stream operations.
     pub(crate) cancel: Arc<AtomicBool>,
+    /// Process-unique id of this submission, shared with the lifecycle
+    /// events the run emits (`0` for immediately-ready futures, which
+    /// never emit events).
+    pub(crate) run_id: u64,
+}
+
+/// A detached handle to one run, obtained with [`RunFuture::handle`].
+/// Cheap to clone and safe to hold after the future is consumed; used by
+/// health monitors to watch progress and trip cooperative cancellation.
+#[derive(Clone)]
+pub struct CancelHandle {
+    completion: Arc<Completion>,
+    cancel: Arc<AtomicBool>,
+    run_id: u64,
+}
+
+impl CancelHandle {
+    /// Requests cooperative cancellation (see [`RunFuture::cancel`]).
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    /// True once the run has finished (success or error).
+    pub fn is_done(&self) -> bool {
+        self.completion.is_done()
+    }
+
+    /// True once cancellation has been requested.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+    }
+
+    /// The run's process-unique id (see [`RunFuture::run_id`]).
+    pub fn run_id(&self) -> u64 {
+        self.run_id
+    }
+}
+
+impl std::fmt::Debug for CancelHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelHandle")
+            .field("run_id", &self.run_id)
+            .field("done", &self.is_done())
+            .finish()
+    }
 }
 
 impl std::fmt::Debug for RunFuture {
@@ -133,6 +178,25 @@ impl RunFuture {
         self.completion.is_done()
     }
 
+    /// Process-unique id of this submission. Lifecycle events recorded by
+    /// a flight recorder carry the same id, so a health monitor can map a
+    /// future to its event stream (`0` for immediately-ready futures,
+    /// which never execute and never emit events).
+    pub fn run_id(&self) -> u64 {
+        self.run_id
+    }
+
+    /// A detached, cloneable handle to this run's completion and
+    /// cancellation state — for monitor threads (watchdogs, deadline
+    /// enforcers) that run beside whoever owns the future itself.
+    pub fn handle(&self) -> CancelHandle {
+        CancelHandle {
+            completion: Arc::clone(&self.completion),
+            cancel: Arc::clone(&self.cancel),
+            run_id: self.run_id,
+        }
+    }
+
     /// An already-completed future (empty graphs, zero repeats).
     pub(crate) fn ready(result: Result<(), HfError>) -> Self {
         let c = Completion::new();
@@ -140,6 +204,7 @@ impl RunFuture {
         Self {
             completion: c,
             cancel: Arc::new(AtomicBool::new(false)),
+            run_id: 0,
         }
     }
 }
@@ -168,6 +233,12 @@ impl std::future::Future for RunFuture {
 pub(crate) struct Topology {
     pub(crate) graph_shared: Arc<GraphShared>,
     pub(crate) frozen: Arc<FrozenGraph>,
+    /// Process-unique submission id (shared with the [`RunFuture`] and
+    /// every lifecycle event of this run).
+    pub(crate) run_id: u64,
+    /// Graph name as a shared string, cloned into lifecycle events
+    /// without reallocating.
+    pub(crate) graph_label: Arc<str>,
     /// Current device placement. Initially shared with the graph's
     /// scheduling cache; device failover swaps in a re-placed plan.
     pub(crate) placement: RwLock<Arc<Placement>>,
@@ -217,6 +288,7 @@ impl Topology {
     pub(crate) fn new(
         graph_shared: Arc<GraphShared>,
         frozen: Arc<FrozenGraph>,
+        run_id: u64,
         placement: Arc<Placement>,
         fusion: Arc<FusionPlan>,
         predicate: Box<dyn FnMut() -> bool + Send>,
@@ -227,9 +299,12 @@ impl Topology {
             .iter()
             .map(|nd| AtomicUsize::new(nd.num_deps))
             .collect();
+        let graph_label: Arc<str> = Arc::from(frozen.name.as_str());
         Arc::new(Self {
             graph_shared,
             frozen: Arc::clone(&frozen),
+            run_id,
+            graph_label,
             placement: RwLock::new(placement),
             join,
             pending: AtomicUsize::new(n),
@@ -400,6 +475,7 @@ mod tests {
         let fut = RunFuture {
             completion: Arc::clone(&c),
             cancel: Arc::new(AtomicBool::new(false)),
+            run_id: 0,
         };
         assert!(!fut.is_done());
         c.complete(Ok(()));
@@ -423,6 +499,7 @@ mod tests {
         let fut = RunFuture {
             completion: Arc::clone(&c),
             cancel: Arc::new(AtomicBool::new(false)),
+            run_id: 0,
         };
         assert_eq!(fut.wait_timeout(Duration::from_millis(20)), None);
         let c2 = Arc::clone(&c);
@@ -442,6 +519,7 @@ mod tests {
         let fut = RunFuture {
             completion: c,
             cancel: Arc::new(AtomicBool::new(false)),
+            run_id: 0,
         };
         let clone = fut.clone();
         clone.cancel();
@@ -455,6 +533,7 @@ mod tests {
         let fut = RunFuture {
             completion: Arc::clone(&c),
             cancel: Arc::new(AtomicBool::new(false)),
+            run_id: 0,
         };
         let c2 = Arc::clone(&c);
         let t = std::thread::spawn(move || {

@@ -193,6 +193,12 @@ impl Device {
         if self.inner.fault_on.load(Ordering::Relaxed) {
             let inj = self.inner.fault.lock().clone();
             if let Some(inj) = inj {
+                // Stall before the failure draw: the op wedges for the
+                // plan's delay, then proceeds (or faults) as usual —
+                // exercising the no-progress windows a watchdog must see.
+                if let Some(delay) = inj.stall_duration(site) {
+                    std::thread::sleep(delay);
+                }
                 if inj.should_fail(site) {
                     return Err(GpuError::FaultInjected {
                         device: self.id(),

@@ -22,6 +22,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Where in the device substrate an injected fault can fire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,6 +97,10 @@ pub struct FaultPlan {
     probs: [f64; 4],
     losses: Vec<DeviceLoss>,
     max_faults: Option<u64>,
+    /// Per-site stall probabilities and delays (see [`FaultPlan::stall`]).
+    stall_probs: [f64; 4],
+    stall_delays: [Duration; 4],
+    max_stalls: Option<u64>,
 }
 
 impl FaultPlan {
@@ -139,6 +144,26 @@ impl FaultPlan {
         self.max_faults = Some(n);
         self
     }
+
+    /// Stalls operations at `site` for `delay` with the given probability
+    /// in `[0, 1]` — the op then proceeds normally. Stalls model the
+    /// *slow* failure mode real accelerators exhibit (thermal throttling,
+    /// contended links, a wedged firmware queue): nothing errors, work
+    /// just stops making progress, which is exactly what a hang/straggler
+    /// watchdog must detect. The verdict draw is deterministic on
+    /// `(seed, site, i)` like [`FaultPlan::fail`], from an independent
+    /// draw stream, so adding stalls never perturbs fault verdicts.
+    pub fn stall(mut self, site: FaultSite, delay: Duration, probability: f64) -> Self {
+        self.stall_probs[site.index()] = probability.clamp(0.0, 1.0);
+        self.stall_delays[site.index()] = delay;
+        self
+    }
+
+    /// Caps the total number of injected stalls across all sites.
+    pub fn max_stalls(mut self, n: u64) -> Self {
+        self.max_stalls = Some(n);
+        self
+    }
 }
 
 /// Runtime state of an installed [`FaultPlan`]: per-site draw counters and
@@ -148,6 +173,8 @@ pub(crate) struct FaultInjector {
     plan: FaultPlan,
     draws: [AtomicU64; 4],
     injected: AtomicU64,
+    stall_draws: [AtomicU64; 4],
+    stalled: AtomicU64,
 }
 
 impl FaultInjector {
@@ -161,12 +188,55 @@ impl FaultInjector {
                 AtomicU64::new(0),
             ],
             injected: AtomicU64::new(0),
+            stall_draws: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+            stalled: AtomicU64::new(0),
         }
     }
 
     /// Probabilistic faults injected so far.
     pub(crate) fn injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Stalls injected so far.
+    pub(crate) fn stalled(&self) -> u64 {
+        self.stalled.load(Ordering::Relaxed)
+    }
+
+    /// Draws the next stall verdict for `site`: `Some(delay)` when the
+    /// op should sleep before proceeding. Deterministic on
+    /// `(seed, site, i)` over an independent draw stream (salted apart
+    /// from the failure draws).
+    pub(crate) fn stall_duration(&self, site: FaultSite) -> Option<Duration> {
+        let p = self.plan.stall_probs[site.index()];
+        if p <= 0.0 {
+            return None;
+        }
+        let idx = self.stall_draws[site.index()].fetch_add(1, Ordering::Relaxed);
+        let h = splitmix64(self.plan.seed ^ ((site.index() as u64 + 5) << 56) ^ idx);
+        let x = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if x >= p {
+            return None;
+        }
+        let delay = self.plan.stall_delays[site.index()];
+        match self.plan.max_stalls {
+            None => {
+                self.stalled.fetch_add(1, Ordering::Relaxed);
+                Some(delay)
+            }
+            Some(cap) => self
+                .stalled
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    (n < cap).then_some(n + 1)
+                })
+                .is_ok()
+                .then_some(delay),
+        }
     }
 
     /// Draws the next verdict for `site`. The i-th call for a site yields
@@ -259,6 +329,50 @@ mod tests {
         assert!(!inj.loses(1, 2));
         assert!(inj.loses(1, 3));
         assert!(inj.loses(1, 4));
+    }
+
+    #[test]
+    fn stall_draws_are_deterministic_and_capped() {
+        let plan = FaultPlan::seeded(11)
+            .stall(FaultSite::Kernel, Duration::from_millis(5), 0.5)
+            .max_stalls(3);
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        for _ in 0..64 {
+            assert_eq!(
+                a.stall_duration(FaultSite::Kernel),
+                b.stall_duration(FaultSite::Kernel)
+            );
+        }
+        assert_eq!(a.stalled(), 3);
+        assert_eq!(b.stalled(), 3);
+    }
+
+    #[test]
+    fn stalls_do_not_perturb_fault_draws() {
+        let base = FaultPlan::seeded(21).fail_all(0.3);
+        let with_stalls = base
+            .clone()
+            .stall(FaultSite::H2d, Duration::from_millis(1), 1.0);
+        let a = FaultInjector::new(base);
+        let b = FaultInjector::new(with_stalls);
+        for _ in 0..128 {
+            for site in FaultSite::ALL {
+                let _ = b.stall_duration(site);
+                assert_eq!(a.should_fail(site), b.should_fail(site));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_stall_probability_never_stalls() {
+        let inj = FaultInjector::new(FaultPlan::seeded(2).fail_all(0.5));
+        for site in FaultSite::ALL {
+            for _ in 0..32 {
+                assert!(inj.stall_duration(site).is_none());
+            }
+        }
+        assert_eq!(inj.stalled(), 0);
     }
 
     #[test]

@@ -121,6 +121,11 @@ impl GpuRuntime {
         self.fault.lock().as_ref().map_or(0, |i| i.injected())
     }
 
+    /// Stalls injected by the installed plan so far.
+    pub fn stalls_injected(&self) -> u64 {
+        self.fault.lock().as_ref().map_or(0, |i| i.stalled())
+    }
+
     /// Ids of devices currently marked lost.
     pub fn lost_devices(&self) -> Vec<DeviceId> {
         self.devices

@@ -1,0 +1,1228 @@
+//! Runtime health layer: task-lifecycle flight recorder, latency
+//! attribution, and a straggler/hang watchdog.
+//!
+//! The executor emits a [`LifecycleEvent`] at every task transition
+//! (submit → ready → started → dispatched → finished/retried/failed,
+//! plus run start/end) through the [`hf_core::ExecutorObserver`]
+//! `on_lifecycle` hook. The [`FlightRecorder`] is the observer that
+//! captures them: the hot path is one enabled check plus a lock-free
+//! [`EventRing`] push, so recording never blocks a worker, and a
+//! *disabled* recorder costs a single relaxed atomic load (the same
+//! `is_active` fast path the span tracer uses — with every observer
+//! inactive the executor never even constructs the event).
+//!
+//! Everything stateful happens off the hot path in
+//! [`FlightRecorder::pump`], which drains the ring and folds events into
+//! per-run flight logs ("black boxes"), latency-attribution histograms
+//! (`queue delay = started − ready`, `exec = finished − started`,
+//! `run latency = run_end − run_start`), and per-task execution-time
+//! EWMAs. The [`Watchdog`] runs `pump` on its own monitor thread, watches
+//! armed runs for no-progress windows and stragglers, and escalates
+//! structured [`HealthEvent`]s (warn → stall → hang), optionally tripping
+//! cooperative cancellation at a deadline.
+
+use crate::metrics::{duration_bounds_nanos, Histogram, MetricsRegistry};
+use hf_core::{
+    lifecycle_now_ns, CancelHandle, ExecutorObserver, LifecycleEvent, LifecyclePhase, RunFuture,
+    TaskMeta,
+};
+use hf_sync::EventRing;
+use parking_lot::Mutex;
+use serde_json::{Map, Value};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default capacity of the lock-free event ring (events between pumps
+/// beyond this are dropped and counted, never blocked on).
+const DEFAULT_RING_CAPACITY: usize = 64 * 1024;
+
+/// Default cap on events kept per run in the flight log. Timing and
+/// counters keep updating past the cap; only the verbatim event list is
+/// truncated (with a drop count).
+const DEFAULT_PER_RUN_CAP: usize = 8 * 1024;
+
+/// Completed runs retained for `/runs` summaries and dumps.
+const DEFAULT_KEEP_COMPLETED: usize = 16;
+
+/// EWMA smoothing for per-task execution-time estimates.
+const EWMA_ALPHA: f64 = 0.25;
+
+/// Per-task timing state inside one run's flight log.
+#[derive(Debug, Default, Clone)]
+struct TaskTiming {
+    name: Option<Arc<str>>,
+    ready_ns: Option<u64>,
+    started_ns: Option<u64>,
+    finished_ns: Option<u64>,
+    retries: u32,
+    failures: u32,
+}
+
+/// One run's flight log: the bounded event list plus derived state.
+#[derive(Debug)]
+struct RunFlight {
+    run_id: u64,
+    graph: Arc<str>,
+    events: Vec<LifecycleEvent>,
+    events_applied: u64,
+    events_dropped: u64,
+    started_ns: u64,
+    ended_ns: Option<u64>,
+    ok: Option<bool>,
+    detail: Option<Arc<str>>,
+    failovers: u32,
+    tasks: HashMap<u32, TaskTiming>,
+}
+
+impl RunFlight {
+    fn new(run_id: u64, graph: Arc<str>, t_ns: u64) -> Self {
+        Self {
+            run_id,
+            graph,
+            events: Vec::new(),
+            events_applied: 0,
+            events_dropped: 0,
+            started_ns: t_ns,
+            ended_ns: None,
+            ok: None,
+            detail: None,
+            failovers: 0,
+            tasks: HashMap::new(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.ended_ns.is_some()
+    }
+
+    fn last_event_ns(&self) -> u64 {
+        self.events.last().map(|e| e.t_ns).unwrap_or(self.started_ns)
+    }
+}
+
+/// Point-in-time progress of one run, for monitors: how many events have
+/// been applied, when the last one landed, and which tasks are in flight.
+#[derive(Debug, Clone)]
+pub struct RunProgress {
+    /// Lifecycle events folded into the run so far.
+    pub events: u64,
+    /// Timestamp (lifecycle clock, ns) of the latest event.
+    pub last_event_ns: u64,
+    /// True once the run's `RunEnd` event has been applied.
+    pub done: bool,
+    /// Tasks with a `Started` but no terminal event yet:
+    /// `(task id, name, started_ns)`.
+    pub inflight: Vec<(u32, Arc<str>, u64)>,
+}
+
+/// Compact description of one recorded run, for `/runs` and JSON dumps.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Process-unique submission id.
+    pub run_id: u64,
+    /// Graph name.
+    pub graph: String,
+    /// Run start (lifecycle clock, ns).
+    pub started_ns: u64,
+    /// Run end, when finished.
+    pub ended_ns: Option<u64>,
+    /// Result, when finished.
+    pub ok: Option<bool>,
+    /// Error detail for failed runs.
+    pub detail: Option<String>,
+    /// Lifecycle events applied to this run.
+    pub events: u64,
+    /// Distinct tasks observed.
+    pub tasks: usize,
+    /// Task retries observed.
+    pub retries: u64,
+    /// Task failures observed (terminal and retried alike).
+    pub failures: u64,
+    /// Whole-run failovers (placement replays after device loss).
+    pub failovers: u64,
+}
+
+/// Aggregated latency-attribution and EWMA state.
+struct FlightState {
+    runs: Vec<RunFlight>,
+    ewma: HashMap<(Arc<str>, u32), f64>,
+    queue_delay: Histogram,
+    exec: Histogram,
+    run_latency: Histogram,
+}
+
+impl FlightState {
+    fn new() -> Self {
+        Self {
+            runs: Vec::new(),
+            ewma: HashMap::new(),
+            queue_delay: Histogram::new(duration_bounds_nanos()),
+            exec: Histogram::new(duration_bounds_nanos()),
+            run_latency: Histogram::new(duration_bounds_nanos()),
+        }
+    }
+
+    fn run_mut(&mut self, ev: &LifecycleEvent) -> &mut RunFlight {
+        if let Some(i) = self.runs.iter().position(|r| r.run_id == ev.run_id) {
+            return &mut self.runs[i];
+        }
+        self.runs
+            .push(RunFlight::new(ev.run_id, Arc::clone(&ev.graph), ev.t_ns));
+        self.runs.last_mut().expect("just pushed")
+    }
+}
+
+/// Bounded, structured "black box" for task execution.
+///
+/// Install on an executor with
+/// `Executor::builder(..).observer(recorder.clone()).build()`; call
+/// [`FlightRecorder::pump`] (or let a [`Watchdog`] do it) to fold the
+/// raw ring into per-run flight logs and latency histograms. On a failed
+/// or cancelled run the recorder can auto-write the run's black box as a
+/// JSON artifact ([`FlightRecorder::set_blackbox_dir`]).
+pub struct FlightRecorder {
+    enabled: AtomicBool,
+    ring: EventRing<LifecycleEvent>,
+    recorded: AtomicU64,
+    state: Mutex<FlightState>,
+    blackbox_dir: Mutex<Option<PathBuf>>,
+    per_run_cap: usize,
+    keep_completed: usize,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    /// An enabled recorder with default capacities.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled recorder with the given ring capacity.
+    pub fn with_capacity(ring_capacity: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            ring: EventRing::new(ring_capacity),
+            recorded: AtomicU64::new(0),
+            state: Mutex::new(FlightState::new()),
+            blackbox_dir: Mutex::new(None),
+            per_run_cap: DEFAULT_PER_RUN_CAP,
+            keep_completed: DEFAULT_KEEP_COMPLETED,
+        }
+    }
+
+    /// A recorder in shared form, ready to hand to
+    /// `ExecutorBuilder::observer`.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Enables or disables recording. Disabled, the recorder reports
+    /// inactive through `is_active`, so an executor with no other active
+    /// observer skips lifecycle emission entirely.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    /// True when recording.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Directory where failed/cancelled runs auto-write their black-box
+    /// JSON on pump (`None` disables; files are named
+    /// `blackbox_run<id>.json`).
+    pub fn set_blackbox_dir(&self, dir: Option<PathBuf>) {
+        *self.blackbox_dir.lock() = dir;
+    }
+
+    /// Lifecycle events accepted by the hot path so far.
+    pub fn events_recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring overflow (pump more often, or grow the ring).
+    pub fn events_dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Drains the ring and folds events into per-run flight logs,
+    /// latency histograms, and execution-time EWMAs. Returns the number
+    /// of events applied. Cheap when idle; call from a monitor thread,
+    /// on scrape, or after `wait()`.
+    pub fn pump(&self) -> usize {
+        let mut drained = Vec::new();
+        self.ring.drain(|ev| drained.push(ev));
+        if drained.is_empty() {
+            return 0;
+        }
+        let n = drained.len();
+        let mut st = self.state.lock();
+        let mut failed_runs = Vec::new();
+        for ev in drained {
+            let graph = Arc::clone(&ev.graph);
+            // Derived observations, applied after the run borrow ends.
+            let mut queue_obs = None;
+            let mut exec_obs = None;
+            let mut run_obs = None;
+            let mut ended = false;
+            {
+                let cap = self.per_run_cap;
+                let run = st.run_mut(&ev);
+                run.events_applied += 1;
+                match ev.phase {
+                    LifecyclePhase::RunStart => {
+                        run.started_ns = ev.t_ns;
+                    }
+                    LifecyclePhase::Ready => {
+                        if let Some(t) = ev.task {
+                            let tt = run.tasks.entry(t).or_default();
+                            tt.name = Some(Arc::clone(&ev.name));
+                            tt.ready_ns = Some(ev.t_ns);
+                            tt.started_ns = None;
+                        }
+                    }
+                    LifecyclePhase::Started | LifecyclePhase::Dispatched => {
+                        if let Some(t) = ev.task {
+                            let tt = run.tasks.entry(t).or_default();
+                            tt.name = Some(Arc::clone(&ev.name));
+                            // A chain member gets Dispatched without its
+                            // own Started; keep the earliest begin time.
+                            if tt.started_ns.is_none() {
+                                tt.started_ns = Some(ev.t_ns);
+                            }
+                        }
+                    }
+                    LifecyclePhase::Finished => {
+                        if let Some(t) = ev.task {
+                            let tt = run.tasks.entry(t).or_default();
+                            tt.finished_ns = Some(ev.t_ns);
+                            let started = tt.started_ns.take();
+                            let ready = tt.ready_ns.take();
+                            if ev.ok {
+                                if let Some(s) = started {
+                                    exec_obs =
+                                        Some((t, ev.t_ns.saturating_sub(s) as f64));
+                                    if let Some(r) = ready {
+                                        queue_obs =
+                                            Some(s.saturating_sub(r) as f64);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    LifecyclePhase::Retried => {
+                        if let Some(t) = ev.task {
+                            let tt = run.tasks.entry(t).or_default();
+                            tt.retries += 1;
+                            tt.failures += 1;
+                            tt.started_ns = None;
+                            tt.ready_ns = None;
+                        }
+                    }
+                    LifecyclePhase::Failed => {
+                        if let Some(t) = ev.task {
+                            let tt = run.tasks.entry(t).or_default();
+                            tt.failures += 1;
+                            tt.started_ns = None;
+                            tt.ready_ns = None;
+                        }
+                    }
+                    LifecyclePhase::Failover => {
+                        run.failovers += 1;
+                    }
+                    LifecyclePhase::RunEnd => {
+                        run.ended_ns = Some(ev.t_ns);
+                        run.ok = Some(ev.ok);
+                        run.detail = ev.detail.clone();
+                        run_obs = Some(ev.t_ns.saturating_sub(run.started_ns) as f64);
+                        if !ev.ok {
+                            failed_runs.push(ev.run_id);
+                        }
+                        ended = true;
+                    }
+                    // `LifecyclePhase` is non_exhaustive: future phases
+                    // still land in the event log below.
+                    _ => {}
+                }
+                // Keep the verbatim event (bounded per run) — terminal
+                // RunEnd included, so a pumped black box always carries
+                // the run's outcome.
+                if run.events.len() < cap {
+                    run.events.push(ev);
+                } else {
+                    run.events_dropped += 1;
+                }
+            }
+            if let Some(q) = queue_obs {
+                st.queue_delay.observe(q);
+            }
+            if let Some((task, e)) = exec_obs {
+                st.exec.observe(e);
+                let ewma = st.ewma.entry((graph, task)).or_insert(e);
+                *ewma = (1.0 - EWMA_ALPHA) * *ewma + EWMA_ALPHA * e;
+            }
+            if let Some(l) = run_obs {
+                st.run_latency.observe(l);
+            }
+            if ended {
+                // Trim completed runs beyond the retention window
+                // (active runs are never evicted).
+                let completed =
+                    st.runs.iter().filter(|r| r.done()).count();
+                let mut excess = completed.saturating_sub(self.keep_completed);
+                while excess > 0 {
+                    if let Some(i) = st.runs.iter().position(|r| r.done()) {
+                        st.runs.remove(i);
+                    }
+                    excess -= 1;
+                }
+            }
+        }
+        // Auto-dump black boxes for runs that just failed/cancelled.
+        let dir = self.blackbox_dir.lock().clone();
+        if let Some(dir) = dir {
+            for run_id in failed_runs {
+                if let Some(v) = Self::run_json_locked(&st, run_id) {
+                    let path = dir.join(format!("blackbox_run{run_id}.json"));
+                    let _ = std::fs::create_dir_all(&dir);
+                    let _ = std::fs::write(
+                        &path,
+                        serde_json::to_string_pretty(&v).expect("infallible"),
+                    );
+                }
+            }
+        }
+        n
+    }
+
+    /// Current progress of one run (after a pump), for monitors.
+    pub fn run_progress(&self, run_id: u64) -> Option<RunProgress> {
+        let st = self.state.lock();
+        let run = st.runs.iter().find(|r| r.run_id == run_id)?;
+        let inflight = run
+            .tasks
+            .iter()
+            .filter_map(|(&t, tt)| {
+                let s = tt.started_ns?;
+                if tt.finished_ns.is_some() {
+                    return None;
+                }
+                Some((t, tt.name.clone().unwrap_or_else(|| Arc::from("")), s))
+            })
+            .collect();
+        Some(RunProgress {
+            events: run.events_applied,
+            last_event_ns: run.last_event_ns(),
+            done: run.done(),
+            inflight,
+        })
+    }
+
+    /// EWMA execution-time estimate (ns) for `task` of `graph`, learned
+    /// from finished executions. The watchdog compares in-flight runtimes
+    /// against this to flag stragglers.
+    pub fn exec_estimate(&self, graph: &str, task: u32) -> Option<f64> {
+        let st = self.state.lock();
+        st.ewma
+            .iter()
+            .find(|((g, t), _)| g.as_ref() == graph && *t == task)
+            .map(|(_, &v)| v)
+    }
+
+    /// Summaries of all retained runs, newest last.
+    pub fn summaries(&self) -> Vec<RunSummary> {
+        let st = self.state.lock();
+        st.runs
+            .iter()
+            .map(|r| RunSummary {
+                run_id: r.run_id,
+                graph: r.graph.to_string(),
+                started_ns: r.started_ns,
+                ended_ns: r.ended_ns,
+                ok: r.ok,
+                detail: r.detail.as_ref().map(|d| d.to_string()),
+                events: r.events_applied,
+                tasks: r.tasks.len(),
+                retries: r.tasks.values().map(|t| t.retries as u64).sum(),
+                failures: r.tasks.values().map(|t| t.failures as u64).sum(),
+                failovers: r.failovers as u64,
+            })
+            .collect()
+    }
+
+    /// The attribution histograms (queue delay, exec, run latency).
+    pub fn latency_histograms(&self) -> (Histogram, Histogram, Histogram) {
+        let st = self.state.lock();
+        (
+            st.queue_delay.clone(),
+            st.exec.clone(),
+            st.run_latency.clone(),
+        )
+    }
+
+    /// Publishes the recorder's aggregates into a [`MetricsRegistry`]:
+    /// `hf_task_queue_delay_nanos`, `hf_task_exec_nanos`,
+    /// `hf_run_latency_nanos` histograms plus recorder counters.
+    pub fn export_into(&self, reg: &MetricsRegistry) {
+        let (qd, ex, rl) = self.latency_histograms();
+        reg.set_histogram(
+            "hf_task_queue_delay_nanos",
+            "Ready-to-started queue delay per task execution (ns)",
+            &[],
+            qd,
+        );
+        reg.set_histogram(
+            "hf_task_exec_nanos",
+            "Started-to-finished execution time per task (ns; device time included for GPU tasks)",
+            &[],
+            ex,
+        );
+        reg.set_histogram(
+            "hf_run_latency_nanos",
+            "Submit-to-completion latency per run (ns)",
+            &[],
+            rl,
+        );
+        reg.set_counter(
+            "hf_flight_events_recorded_total",
+            "Lifecycle events accepted by the flight recorder",
+            &[],
+            self.events_recorded(),
+        );
+        reg.set_counter(
+            "hf_flight_events_dropped_total",
+            "Lifecycle events lost to ring overflow",
+            &[],
+            self.events_dropped(),
+        );
+    }
+
+    fn event_json(ev: &LifecycleEvent) -> Value {
+        let mut o = Map::new();
+        o.insert("t_ns".into(), Value::UInt(ev.t_ns));
+        o.insert("phase".into(), Value::Str(ev.phase.name().to_string()));
+        o.insert("run_id".into(), Value::UInt(ev.run_id));
+        o.insert("graph".into(), Value::Str(ev.graph.to_string()));
+        if let Some(t) = ev.task {
+            o.insert("task".into(), Value::UInt(t as u64));
+        }
+        o.insert("name".into(), Value::Str(ev.name.to_string()));
+        if let Some(k) = ev.kind {
+            o.insert("kind".into(), Value::Str(k.to_string()));
+        }
+        if let Some(d) = ev.device {
+            o.insert("device".into(), Value::UInt(d as u64));
+        }
+        if let Some(w) = ev.worker {
+            o.insert("worker".into(), Value::UInt(w as u64));
+        }
+        if let Some(c) = ev.chain {
+            o.insert("chain".into(), Value::UInt(c as u64));
+        }
+        if ev.bytes > 0 {
+            o.insert("bytes".into(), Value::UInt(ev.bytes));
+        }
+        o.insert("ok".into(), Value::Bool(ev.ok));
+        if let Some(d) = &ev.detail {
+            o.insert("detail".into(), Value::Str(d.to_string()));
+        }
+        Value::Object(o)
+    }
+
+    fn run_json_locked(st: &FlightState, run_id: u64) -> Option<Value> {
+        let run = st.runs.iter().find(|r| r.run_id == run_id)?;
+        let mut o = Map::new();
+        o.insert("run_id".into(), Value::UInt(run.run_id));
+        o.insert("graph".into(), Value::Str(run.graph.to_string()));
+        o.insert("started_ns".into(), Value::UInt(run.started_ns));
+        match run.ended_ns {
+            Some(e) => o.insert("ended_ns".into(), Value::UInt(e)),
+            None => o.insert("ended_ns".into(), Value::Null),
+        };
+        match run.ok {
+            Some(ok) => o.insert("ok".into(), Value::Bool(ok)),
+            None => o.insert("ok".into(), Value::Null),
+        };
+        if let Some(d) = &run.detail {
+            o.insert("detail".into(), Value::Str(d.to_string()));
+        }
+        o.insert("events_applied".into(), Value::UInt(run.events_applied));
+        o.insert("events_dropped".into(), Value::UInt(run.events_dropped));
+        o.insert(
+            "events".into(),
+            Value::Array(run.events.iter().map(Self::event_json).collect()),
+        );
+        Some(Value::Object(o))
+    }
+
+    /// One run's flight log as JSON (its black box), if retained.
+    pub fn dump_run_json(&self, run_id: u64) -> Option<Value> {
+        let st = self.state.lock();
+        Self::run_json_locked(&st, run_id)
+    }
+
+    /// Every retained run's flight log as one JSON document.
+    pub fn dump_json(&self) -> Value {
+        let st = self.state.lock();
+        let ids: Vec<u64> = st.runs.iter().map(|r| r.run_id).collect();
+        let mut o = Map::new();
+        o.insert("schema".into(), Value::Str("hf-flight-recorder-v1".into()));
+        o.insert(
+            "events_recorded".into(),
+            Value::UInt(self.recorded.load(Ordering::Relaxed)),
+        );
+        o.insert("events_dropped".into(), Value::UInt(self.ring.dropped()));
+        o.insert(
+            "runs".into(),
+            Value::Array(
+                ids.iter()
+                    .filter_map(|&id| Self::run_json_locked(&st, id))
+                    .collect(),
+            ),
+        );
+        Value::Object(o)
+    }
+
+    /// Writes the full flight dump to `path` as pretty JSON.
+    pub fn write_blackbox(&self, path: &Path) -> std::io::Result<()> {
+        self.pump();
+        let v = self.dump_json();
+        std::fs::write(path, serde_json::to_string_pretty(&v).expect("infallible"))
+    }
+}
+
+impl ExecutorObserver for FlightRecorder {
+    fn on_task_begin(&self, _meta: &TaskMeta<'_>) {}
+    fn on_task_end(&self, _meta: &TaskMeta<'_>) {}
+
+    fn is_active(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn on_lifecycle(&self, event: &LifecycleEvent) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        // Push never blocks; overflow is counted by the ring.
+        let _ = self.ring.push(event.clone());
+    }
+}
+
+/// Watchdog severity ladder, worst first when comparing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthVerdict {
+    /// Armed runs are progressing (or none are armed).
+    Healthy,
+    /// A run has gone quiet longer than `warn_after`.
+    Warn,
+    /// A run has gone quiet longer than `stall_after`.
+    Stall,
+    /// A run has gone quiet longer than `hang_after`.
+    Hang,
+}
+
+impl HealthVerdict {
+    /// Stable lowercase name (`healthy`/`warn`/`stall`/`hang`).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthVerdict::Healthy => "healthy",
+            HealthVerdict::Warn => "warn",
+            HealthVerdict::Stall => "stall",
+            HealthVerdict::Hang => "hang",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured watchdog observation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthEvent {
+    /// A run produced no lifecycle events for `idle_ns` (first rung).
+    Warn {
+        /// Affected run.
+        run_id: u64,
+        /// Quiet time when the event fired (ns).
+        idle_ns: u64,
+        /// Lifecycle-clock timestamp (ns).
+        t_ns: u64,
+    },
+    /// The quiet window crossed the stall threshold.
+    Stall {
+        /// Affected run.
+        run_id: u64,
+        /// Quiet time when the event fired (ns).
+        idle_ns: u64,
+        /// Lifecycle-clock timestamp (ns).
+        t_ns: u64,
+    },
+    /// The quiet window crossed the hang threshold.
+    Hang {
+        /// Affected run.
+        run_id: u64,
+        /// Quiet time when the event fired (ns).
+        idle_ns: u64,
+        /// Lifecycle-clock timestamp (ns).
+        t_ns: u64,
+    },
+    /// One task has run far past its learned estimate.
+    Straggler {
+        /// Affected run.
+        run_id: u64,
+        /// Straggling task id.
+        task: u32,
+        /// Task name.
+        name: String,
+        /// Runtime so far (ns).
+        runtime_ns: u64,
+        /// EWMA estimate it is compared against (ns).
+        estimate_ns: u64,
+        /// Lifecycle-clock timestamp (ns).
+        t_ns: u64,
+    },
+    /// A previously warned/stalled/hung run made progress or finished.
+    Recovered {
+        /// Affected run.
+        run_id: u64,
+        /// Severity it recovered from.
+        from: HealthVerdict,
+        /// Lifecycle-clock timestamp (ns).
+        t_ns: u64,
+    },
+    /// The watchdog tripped cooperative cancellation at its deadline.
+    DeadlineCancelled {
+        /// Affected run.
+        run_id: u64,
+        /// Lifecycle-clock timestamp (ns).
+        t_ns: u64,
+    },
+}
+
+impl HealthEvent {
+    /// The run the event concerns.
+    pub fn run_id(&self) -> u64 {
+        match self {
+            HealthEvent::Warn { run_id, .. }
+            | HealthEvent::Stall { run_id, .. }
+            | HealthEvent::Hang { run_id, .. }
+            | HealthEvent::Straggler { run_id, .. }
+            | HealthEvent::Recovered { run_id, .. }
+            | HealthEvent::DeadlineCancelled { run_id, .. } => *run_id,
+        }
+    }
+
+    /// Stable lowercase kind name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthEvent::Warn { .. } => "warn",
+            HealthEvent::Stall { .. } => "stall",
+            HealthEvent::Hang { .. } => "hang",
+            HealthEvent::Straggler { .. } => "straggler",
+            HealthEvent::Recovered { .. } => "recovered",
+            HealthEvent::DeadlineCancelled { .. } => "deadline_cancelled",
+        }
+    }
+
+    /// JSON form for `/health` and artifacts.
+    pub fn to_json(&self) -> Value {
+        let mut o = Map::new();
+        o.insert("kind".into(), Value::Str(self.kind().to_string()));
+        o.insert("run_id".into(), Value::UInt(self.run_id()));
+        match self {
+            HealthEvent::Warn { idle_ns, t_ns, .. }
+            | HealthEvent::Stall { idle_ns, t_ns, .. }
+            | HealthEvent::Hang { idle_ns, t_ns, .. } => {
+                o.insert("idle_ns".into(), Value::UInt(*idle_ns));
+                o.insert("t_ns".into(), Value::UInt(*t_ns));
+            }
+            HealthEvent::Straggler {
+                task,
+                name,
+                runtime_ns,
+                estimate_ns,
+                t_ns,
+                ..
+            } => {
+                o.insert("task".into(), Value::UInt(*task as u64));
+                o.insert("name".into(), Value::Str(name.clone()));
+                o.insert("runtime_ns".into(), Value::UInt(*runtime_ns));
+                o.insert("estimate_ns".into(), Value::UInt(*estimate_ns));
+                o.insert("t_ns".into(), Value::UInt(*t_ns));
+            }
+            HealthEvent::Recovered { from, t_ns, .. } => {
+                o.insert("from".into(), Value::Str(from.name().to_string()));
+                o.insert("t_ns".into(), Value::UInt(*t_ns));
+            }
+            HealthEvent::DeadlineCancelled { t_ns, .. } => {
+                o.insert("t_ns".into(), Value::UInt(*t_ns));
+            }
+        }
+        Value::Object(o)
+    }
+}
+
+/// Watchdog thresholds. Defaults suit tests and interactive use; raise
+/// them for production-sized runs.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Monitor poll period.
+    pub poll: Duration,
+    /// Quiet time before a `Warn`.
+    pub warn_after: Duration,
+    /// Quiet time before a `Stall`.
+    pub stall_after: Duration,
+    /// Quiet time before a `Hang`.
+    pub hang_after: Duration,
+    /// A task is a straggler when its runtime exceeds
+    /// `straggler_factor ×` its learned EWMA estimate…
+    pub straggler_factor: f64,
+    /// …and also exceeds this absolute floor (filters noise on
+    /// microsecond tasks).
+    pub straggler_min: Duration,
+    /// Quiet time after which the watchdog cancels the run
+    /// (`None` = observe only, never cancel).
+    pub cancel_after: Option<Duration>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            poll: Duration::from_millis(10),
+            warn_after: Duration::from_millis(100),
+            stall_after: Duration::from_millis(500),
+            hang_after: Duration::from_secs(5),
+            straggler_factor: 4.0,
+            straggler_min: Duration::from_millis(50),
+            cancel_after: None,
+        }
+    }
+}
+
+/// One armed run, tracked by the monitor thread.
+struct ArmedRun {
+    handle: CancelHandle,
+    label: String,
+    level: HealthVerdict,
+    last_events: u64,
+    last_progress_ns: u64,
+    flagged: Vec<u32>,
+    cancelled: bool,
+    done: bool,
+}
+
+struct WatchInner {
+    recorder: Arc<FlightRecorder>,
+    config: WatchdogConfig,
+    shutdown: AtomicBool,
+    runs: Mutex<Vec<ArmedRun>>,
+    events: Mutex<Vec<HealthEvent>>,
+}
+
+impl WatchInner {
+    /// One monitor tick: pump the recorder, then walk armed runs.
+    fn tick(&self) {
+        self.recorder.pump();
+        let now = lifecycle_now_ns();
+        let cfg = &self.config;
+        let mut runs = self.runs.lock();
+        let mut out = Vec::new();
+        for run in runs.iter_mut() {
+            if run.done {
+                continue;
+            }
+            let run_id = run.handle.run_id();
+            if run.handle.is_done() {
+                run.done = true;
+                if run.level > HealthVerdict::Healthy {
+                    out.push(HealthEvent::Recovered {
+                        run_id,
+                        from: run.level,
+                        t_ns: now,
+                    });
+                    run.level = HealthVerdict::Healthy;
+                }
+                continue;
+            }
+            let progress = self.recorder.run_progress(run_id);
+            if let Some(p) = &progress {
+                if p.events > run.last_events {
+                    run.last_events = p.events;
+                    run.last_progress_ns = now;
+                    if run.level > HealthVerdict::Healthy {
+                        out.push(HealthEvent::Recovered {
+                            run_id,
+                            from: run.level,
+                            t_ns: now,
+                        });
+                        run.level = HealthVerdict::Healthy;
+                    }
+                }
+            }
+            let idle_ns = now.saturating_sub(run.last_progress_ns);
+            let idle = Duration::from_nanos(idle_ns);
+            let target = if idle >= cfg.hang_after {
+                HealthVerdict::Hang
+            } else if idle >= cfg.stall_after {
+                HealthVerdict::Stall
+            } else if idle >= cfg.warn_after {
+                HealthVerdict::Warn
+            } else {
+                HealthVerdict::Healthy
+            };
+            // Escalate one rung at a time so every level is visible.
+            while run.level < target {
+                run.level = match run.level {
+                    HealthVerdict::Healthy => HealthVerdict::Warn,
+                    HealthVerdict::Warn => HealthVerdict::Stall,
+                    _ => HealthVerdict::Hang,
+                };
+                out.push(match run.level {
+                    HealthVerdict::Warn => HealthEvent::Warn {
+                        run_id,
+                        idle_ns,
+                        t_ns: now,
+                    },
+                    HealthVerdict::Stall => HealthEvent::Stall {
+                        run_id,
+                        idle_ns,
+                        t_ns: now,
+                    },
+                    _ => HealthEvent::Hang {
+                        run_id,
+                        idle_ns,
+                        t_ns: now,
+                    },
+                });
+            }
+            // Straggler scan: in-flight tasks far past their estimate.
+            if let Some(p) = &progress {
+                let graph = run.label.clone();
+                for &(task, ref name, started_ns) in &p.inflight {
+                    if run.flagged.contains(&task) {
+                        continue;
+                    }
+                    let runtime_ns = now.saturating_sub(started_ns);
+                    if runtime_ns < cfg.straggler_min.as_nanos() as u64 {
+                        continue;
+                    }
+                    let est = self
+                        .recorder
+                        .exec_estimate(&graph, task)
+                        .unwrap_or(cfg.straggler_min.as_nanos() as f64);
+                    if runtime_ns as f64 > cfg.straggler_factor * est {
+                        run.flagged.push(task);
+                        out.push(HealthEvent::Straggler {
+                            run_id,
+                            task,
+                            name: name.to_string(),
+                            runtime_ns,
+                            estimate_ns: est as u64,
+                            t_ns: now,
+                        });
+                    }
+                }
+            }
+            if let Some(deadline) = cfg.cancel_after {
+                if !run.cancelled && idle >= deadline {
+                    run.cancelled = true;
+                    run.handle.cancel();
+                    out.push(HealthEvent::DeadlineCancelled { run_id, t_ns: now });
+                }
+            }
+        }
+        drop(runs);
+        if !out.is_empty() {
+            self.events.lock().extend(out);
+        }
+    }
+
+    fn verdict(&self) -> HealthVerdict {
+        self.runs
+            .lock()
+            .iter()
+            .filter(|r| !r.done)
+            .map(|r| r.level)
+            .max()
+            .unwrap_or(HealthVerdict::Healthy)
+    }
+}
+
+/// Straggler/hang watchdog: a monitor thread that pumps a
+/// [`FlightRecorder`] and watches armed runs for quiet windows and
+/// stragglers, escalating structured [`HealthEvent`]s.
+pub struct Watchdog {
+    inner: Arc<WatchInner>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Watchdog {
+    /// Spawns the monitor thread.
+    pub fn spawn(recorder: Arc<FlightRecorder>, config: WatchdogConfig) -> Arc<Self> {
+        let inner = Arc::new(WatchInner {
+            recorder,
+            config,
+            shutdown: AtomicBool::new(false),
+            runs: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
+        });
+        let monitor = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("hf-watchdog".into())
+            .spawn(move || {
+                // Sleep in short slices so Drop's join never waits a full
+                // (possibly long) poll period for the thread to notice
+                // shutdown.
+                let slice = monitor.config.poll.min(Duration::from_millis(20));
+                let mut slept = Duration::ZERO;
+                while !monitor.shutdown.load(Ordering::Acquire) {
+                    std::thread::sleep(slice);
+                    slept += slice;
+                    if slept >= monitor.config.poll {
+                        slept = Duration::ZERO;
+                        monitor.tick();
+                    }
+                }
+            })
+            .expect("spawn watchdog thread");
+        Arc::new(Self {
+            inner,
+            thread: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// Arms the watchdog for `fut`'s run. `label` names the run in
+    /// events and must match the graph name for straggler estimates to
+    /// resolve. Already-done or ready futures (run id 0) are ignored.
+    pub fn arm(&self, fut: &RunFuture, label: &str) {
+        if fut.run_id() == 0 || fut.is_done() {
+            return;
+        }
+        self.arm_handle(fut.handle(), label);
+    }
+
+    /// Arms the watchdog for a detached [`CancelHandle`].
+    pub fn arm_handle(&self, handle: CancelHandle, label: &str) {
+        let now = lifecycle_now_ns();
+        self.inner.runs.lock().push(ArmedRun {
+            handle,
+            label: label.to_string(),
+            level: HealthVerdict::Healthy,
+            last_events: 0,
+            last_progress_ns: now,
+            flagged: Vec::new(),
+            cancelled: false,
+            done: false,
+        });
+    }
+
+    /// Worst current severity across armed, unfinished runs.
+    pub fn verdict(&self) -> HealthVerdict {
+        self.inner.verdict()
+    }
+
+    /// All health events observed so far, in order.
+    pub fn events(&self) -> Vec<HealthEvent> {
+        self.inner.events.lock().clone()
+    }
+
+    /// Forces one monitor tick now (tests, scrape handlers).
+    pub fn tick_now(&self) {
+        self.inner.tick();
+    }
+
+    /// The `/health` document: overall verdict, per-run state, events.
+    pub fn health_json(&self) -> Value {
+        let mut o = Map::new();
+        o.insert(
+            "verdict".into(),
+            Value::Str(self.verdict().name().to_string()),
+        );
+        let now = lifecycle_now_ns();
+        let runs = self.inner.runs.lock();
+        o.insert(
+            "runs".into(),
+            Value::Array(
+                runs.iter()
+                    .map(|r| {
+                        let mut ro = Map::new();
+                        ro.insert("run_id".into(), Value::UInt(r.handle.run_id()));
+                        ro.insert("label".into(), Value::Str(r.label.clone()));
+                        ro.insert("level".into(), Value::Str(r.level.name().to_string()));
+                        ro.insert("done".into(), Value::Bool(r.done));
+                        ro.insert("cancelled".into(), Value::Bool(r.cancelled));
+                        ro.insert(
+                            "idle_ns".into(),
+                            Value::UInt(if r.done {
+                                0
+                            } else {
+                                now.saturating_sub(r.last_progress_ns)
+                            }),
+                        );
+                        Value::Object(ro)
+                    })
+                    .collect(),
+            ),
+        );
+        drop(runs);
+        o.insert(
+            "events".into(),
+            Value::Array(self.events().iter().map(HealthEvent::to_json).collect()),
+        );
+        Value::Object(o)
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_core::TaskKind;
+
+    fn ev(run_id: u64, phase: LifecyclePhase, task: Option<u32>, t_ns: u64) -> LifecycleEvent {
+        LifecycleEvent {
+            run_id,
+            graph: Arc::from("g"),
+            phase,
+            task,
+            name: Arc::from(task.map(|t| format!("t{t}")).unwrap_or_else(|| "g".into())),
+            kind: task.map(|_| TaskKind::Host),
+            device: None,
+            worker: Some(0),
+            chain: None,
+            bytes: 0,
+            ok: true,
+            detail: None,
+            t_ns,
+        }
+    }
+
+    #[test]
+    fn pump_attributes_latency_components() {
+        let r = FlightRecorder::new();
+        r.on_lifecycle(&ev(1, LifecyclePhase::RunStart, None, 1_000));
+        r.on_lifecycle(&ev(1, LifecyclePhase::Ready, Some(0), 2_000));
+        r.on_lifecycle(&ev(1, LifecyclePhase::Started, Some(0), 5_000));
+        r.on_lifecycle(&ev(1, LifecyclePhase::Finished, Some(0), 9_000));
+        r.on_lifecycle(&ev(1, LifecyclePhase::RunEnd, None, 10_000));
+        assert_eq!(r.pump(), 5);
+        let (qd, ex, rl) = r.latency_histograms();
+        assert_eq!(qd.count, 1);
+        assert!((qd.sum - 3_000.0).abs() < 1e-9, "queue delay = started - ready");
+        assert_eq!(ex.count, 1);
+        assert!((ex.sum - 4_000.0).abs() < 1e-9, "exec = finished - started");
+        assert_eq!(rl.count, 1);
+        assert!((rl.sum - 9_000.0).abs() < 1e-9, "run latency = end - start");
+        let s = &r.summaries()[0];
+        assert_eq!(s.run_id, 1);
+        assert_eq!(s.ok, Some(true));
+        assert_eq!(s.tasks, 1);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = FlightRecorder::new();
+        r.set_enabled(false);
+        assert!(!r.is_active());
+        r.on_lifecycle(&ev(1, LifecyclePhase::RunStart, None, 0));
+        assert_eq!(r.events_recorded(), 0);
+        assert_eq!(r.pump(), 0);
+        assert!(r.summaries().is_empty());
+    }
+
+    #[test]
+    fn failed_run_auto_dumps_blackbox() {
+        let dir = std::env::temp_dir().join(format!(
+            "hf_blackbox_test_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = FlightRecorder::new();
+        r.set_blackbox_dir(Some(dir.clone()));
+        r.on_lifecycle(&ev(7, LifecyclePhase::RunStart, None, 0));
+        let mut end = ev(7, LifecyclePhase::RunEnd, None, 500);
+        end.ok = false;
+        end.detail = Some(Arc::from("device lost"));
+        r.on_lifecycle(&end);
+        r.pump();
+        let path = dir.join("blackbox_run7.json");
+        let text = std::fs::read_to_string(&path).expect("blackbox written");
+        let v = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(v.get("run_id").and_then(|x| x.as_u64()), Some(7));
+        assert_eq!(
+            v.get("detail").and_then(|x| x.as_str()),
+            Some("device lost")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completed_runs_are_trimmed() {
+        let r = FlightRecorder::new();
+        for id in 1..=40u64 {
+            r.on_lifecycle(&ev(id, LifecyclePhase::RunStart, None, id * 10));
+            r.on_lifecycle(&ev(id, LifecyclePhase::RunEnd, None, id * 10 + 5));
+        }
+        r.pump();
+        let s = r.summaries();
+        assert!(s.len() <= DEFAULT_KEEP_COMPLETED, "retention window holds");
+        assert_eq!(s.last().unwrap().run_id, 40, "newest run retained");
+    }
+
+    #[test]
+    fn watchdog_escalates_and_recovers() {
+        let recorder = FlightRecorder::shared();
+        let wd = Watchdog::spawn(
+            Arc::clone(&recorder),
+            WatchdogConfig {
+                poll: Duration::from_secs(3600), // tick manually
+                warn_after: Duration::from_nanos(1),
+                stall_after: Duration::from_nanos(2),
+                hang_after: Duration::from_secs(3600),
+                ..WatchdogConfig::default()
+            },
+        );
+        // Arm a synthetic run via a never-completing handle substitute:
+        // use a real executor run? Simpler: recorder-only escalation needs
+        // a CancelHandle, so drive a real (blocked) run in the executor
+        // integration tests; here exercise verdict bookkeeping directly.
+        assert_eq!(wd.verdict(), HealthVerdict::Healthy);
+        assert!(wd.events().is_empty());
+    }
+
+    #[test]
+    fn exec_estimate_learns_ewma() {
+        let r = FlightRecorder::new();
+        r.on_lifecycle(&ev(1, LifecyclePhase::RunStart, None, 0));
+        for (i, dur) in [1_000u64, 2_000, 3_000].iter().enumerate() {
+            let base = 10_000 * (i as u64 + 1);
+            r.on_lifecycle(&ev(1, LifecyclePhase::Ready, Some(0), base));
+            r.on_lifecycle(&ev(1, LifecyclePhase::Started, Some(0), base + 10));
+            r.on_lifecycle(&ev(1, LifecyclePhase::Finished, Some(0), base + 10 + dur));
+        }
+        r.pump();
+        let est = r.exec_estimate("g", 0).expect("estimate learned");
+        assert!(est > 1_000.0 && est < 3_000.0, "EWMA between extremes: {est}");
+    }
+}

@@ -15,13 +15,24 @@
 //! * [`critpath`] — a post-run critical-path analyzer that walks recorded
 //!   spans along the graph's dependency edges and reports the longest
 //!   chain with per-kind time attribution.
+//! * [`health`] — the runtime health layer: a task-lifecycle flight
+//!   recorder ("black box"), latency attribution (queue delay / exec /
+//!   run latency histograms), and a straggler/hang watchdog.
+//! * [`serve`] — a dependency-free live HTTP endpoint exposing
+//!   `/metrics` (Prometheus), `/health`, `/runs`, and `/flight`.
 
 #![warn(missing_docs)]
 
 pub mod critpath;
 pub mod export;
+pub mod health;
 pub mod metrics;
+pub mod serve;
 
 pub use critpath::{critical_path, CriticalPathReport, PathStep};
 pub use export::{chrome_trace, spans_from_sim};
+pub use health::{
+    FlightRecorder, HealthEvent, HealthVerdict, RunProgress, RunSummary, Watchdog, WatchdogConfig,
+};
 pub use metrics::MetricsRegistry;
+pub use serve::{HealthHub, HealthServer};

@@ -75,11 +75,52 @@ impl Histogram {
         self.sum += v;
         self.count += 1;
     }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the bucket
+    /// counts, Prometheus `histogram_quantile` style: find the bucket
+    /// containing the target rank, then interpolate linearly between its
+    /// lower and upper bound. Observations in the overflow (`+Inf`)
+    /// bucket clamp to the last finite bound — a bucketed histogram
+    /// cannot say more. Returns `0.0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                cum += c;
+                continue;
+            }
+            let lo_cum = cum;
+            cum += c;
+            if (cum as f64) < rank {
+                continue;
+            }
+            let Some(&upper) = self.bounds.get(i) else {
+                // Overflow bucket: clamp to the last finite bound.
+                return self.bounds.last().copied().unwrap_or(self.sum / self.count as f64);
+            };
+            let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+            let frac = ((rank - lo_cum as f64) / c as f64).clamp(0.0, 1.0);
+            return lower + (upper - lower) * frac;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
 }
 
 /// Default duration buckets in microseconds: 1us .. ~1s, powers of 4.
-fn duration_bounds_us() -> Vec<f64> {
+pub fn duration_bounds_us() -> Vec<f64> {
     (0..11).map(|i| 4f64.powi(i)).collect()
+}
+
+/// Default duration buckets in nanoseconds: 256ns .. ~4.3s, powers of 4
+/// (`4^4 .. 4^16`). Suited to task latencies, which span sub-microsecond
+/// host tasks to multi-second chaos runs.
+pub fn duration_bounds_nanos() -> Vec<f64> {
+    (4..17).map(|i| 4f64.powi(i)).collect()
 }
 
 /// One registered metric: name + labels identify it, `help` documents it.
@@ -164,6 +205,63 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records one observation into a histogram metric, creating it with
+    /// the given bucket `bounds` on first use (later calls reuse the
+    /// existing buckets; `bounds` only matters on creation).
+    pub fn observe_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        v: f64,
+    ) {
+        let mut m = self.metrics.lock();
+        let labels_owned: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        if let Some(existing) = m
+            .iter_mut()
+            .find(|x| x.name == name && x.labels == labels_owned)
+        {
+            if let MetricValue::Histogram(h) = &mut existing.value {
+                h.observe(v);
+            }
+        } else {
+            let mut h = Histogram::new(bounds.to_vec());
+            h.observe(v);
+            m.push(Metric {
+                name: name.to_string(),
+                help: help.to_string(),
+                labels: labels_owned,
+                value: MetricValue::Histogram(h),
+            });
+        }
+    }
+
+    /// Sets (replaces) a histogram metric wholesale — for exporters that
+    /// aggregate observations elsewhere and publish snapshots.
+    pub fn set_histogram(&self, name: &str, help: &str, labels: &[(&str, &str)], h: Histogram) {
+        self.upsert(name, help, labels, MetricValue::Histogram(h));
+    }
+
+    /// Returns a clone of a registered histogram, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        let labels_owned: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        self.metrics
+            .lock()
+            .iter()
+            .find(|x| x.name == name && x.labels == labels_owned)
+            .and_then(|x| match &x.value {
+                MetricValue::Histogram(h) => Some(h.clone()),
+                _ => None,
+            })
+    }
+
     /// Number of registered metrics (one per name+labels pair).
     pub fn len(&self) -> usize {
         self.metrics.lock().len()
@@ -200,6 +298,8 @@ impl MetricsRegistry {
         self.set_counter("hf_placement_est_bytes_saved_total", "Transfer bytes placement estimated its warm-hit decisions would save via elision", l, s.placement_est_bytes_saved);
         self.set_counter("hf_executor_steals_affine_total", "Successful steals from topology-preferred victims", l, s.steals_affine);
         self.set_gauge("hf_placement_imbalance", "Cost-weighted imbalance (max/mean bin load) of the latest placement", l, s.placement_imbalance);
+        self.set_gauge("hf_executor_inflight_tasks", "Tasks dispatched and not yet finished (live gauge; populated by Executor::snapshot)", l, s.inflight_tasks as f64);
+        self.set_gauge("hf_executor_queue_depth", "Tasks waiting in the injector and worker deques (live gauge; populated by Executor::snapshot)", l, s.queue_depth as f64);
     }
 
     /// Imports an executor's current per-device modeled-load estimates
@@ -431,6 +531,95 @@ mod tests {
         assert!(text.contains("hf_lat_us_bucket{le=\"4\"} 3"));
         assert!(text.contains("hf_lat_us_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("hf_lat_us_count 4"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(vec![10.0, 20.0, 40.0]);
+        for _ in 0..10 {
+            h.observe(5.0); // all land in (0, 10]
+        }
+        // Rank q*10 inside the first bucket: linear between 0 and 10.
+        assert!((h.quantile(0.5) - 5.0).abs() < 1e-9);
+        assert!((h.quantile(1.0) - 10.0).abs() < 1e-9);
+        // Spread across buckets: 5 in (0,10], 5 in (10,20].
+        let mut h = Histogram::new(vec![10.0, 20.0]);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0, 11.0, 12.0, 13.0, 14.0, 15.0] {
+            h.observe(v);
+        }
+        assert!((h.quantile(0.5) - 10.0).abs() < 1e-9);
+        assert!(h.quantile(0.9) > 10.0 && h.quantile(0.9) <= 20.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        assert_eq!(h.quantile(0.99), 0.0, "empty histogram");
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.observe(100.0); // overflow bucket
+        assert_eq!(h.quantile(0.5), 2.0, "overflow clamps to last bound");
+        let mut h = Histogram::new(vec![]);
+        h.observe(3.0);
+        assert_eq!(h.quantile(0.5), 3.0, "no bounds falls back to mean");
+    }
+
+    #[test]
+    fn prometheus_histogram_conformance() {
+        // The exposition must carry cumulative `le`-labeled buckets, a
+        // trailing `+Inf` bucket equal to `_count`, and `_sum`.
+        let r = MetricsRegistry::new();
+        let bounds = duration_bounds_nanos();
+        for v in [100.0, 300.0, 2000.0, 1e12] {
+            r.observe_with("hf_task_exec_nanos", "exec time", &[("kind", "host")], &bounds, v);
+        }
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE hf_task_exec_nanos histogram"));
+        // 256 is the first bound (4^4): one observation (100) <= 256.
+        assert!(text.contains("hf_task_exec_nanos_bucket{kind=\"host\",le=\"256\"} 1"));
+        // 1024 = 4^5: 100 and 300 both fit; cumulative 2.
+        assert!(text.contains("hf_task_exec_nanos_bucket{kind=\"host\",le=\"1024\"} 2"));
+        assert!(text.contains("hf_task_exec_nanos_bucket{kind=\"host\",le=\"+Inf\"} 4"));
+        assert!(text.contains("hf_task_exec_nanos_count{kind=\"host\"} 4"));
+        assert!(text.contains("hf_task_exec_nanos_sum{kind=\"host\"}"));
+        // Cumulative counts never decrease across the bucket series.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let n: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+            assert!(n >= last, "non-cumulative bucket line: {line}");
+            last = n;
+        }
+        // p99 of [100, 300, 2000, 1e12] under these buckets clamps into
+        // the overflow → last finite bound.
+        let h = r.histogram("hf_task_exec_nanos", &[("kind", "host")]).unwrap();
+        assert_eq!(h.quantile(0.99), *bounds.last().unwrap());
+    }
+
+    #[test]
+    fn set_histogram_replaces_wholesale() {
+        let r = MetricsRegistry::new();
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        r.set_histogram("hf_snap", "snapshot hist", &[], h.clone());
+        assert_eq!(r.histogram("hf_snap", &[]).unwrap().count, 2);
+        h.observe(20.0);
+        r.set_histogram("hf_snap", "snapshot hist", &[], h);
+        assert_eq!(r.histogram("hf_snap", &[]).unwrap().count, 3);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn executor_live_gauges_are_exported() {
+        let r = MetricsRegistry::new();
+        let s = StatsSnapshot {
+            inflight_tasks: 3,
+            queue_depth: 7,
+            ..Default::default()
+        };
+        r.collect_executor(&s);
+        let text = r.prometheus_text();
+        assert!(text.contains("hf_executor_inflight_tasks 3"));
+        assert!(text.contains("hf_executor_queue_depth 7"));
     }
 
     #[test]

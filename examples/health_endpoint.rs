@@ -1,0 +1,326 @@
+//! Live runtime-health walkthrough: flight recorder + watchdog + HTTP
+//! endpoint, driven through a healthy phase and a chaos phase.
+//!
+//! Wires the full health layer onto an executor:
+//!
+//! 1. a [`FlightRecorder`] observer captures every task-lifecycle event
+//!    (submit → ready → started → dispatched → finished/retried) into a
+//!    lock-free ring;
+//! 2. a [`Watchdog`] monitor thread pumps the recorder, watching armed
+//!    runs for no-progress windows and stragglers;
+//! 3. a [`HealthServer`] exposes `/metrics` (Prometheus), `/health`
+//!    (watchdog verdict), `/runs` and `/flight` (flight-recorder JSON)
+//!    on a local port.
+//!
+//! The workload runs a healthy warm-up, then a chaos phase: a seeded
+//! `FaultPlan` injects a kernel stall (tripping the watchdog) and a
+//! whole-device loss mid-run (exercising retry/failover, visible in the
+//! black box). The example scrapes its own endpoint and writes the
+//! artifacts into the output directory:
+//!
+//! * `metrics_live.prom`     — live `/metrics` scrape (populated
+//!   `hf_task_queue_delay_nanos` buckets, executor gauges).
+//! * `health.json`           — final `/health` document (stall →
+//!   recovered event ladder).
+//! * `runs.json`             — `/runs` summaries.
+//! * `flight_recorder.json`  — the full flight dump ("black box").
+//!
+//! Run:   `cargo run --example health_endpoint [-- OUTDIR]`
+//! Check: `cargo run --example health_endpoint -- OUTDIR --check`
+//! validates the artifacts against the flight-recorder schema
+//! (`docs/flight_recorder.schema.json` invariants) and exits non-zero on
+//! violation — CI runs this mode.
+
+use heteroflow::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DEADLINE: Duration = Duration::from_secs(30);
+
+fn doubling_graph(name: &str, bufs: &[HostVec<i32>]) -> Heteroflow {
+    let g = Heteroflow::new(name);
+    for (i, b) in bufs.iter().enumerate() {
+        let p = g.pull(&format!("pull_{i}"), b);
+        let k = g.kernel(&format!("double_{i}"), &[&p], |cfg, args| {
+            let xs = args.slice_mut::<i32>(0).unwrap();
+            for t in cfg.threads() {
+                if t < xs.len() {
+                    xs[t] *= 2;
+                }
+            }
+        });
+        k.block_x(64);
+        let s = g.push(&format!("push_{i}"), &p, b);
+        p.precede(&k);
+        k.precede(&s);
+    }
+    g
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect health endpoint");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("send");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read");
+    out.split_once("\r\n\r\n")
+        .expect("well-formed response")
+        .1
+        .to_string()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let outdir = args
+        .iter()
+        .find(|a| *a != "--check")
+        .cloned()
+        .unwrap_or_else(|| ".".into());
+    std::fs::create_dir_all(&outdir).expect("create output dir");
+
+    // ── Wire the health layer ──────────────────────────────────────────
+    let recorder = FlightRecorder::shared();
+    recorder.set_blackbox_dir(Some(std::path::PathBuf::from(&outdir)));
+    let executor = Arc::new(
+        Executor::builder(4, 2)
+            .retry_policy(RetryPolicy::new(3))
+            .observer(recorder.clone())
+            .build(),
+    );
+    let watchdog = Watchdog::spawn(
+        recorder.clone(),
+        WatchdogConfig {
+            poll: Duration::from_millis(5),
+            warn_after: Duration::from_millis(40),
+            stall_after: Duration::from_millis(120),
+            hang_after: Duration::from_secs(3600),
+            ..WatchdogConfig::default()
+        },
+    );
+    let hub = HealthHub::new(recorder.clone());
+    hub.set_watchdog(watchdog.clone());
+    let ex_for_scrape = Arc::clone(&executor);
+    hub.add_collector(move |reg| {
+        reg.collect_executor(&ex_for_scrape.snapshot());
+        reg.collect_gpu(ex_for_scrape.gpu_runtime());
+    });
+    let server = HealthServer::bind("127.0.0.1:0", hub).expect("bind endpoint");
+    println!("health endpoint live at http://{}", server.addr());
+
+    // ── Phase 1: healthy workload ──────────────────────────────────────
+    let bufs: Vec<HostVec<i32>> = (0..2).map(|_| HostVec::from_vec(vec![1; 256])).collect();
+    for round in 0..4 {
+        let g = doubling_graph(&format!("healthy_{round}"), &bufs);
+        let fut = executor.run(&g);
+        watchdog.arm(&fut, &format!("healthy_{round}"));
+        fut.wait_timeout(DEADLINE)
+            .expect("healthy run hung")
+            .expect("healthy run failed");
+    }
+    println!(
+        "healthy phase: {} lifecycle events recorded, verdict {}",
+        recorder.events_recorded(),
+        watchdog.verdict()
+    );
+
+    // ── Phase 2: chaos — injected stall, then device loss + failover ───
+    executor.gpu_runtime().set_fault_plan(Some(
+        FaultPlan::seeded(42)
+            .stall(FaultSite::Kernel, Duration::from_millis(400), 1.0)
+            .max_stalls(1)
+            .lose_device(1, 1),
+    ));
+    let g = doubling_graph("chaos", &bufs);
+    let fut = executor.run(&g);
+    watchdog.arm(&fut, "chaos");
+    // Scrape /health while the stall is wedging the run.
+    let mut degraded_seen = String::new();
+    while !fut.is_done() {
+        let body = http_get(server.addr(), "/health");
+        if body.contains("\"stall\"") || body.contains("\"warn\"") {
+            degraded_seen = body;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    fut.wait_timeout(DEADLINE)
+        .expect("chaos run hung")
+        .expect("chaos run failed despite retry/failover");
+    // Let the watchdog observe completion (it polls; recovery lands a
+    // few ticks after the run resolves).
+    let settle = std::time::Instant::now() + Duration::from_secs(5);
+    while watchdog.verdict() != HealthVerdict::Healthy && std::time::Instant::now() < settle {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!(
+        "chaos phase: {} stalls injected, {} devices lost, verdict now {}",
+        executor.gpu_runtime().stalls_injected(),
+        executor.gpu_runtime().lost_devices().len(),
+        watchdog.verdict()
+    );
+
+    // ── Scrape + write artifacts ───────────────────────────────────────
+    let metrics = http_get(server.addr(), "/metrics");
+    let health = http_get(server.addr(), "/health");
+    let runs = http_get(server.addr(), "/runs");
+    let flight = http_get(server.addr(), "/flight");
+    let w = |name: &str, body: &str| {
+        std::fs::write(format!("{outdir}/{name}"), body).expect("write artifact");
+    };
+    w("metrics_live.prom", &metrics);
+    w("health.json", &health);
+    w("runs.json", &runs);
+    w("flight_recorder.json", &flight);
+    println!("artifacts written to {outdir}/");
+
+    if !check {
+        return;
+    }
+
+    // ── Schema / invariant validation (CI mode) ────────────────────────
+    let mut failures: Vec<String> = Vec::new();
+    let mut ensure = |ok: bool, what: &str| {
+        if !ok {
+            failures.push(what.to_string());
+        }
+    };
+
+    // /metrics: populated attribution buckets and executor gauges.
+    ensure(
+        metrics.contains("hf_task_queue_delay_nanos_bucket{le=\""),
+        "metrics: hf_task_queue_delay_nanos _bucket lines present",
+    );
+    ensure(
+        metrics.contains("hf_task_queue_delay_nanos_bucket{le=\"+Inf\"}"),
+        "metrics: +Inf bucket present",
+    );
+    ensure(
+        metrics
+            .lines()
+            .any(|l| l.starts_with("hf_task_exec_nanos_count") && !l.ends_with(" 0")),
+        "metrics: exec histogram populated",
+    );
+    ensure(
+        metrics.contains("hf_executor_inflight_tasks"),
+        "metrics: inflight gauge exported",
+    );
+    ensure(
+        metrics.contains("hf_executor_queue_depth"),
+        "metrics: queue-depth gauge exported",
+    );
+
+    // /health: the stall was visible live, and the ladder recovered.
+    ensure(
+        !degraded_seen.is_empty(),
+        "health: degraded verdict observed live during the stall",
+    );
+    let hv = serde_json::from_str(&health).expect("valid /health JSON");
+    let kinds: Vec<String> = hv
+        .get("events")
+        .and_then(|e| e.as_array())
+        .map(|a| {
+            a.iter()
+                .filter_map(|e| e.get("kind").and_then(|k| k.as_str()).map(String::from))
+                .collect()
+        })
+        .unwrap_or_default();
+    ensure(kinds.iter().any(|k| k == "stall"), "health: stall event recorded");
+    ensure(
+        kinds.iter().any(|k| k == "recovered"),
+        "health: recovery event recorded",
+    );
+
+    // flight_recorder.json against docs/flight_recorder.schema.json
+    // invariants: schema tag, runs with ids/graphs, ordered events with
+    // known phases, terminal run_end per completed run.
+    let fv = serde_json::from_str(&flight).expect("valid flight JSON");
+    ensure(
+        fv.get("schema").and_then(|s| s.as_str()) == Some("hf-flight-recorder-v1"),
+        "flight: schema tag",
+    );
+    let known_phases = [
+        "run_start",
+        "ready",
+        "started",
+        "dispatched",
+        "finished",
+        "failed",
+        "retried",
+        "failover",
+        "run_end",
+    ];
+    let runs_arr = fv.get("runs").and_then(|r| r.as_array()).cloned().unwrap_or_default();
+    ensure(runs_arr.len() >= 2, "flight: healthy + chaos runs retained");
+    for run in &runs_arr {
+        let id = run.get("run_id").and_then(|x| x.as_u64()).unwrap_or(0);
+        ensure(id > 0, "flight: run_id present and nonzero");
+        ensure(
+            run.get("graph").and_then(|x| x.as_str()).is_some(),
+            "flight: graph name present",
+        );
+        let events = run.get("events").and_then(|e| e.as_array()).cloned().unwrap_or_default();
+        ensure(!events.is_empty(), "flight: run has events");
+        let mut last_t = 0u64;
+        for e in &events {
+            let phase = e.get("phase").and_then(|p| p.as_str()).unwrap_or("?");
+            ensure(
+                known_phases.contains(&phase),
+                "flight: event phase is a known value",
+            );
+            let t = e.get("t_ns").and_then(|x| x.as_u64()).unwrap_or(0);
+            ensure(t >= last_t, "flight: events are time-ordered");
+            last_t = t;
+        }
+        if run.get("ok").map(|o| !matches!(o, serde_json::Value::Null)).unwrap_or(false) {
+            ensure(
+                events.last().and_then(|e| e.get("phase")).and_then(|p| p.as_str())
+                    == Some("run_end"),
+                "flight: completed run ends with run_end",
+            );
+        }
+    }
+    // The chaos black box shows dispatch → fault → re-dispatch.
+    let chaos = runs_arr.iter().find(|r| {
+        r.get("graph").and_then(|g| g.as_str()) == Some("chaos")
+    });
+    ensure(chaos.is_some(), "flight: chaos run retained");
+    if let Some(chaos) = chaos {
+        let events = chaos.get("events").and_then(|e| e.as_array()).cloned().unwrap_or_default();
+        let has = |p: &str| events.iter().any(|e| e.get("phase").and_then(|x| x.as_str()) == Some(p));
+        ensure(has("dispatched"), "flight: chaos run shows dispatch");
+        ensure(
+            has("failed") || has("retried") || has("failover"),
+            "flight: chaos run shows the injected fault",
+        );
+        ensure(
+            events.iter().any(|e| {
+                e.get("phase").and_then(|x| x.as_str()) == Some("finished")
+                    && e.get("ok").and_then(|o| o.as_bool()) == Some(true)
+            }),
+            "flight: chaos run shows recovery to a successful finish",
+        );
+    }
+
+    // /runs: parses, and every summary carries an id and graph.
+    let rv = serde_json::from_str(&runs).expect("valid /runs JSON");
+    let summaries = rv.as_array().cloned().unwrap_or_default();
+    ensure(!summaries.is_empty(), "runs: summaries present");
+    for s in &summaries {
+        ensure(
+            s.get("run_id").and_then(|x| x.as_u64()).unwrap_or(0) > 0,
+            "runs: summary has run_id",
+        );
+    }
+
+    if failures.is_empty() {
+        println!("check OK: all health-endpoint invariants hold");
+    } else {
+        eprintln!("check FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

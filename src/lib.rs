@@ -56,8 +56,12 @@ pub use hf_timing as timing;
 
 /// The commonly-used types in one import: the hf-core prelude (graph
 /// building, executor, retry/failover policies, fault injection, run
-/// control) plus the telemetry entry points.
+/// control) plus the telemetry entry points and the runtime health layer
+/// (flight recorder, watchdog, live `/metrics` endpoint).
 pub mod prelude {
     pub use hf_core::prelude::*;
-    pub use hf_telemetry::{critical_path, MetricsRegistry};
+    pub use hf_telemetry::{
+        critical_path, FlightRecorder, HealthEvent, HealthHub, HealthServer, HealthVerdict,
+        MetricsRegistry, Watchdog, WatchdogConfig,
+    };
 }

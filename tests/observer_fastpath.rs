@@ -1,0 +1,115 @@
+//! Observer-disabled fast path: with a flight recorder *installed but
+//! disabled*, the executor emits zero lifecycle events and adds no
+//! per-task allocation over running with no observer at all.
+//!
+//! A counting global allocator measures whole-process allocations around
+//! identical workloads. Lifecycle emission allocates at least one
+//! `Arc<str>` name per event and several events per task, so a leak of
+//! emission past the `is_active` gate shows up as thousands of extra
+//! allocations on a 512-task run — far above scheduler noise.
+
+use heteroflow::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const TASKS: usize = 512;
+
+/// Serializes the tests: both measure the process-wide allocation
+/// counter, so concurrent runs would pollute each other's deltas.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn host_graph(name: &str) -> Heteroflow {
+    let g = Heteroflow::new(name);
+    for i in 0..TASKS {
+        g.host(&format!("t{i}"), || {
+            std::hint::black_box(0u64);
+        });
+    }
+    g
+}
+
+/// Allocations during one cached re-run of `g` on `ex` (min of 3, to
+/// shave scheduler noise).
+fn measure(ex: &Executor, g: &Heteroflow) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let before = ALLOCS.load(Ordering::SeqCst);
+        ex.run(g).wait().expect("runs");
+        best = best.min(ALLOCS.load(Ordering::SeqCst) - before);
+    }
+    best
+}
+
+#[test]
+fn disabled_recorder_adds_no_events_and_no_allocation() {
+    let _guard = SERIAL.lock().unwrap();
+    // Baseline: no observer installed at all.
+    let ex_base = Executor::new(2, 0);
+    let g_base = host_graph("fastpath_base");
+    ex_base.run(&g_base).wait().expect("warmup"); // freeze + place once
+    let baseline = measure(&ex_base, &g_base);
+
+    // Same workload with a disabled flight recorder installed.
+    let recorder = FlightRecorder::shared();
+    recorder.set_enabled(false);
+    let ex_rec = Executor::builder(2, 0).observer(recorder.clone()).build();
+    let g_rec = host_graph("fastpath_rec");
+    ex_rec.run(&g_rec).wait().expect("warmup");
+    let with_disabled = measure(&ex_rec, &g_rec);
+
+    assert_eq!(
+        recorder.events_recorded(),
+        0,
+        "disabled recorder must see zero lifecycle events"
+    );
+    assert!(recorder.summaries().is_empty());
+
+    // Emission would cost >= 3 allocations per task (Arc'd name per
+    // event, several events per task); allow generous scheduler noise
+    // well below that.
+    let budget = baseline + (TASKS as u64);
+    assert!(
+        with_disabled <= budget,
+        "disabled-recorder run allocated {with_disabled}, baseline {baseline} \
+         (budget {budget}) — lifecycle emission is leaking past the is_active gate"
+    );
+}
+
+/// Flipping the recorder on makes the same executor emit — the gate is
+/// the recorder's enabled flag, not installation time.
+#[test]
+fn enabling_recorder_turns_emission_on() {
+    let _guard = SERIAL.lock().unwrap();
+    let recorder = FlightRecorder::shared();
+    recorder.set_enabled(false);
+    let ex = Executor::builder(2, 0).observer(recorder.clone()).build();
+    let g = host_graph("fastpath_toggle");
+    ex.run(&g).wait().expect("runs");
+    assert_eq!(recorder.events_recorded(), 0);
+
+    recorder.set_enabled(true);
+    ex.run(&g).wait().expect("runs");
+    // RunStart/RunEnd plus per-task ready/started/finished.
+    assert!(
+        recorder.events_recorded() >= (TASKS as u64) * 3,
+        "enabled recorder captures lifecycle events, got {}",
+        recorder.events_recorded()
+    );
+}
