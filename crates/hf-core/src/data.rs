@@ -115,6 +115,15 @@ impl<T> HostVec<T> {
     pub fn take(&self) -> Vec<T> {
         std::mem::take(&mut *self.write())
     }
+
+    /// Stable identity of the shared storage: equal across clones, unique
+    /// across distinct vectors, for as long as any clone lives. This is
+    /// the same value [`HostSource::source_id`] / [`HostSink::sink_id`]
+    /// report, and what [`crate::HostTask::reads`] /
+    /// [`crate::HostTask::writes`] declare to the static analyzer.
+    pub fn buffer_id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as *const () as usize
+    }
 }
 
 impl<T: Clone> HostVec<T> {
@@ -172,6 +181,14 @@ pub trait HostSink: Send + Sync + 'static {
         self.store_bytes(bytes);
         None
     }
+    /// Stable identity of the underlying storage, if the sink has one —
+    /// the counterpart of [`HostSource::source_id`]. Two endpoints with
+    /// the same id share bytes; the static analyzer uses it to pair push
+    /// writes with pull/host accesses of the same buffer. The default
+    /// tracks nothing.
+    fn sink_id(&self) -> Option<usize> {
+        None
+    }
 }
 
 impl<T: Plain> HostSource for HostVec<T> {
@@ -190,7 +207,7 @@ impl<T: Plain> HostSource for HostVec<T> {
     fn source_id(&self) -> Option<usize> {
         // The shared allocation's address: stable and unique for as long
         // as any clone (and thus any pull task holding the source) lives.
-        Some(Arc::as_ptr(&self.inner) as *const () as usize)
+        Some(self.buffer_id())
     }
 
     fn fetch_bytes_versioned(&self) -> (Vec<u8>, Option<u64>) {
@@ -215,6 +232,10 @@ impl<T: Plain> HostSink for HostVec<T> {
         // Read back under the still-held write lock: this is the version
         // that describes exactly the bytes just stored.
         Some(self.inner.version.load(Ordering::Acquire))
+    }
+
+    fn sink_id(&self) -> Option<usize> {
+        Some(self.buffer_id())
     }
 }
 
@@ -285,6 +306,16 @@ mod tests {
         let v0 = a.version();
         b.write().push(1);
         assert_eq!(a.version(), v0 + 1);
+    }
+
+    #[test]
+    fn buffer_id_matches_source_and_sink_ids() {
+        let v: HostVec<u32> = HostVec::new();
+        let src: &dyn HostSource = &v.clone();
+        let sink: &dyn HostSink = &v.clone();
+        assert_eq!(src.source_id(), Some(v.buffer_id()));
+        assert_eq!(sink.sink_id(), Some(v.buffer_id()));
+        assert_eq!(v.clone().buffer_id(), v.buffer_id());
     }
 
     #[test]

@@ -47,6 +47,69 @@ impl Heteroflow {
         out
     }
 
+    /// Renders the graph as DOT with static-analysis findings overlaid
+    /// (see [`Heteroflow::analyze`]). Tasks in an unordered shared-buffer
+    /// access pair (`HF002`) are outlined red and bold; dead transfers —
+    /// a push no kernel feeds (`HF004`) or a pull nothing consumes
+    /// (`HF005`) — are dashed and grayed out. Affected labels carry the
+    /// diagnostic code so a rendered graph is self-explanatory.
+    pub fn dump_analyzed(&self) -> String {
+        let report = self.analyze();
+        let mut marks: std::collections::BTreeMap<usize, Vec<&'static str>> =
+            std::collections::BTreeMap::new();
+        for d in &report.diagnostics {
+            if matches!(d.code, "HF002" | "HF004" | "HF005") {
+                for &t in &d.task_ids {
+                    let codes = marks.entry(t).or_default();
+                    if !codes.contains(&d.code) {
+                        codes.push(d.code);
+                    }
+                }
+            }
+        }
+        let b = self.shared.builder.lock();
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(&b.name));
+        let _ = writeln!(out, "  rankdir=TB;");
+        for (i, n) in b.nodes.iter().enumerate() {
+            match marks.get(&i) {
+                Some(codes) => {
+                    // Racy outrank dead: red outline wins when both apply.
+                    let extra = if codes.contains(&"HF002") {
+                        "color=red, penwidth=2"
+                    } else {
+                        "style=dashed, color=gray50, fontcolor=gray40"
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  n{} [label=\"{}\\n{}\", {}, {}];",
+                        i,
+                        escape(&n.name),
+                        codes.join(","),
+                        style(n.work.kind()),
+                        extra
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  n{} [label=\"{}\", {}];",
+                        i,
+                        escape(&n.name),
+                        style(n.work.kind())
+                    );
+                }
+            }
+        }
+        for (i, n) in b.nodes.iter().enumerate() {
+            for &s in &n.succ {
+                let _ = writeln!(out, "  n{i} -> n{s};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
     /// Writes the DOT form to a writer (`hf.dump(cout)` analogue).
     pub fn dump_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
         w.write_all(self.dump().as_bytes())
@@ -167,6 +230,42 @@ mod tests {
             assert!(dot.contains(&format!("p{i}")));
             assert!(dot.contains(&format!("k{i}")));
         }
+    }
+
+    #[test]
+    fn dump_analyzed_colors_racy_pairs_and_dead_nodes() {
+        let g = Heteroflow::new("lint");
+        let x: HostVec<i32> = HostVec::from_vec(vec![0; 16]);
+        // Two unordered pushes to `x` race (HF002); an unconsumed pull of
+        // a second buffer is dead (HF005).
+        let p = g.pull("p", &x);
+        let k = g.kernel("k", &[&p], |_, _| {});
+        let s1 = g.push("s1", &p, &x);
+        let s2 = g.push("s2", &p, &x);
+        p.precede(&k);
+        k.precede(&s1);
+        k.precede(&s2);
+        let y: HostVec<i32> = HostVec::from_vec(vec![0; 16]);
+        g.pull("dead", &y);
+        let dot = g.dump_analyzed();
+        assert!(dot.contains("color=red"), "racy pair not colored: {dot}");
+        assert!(dot.contains("HF002"), "racy label missing code: {dot}");
+        assert!(dot.contains("style=dashed"), "dead node not dashed: {dot}");
+        assert!(dot.contains("HF005"), "dead label missing code: {dot}");
+        // Ordered, consumed tasks keep their plain styling.
+        assert!(dot.contains("\"k\""), "kernel node missing");
+    }
+
+    #[test]
+    fn dump_analyzed_of_clean_graph_matches_dump() {
+        let g = Heteroflow::new("clean");
+        let x: HostVec<i32> = HostVec::from_vec(vec![0; 16]);
+        let p = g.pull("p", &x);
+        let k = g.kernel("k", &[&p], |_, _| {});
+        let s = g.push("s", &p, &x);
+        p.precede(&k);
+        k.precede(&s);
+        assert_eq!(g.dump_analyzed(), g.dump());
     }
 
     #[test]

@@ -13,8 +13,20 @@ use std::fmt;
 pub enum HfError {
     /// The task graph contains a dependency cycle and cannot be scheduled.
     CycleDetected {
-        /// Name of a task on the cycle.
-        task: String,
+        /// The tasks forming one cycle, in dependency order: each task's
+        /// edge leads to the next, and the last task's edge closes back to
+        /// the first. A self-loop is a single-element path.
+        path: Vec<String>,
+    },
+    /// The graph was rejected before dispatch because static analysis
+    /// found Error-severity diagnostics and the executor runs with
+    /// [`crate::LintPolicy::Deny`]. See [`crate::Heteroflow::analyze`].
+    LintRejected {
+        /// Name of the rejected graph.
+        graph: String,
+        /// The Error-severity findings, each rendered as
+        /// `"HF0xx [task, ...]: message"`.
+        diagnostics: Vec<String>,
     },
     /// A GPU task exists but the executor owns zero GPUs.
     NoGpus {
@@ -75,8 +87,8 @@ impl HfError {
     /// kernel missing its pull, the push missing its pull).
     pub fn task(&self) -> Option<&str> {
         match self {
-            HfError::CycleDetected { task }
-            | HfError::NoGpus { task }
+            HfError::CycleDetected { path } => path.first().map(String::as_str),
+            HfError::NoGpus { task }
             | HfError::EmptyTask { task }
             | HfError::TaskPanicked { task }
             | HfError::TaskFailed { task, .. } => Some(task),
@@ -98,8 +110,26 @@ impl HfError {
 impl fmt::Display for HfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HfError::CycleDetected { task } => {
-                write!(f, "task graph contains a cycle through task '{task}'")
+            HfError::CycleDetected { path } => {
+                write!(f, "task graph contains a cycle: ")?;
+                for name in path {
+                    write!(f, "'{name}' -> ")?;
+                }
+                match path.first() {
+                    Some(first) => write!(f, "'{first}'"),
+                    None => write!(f, "<empty>"),
+                }
+            }
+            HfError::LintRejected { graph, diagnostics } => {
+                write!(
+                    f,
+                    "graph '{graph}' rejected by lint policy: {} error-severity finding(s)",
+                    diagnostics.len()
+                )?;
+                if let Some(first) = diagnostics.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
             }
             HfError::NoGpus { task } => write!(
                 f,
@@ -151,8 +181,12 @@ mod tests {
 
     #[test]
     fn display_names_the_task() {
-        let e = HfError::CycleDetected { task: "k1".into() };
-        assert!(e.to_string().contains("k1"));
+        let e = HfError::CycleDetected {
+            path: vec!["k1".into(), "k2".into()],
+        };
+        let s = e.to_string();
+        // Full cycle in order, closed back to the start.
+        assert!(s.contains("'k1' -> 'k2' -> 'k1'"), "got: {s}");
         let e = HfError::SourceNotPulled {
             kernel: "saxpy".into(),
             pull: "pull_x".into(),
@@ -169,8 +203,27 @@ mod tests {
     }
 
     #[test]
+    fn lint_rejected_display_and_accessors() {
+        let e = HfError::LintRejected {
+            graph: "g".into(),
+            diagnostics: vec!["HF002 [a, b]: unordered access".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("'g'") && s.contains("1 error") && s.contains("HF002"), "got: {s}");
+        assert_eq!(e.task(), None);
+        assert!(e.gpu_cause().is_none());
+    }
+
+    #[test]
     fn task_accessor_is_uniform() {
-        assert_eq!(HfError::CycleDetected { task: "a".into() }.task(), Some("a"));
+        assert_eq!(
+            HfError::CycleDetected {
+                path: vec!["a".into(), "b".into()]
+            }
+            .task(),
+            Some("a"),
+            "cycle reports its first task"
+        );
         assert_eq!(HfError::NoGpus { task: "b".into() }.task(), Some("b"));
         assert_eq!(
             HfError::SourceNotPulled {

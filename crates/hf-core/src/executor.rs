@@ -257,6 +257,8 @@ struct ExecInner {
     /// Submission ids handed to topologies/futures and stamped onto
     /// lifecycle events (starts at 1; 0 is reserved for ready futures).
     run_seq: AtomicU64,
+    /// What to do with static-analysis findings at submission time.
+    lint: LintPolicy,
 }
 
 impl ExecInner {
@@ -362,6 +364,35 @@ impl ExecInner {
         }
     }
 
+    /// Emits one run-level [`LifecyclePhase::Lint`] event per diagnostic
+    /// in `report`, right after `RunStart`. `ok` is `false` for
+    /// Error-severity findings; `detail` carries the rendered diagnostic.
+    fn emit_lint_lc(&self, topo: &Topology, report: &crate::analyze::Report) {
+        if !self.lc_active() {
+            return;
+        }
+        for d in &report.diagnostics {
+            let ev = LifecycleEvent {
+                run_id: topo.run_id,
+                graph: Arc::clone(&topo.graph_label),
+                phase: LifecyclePhase::Lint,
+                task: None,
+                name: Arc::clone(&topo.graph_label),
+                kind: None,
+                device: None,
+                worker: None,
+                chain: None,
+                bytes: 0,
+                ok: d.severity != crate::analyze::Severity::Error,
+                detail: Some(Arc::from(d.render().as_str())),
+                t_ns: lifecycle_now_ns(),
+            };
+            for o in &self.observers {
+                o.on_lifecycle(&ev);
+            }
+        }
+    }
+
     /// Publishes a freshly computed placement's locality metrics.
     fn record_placement(&self, p: &crate::placement::Placement) {
         if p.warm_hits > 0 {
@@ -386,6 +417,32 @@ fn node_move_bytes(frozen: &FrozenGraph, node: usize) -> u64 {
         },
         _ => 0,
     }
+}
+
+/// What the executor does with static-analysis findings
+/// ([`crate::Heteroflow::analyze`]) when a graph is submitted.
+///
+/// The analysis itself is cheap and epoch-cached on the graph, so the
+/// policy only decides what happens to the *findings*:
+///
+/// * [`Off`](LintPolicy::Off) — never analyze at submission.
+/// * [`Warn`](LintPolicy::Warn) (default) — when a lifecycle observer is
+///   active, emit one [`crate::LifecyclePhase::Lint`] event per finding
+///   right after `RunStart`; the run proceeds regardless. With no active
+///   observer the analysis is skipped entirely, keeping the default
+///   submission path as cheap as `Off`.
+/// * [`Deny`](LintPolicy::Deny) — reject graphs with Error-severity
+///   findings before any work dispatches: the returned future resolves
+///   to [`crate::HfError::LintRejected`] carrying the rendered findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintPolicy {
+    /// Never run the analyzer at submission time.
+    Off,
+    /// Analyze and surface findings as lifecycle events; never reject.
+    #[default]
+    Warn,
+    /// Reject submissions whose graph has Error-severity findings.
+    Deny,
 }
 
 /// What [`ExecInner::failure_action`] decided about a failed task body.
@@ -414,6 +471,7 @@ pub struct ExecutorBuilder {
     copy_chunk_threshold: usize,
     copy_lanes: usize,
     pin_workers: bool,
+    lint: LintPolicy,
 }
 
 impl std::fmt::Debug for ExecutorBuilder {
@@ -445,7 +503,16 @@ impl ExecutorBuilder {
             copy_chunk_threshold: DEFAULT_COPY_CHUNK_THRESHOLD,
             copy_lanes: DEFAULT_COPY_LANES,
             pin_workers: false,
+            lint: LintPolicy::default(),
         }
+    }
+
+    /// Sets what the executor does with static-analysis findings when a
+    /// graph is submitted (default [`LintPolicy::Warn`]). See
+    /// [`LintPolicy`] and [`crate::Heteroflow::analyze`].
+    pub fn lint_policy(mut self, policy: LintPolicy) -> Self {
+        self.lint = policy;
+        self
     }
 
     /// Pins worker thread `i` to CPU core `i % available_cores` on spawn,
@@ -581,6 +648,7 @@ impl ExecutorBuilder {
             worker_focus: (0..cpus).map(|_| AtomicU64::new(u64::MAX)).collect(),
             pin_workers: self.pin_workers,
             run_seq: AtomicU64::new(0),
+            lint: self.lint,
         });
 
         let threads = deques
@@ -729,6 +797,25 @@ impl Executor {
             Err(e) => return RunFuture::ready(Err(e)),
         };
 
+        // Static analysis gate (see `crate::analyze`). The report is
+        // epoch-cached on the graph, and under the default `Warn` policy
+        // nothing is even computed unless a lifecycle observer is active
+        // — so the common submission path pays only this match.
+        let lint_report = match inner.lint {
+            LintPolicy::Off => None,
+            LintPolicy::Warn if !inner.lc_active() => None,
+            policy => {
+                let report = hf.analyze();
+                if policy == LintPolicy::Deny && report.has_errors() {
+                    return RunFuture::ready(Err(HfError::LintRejected {
+                        graph: report.graph.clone(),
+                        diagnostics: report.errors().map(|d| d.render()).collect(),
+                    }));
+                }
+                Some(report)
+            }
+        };
+
         // Degraded mode: with a lost device the cached placement (and the
         // cross-graph load bias) may reference dead hardware, so bypass
         // the cache in both directions and place directly against the
@@ -756,7 +843,7 @@ impl Executor {
             inner.record_placement(&p);
             let placement = Arc::new(p);
             let fusion = Arc::new(FusionPlan::compute(&frozen, &placement, inner.fusion));
-            return self.submit(hf, frozen, placement, fusion, Box::new(stop));
+            return self.submit(hf, frozen, placement, fusion, lint_report, Box::new(stop));
         }
 
         // Scheduling cache: reuse placement + fusion when this executor
@@ -820,7 +907,7 @@ impl Executor {
             }
         };
 
-        self.submit(hf, frozen, placement, fusion, Box::new(stop))
+        self.submit(hf, frozen, placement, fusion, lint_report, Box::new(stop))
     }
 
     /// Registers and (when the graph is idle) starts a topology built
@@ -831,6 +918,7 @@ impl Executor {
         frozen: Arc<FrozenGraph>,
         placement: Arc<crate::placement::Placement>,
         fusion: Arc<FusionPlan>,
+        lint_report: Option<Arc<crate::analyze::Report>>,
         stop: Box<dyn FnMut() -> bool + Send>,
     ) -> RunFuture {
         let inner = &self.inner;
@@ -845,6 +933,9 @@ impl Executor {
         inner.registry.register(&topo);
         inner.num_topologies.fetch_add(1, Ordering::SeqCst);
         inner.emit_run_lc(&topo, LifecyclePhase::RunStart, true, None);
+        if let Some(report) = &lint_report {
+            inner.emit_lint_lc(&topo, report);
+        }
 
         // Queue behind any active topology of the same graph.
         let submit_now = {

@@ -110,6 +110,11 @@ pub(crate) struct BuildNode {
     pub(crate) cfg: LaunchConfig,
     /// Declared kernel cost in abstract work units (kernels only).
     pub(crate) work_units: f64,
+    /// Host-buffer ids this task declares it reads (host tasks; see
+    /// [`crate::HostTask::reads`]). Consumed by the static analyzer only.
+    pub(crate) reads: Vec<usize>,
+    /// Host-buffer ids this task declares it writes (host tasks).
+    pub(crate) writes: Vec<usize>,
 }
 
 pub(crate) struct Builder {
@@ -139,6 +144,8 @@ impl Builder {
             pred: Vec::new(),
             cfg: LaunchConfig::default(),
             work_units: 0.0,
+            reads: Vec::new(),
+            writes: Vec::new(),
         });
         self.nodes.len() - 1
     }
@@ -218,34 +225,13 @@ impl FrozenGraph {
         self.nodes[id].work.kind()
     }
 
-    /// Verifies acyclicity via Kahn's algorithm. Returns the name of a
-    /// task on a cycle, if any.
-    fn find_cycle(nodes: &[FrozenNode]) -> Option<String> {
-        let mut indeg: Vec<usize> = nodes.iter().map(|n| n.num_deps).collect();
-        let mut queue: Vec<usize> = indeg
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| d == 0)
-            .map(|(i, _)| i)
-            .collect();
-        let mut seen = 0;
-        while let Some(u) = queue.pop() {
-            seen += 1;
-            for &v in &nodes[u].succ {
-                indeg[v] -= 1;
-                if indeg[v] == 0 {
-                    queue.push(v);
-                }
-            }
-        }
-        if seen == nodes.len() {
-            None
-        } else {
-            indeg
-                .iter()
-                .position(|&d| d > 0)
-                .map(|i| nodes[i].name.clone())
-        }
+    /// Verifies acyclicity via Kahn's algorithm. Returns the tasks of one
+    /// cycle in dependency order (first task's edge leads to the second,
+    /// and the last task's edge closes back to the first), if any.
+    fn find_cycle(nodes: &[FrozenNode]) -> Option<Vec<String>> {
+        let succ: Vec<&[usize]> = nodes.iter().map(|n| n.succ.as_slice()).collect();
+        crate::analyze::cycle_path(&succ)
+            .map(|ids| ids.into_iter().map(|i| nodes[i].name.clone()).collect())
     }
 }
 
@@ -284,6 +270,10 @@ pub(crate) struct GraphShared {
     /// Single-entry scheduling cache (graphs overwhelmingly run on one
     /// executor at a time; a second executor simply evicts the entry).
     pub(crate) sched_cache: Mutex<Option<SchedCache>>,
+    /// Cached static-analysis report, keyed on the builder epoch it was
+    /// computed at (any mutation bumps the epoch and invalidates it), so
+    /// repeated submissions of an unchanged graph lint once.
+    pub(crate) lint_cache: Mutex<Option<(u64, Arc<crate::analyze::Report>)>>,
 }
 
 /// A CPU-GPU task dependency graph.
@@ -336,6 +326,7 @@ impl Heteroflow {
                     queued: std::collections::VecDeque::new(),
                 }),
                 sched_cache: Mutex::new(None),
+                lint_cache: Mutex::new(None),
             }),
         }
     }
@@ -544,8 +535,8 @@ impl Heteroflow {
                 }
             })
             .collect();
-        if let Some(task) = FrozenGraph::find_cycle(&nodes) {
-            return Err(HfError::CycleDetected { task });
+        if let Some(path) = FrozenGraph::find_cycle(&nodes) {
+            return Err(HfError::CycleDetected { path });
         }
         let sources = nodes
             .iter()
@@ -609,7 +600,28 @@ mod tests {
         a.precede(&b);
         b.precede(&c);
         c.precede(&a);
-        assert!(matches!(g.freeze(), Err(HfError::CycleDetected { .. })));
+        match g.freeze() {
+            Err(HfError::CycleDetected { path }) => {
+                // The full cycle, in dependency order from some rotation.
+                assert_eq!(path.len(), 3);
+                let start = path.iter().position(|n| n == "a").unwrap();
+                let rotated: Vec<&str> =
+                    (0..3).map(|i| path[(start + i) % 3].as_str()).collect();
+                assert_eq!(rotated, vec!["a", "b", "c"]);
+            }
+            other => panic!("expected CycleDetected, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn self_loop_cycle_path_is_single_task() {
+        let g = Heteroflow::new("self");
+        let a = g.host("a", || {});
+        a.precede(&a);
+        match g.freeze() {
+            Err(HfError::CycleDetected { path }) => assert_eq!(path, vec!["a"]),
+            other => panic!("expected CycleDetected, got {:?}", other.err()),
+        }
     }
 
     #[test]

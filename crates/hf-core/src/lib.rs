@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod affinity;
+pub mod analyze;
 pub mod costmodel;
 pub mod data;
 pub mod dot;
@@ -71,9 +72,10 @@ pub mod stats;
 pub mod task;
 pub(crate) mod topology;
 
+pub use analyze::{Diagnostic, Report, Severity};
 pub use costmodel::{CostDb, TaskCosts};
 pub use error::HfError;
-pub use executor::{Executor, ExecutorBuilder};
+pub use executor::{Executor, ExecutorBuilder, LintPolicy};
 pub use graph::{FrozenGraph, Heteroflow, TaskKind};
 pub use inspect::{GraphInfo, NodeInfo};
 pub use lifecycle::{lifecycle_now_ns, LifecycleEvent, LifecyclePhase};

@@ -25,9 +25,10 @@
 //! assert_eq!(&*x.read(), &[2, 3, 4]);
 //! ```
 
+pub use crate::analyze::{Diagnostic, Report, Severity};
 pub use crate::data::HostVec;
 pub use crate::error::HfError;
-pub use crate::executor::{Executor, ExecutorBuilder};
+pub use crate::executor::{Executor, ExecutorBuilder, LintPolicy};
 pub use crate::graph::{FrozenGraph, Heteroflow, TaskKind};
 pub use crate::lifecycle::{LifecycleEvent, LifecyclePhase};
 pub use crate::observer::{SpanCat, TraceCollector, Track};

@@ -173,6 +173,38 @@ typed_handle!(
     /// Handle to a host (CPU) task.
     HostTask
 );
+impl HostTask {
+    /// Declares that this host task **reads** `buf`, for the static
+    /// analyzer ([`crate::Heteroflow::analyze`]). Host closures are opaque
+    /// to the library, so without declarations the race lint (HF002) only
+    /// sees pull/push accesses; declaring accesses lets it also catch a
+    /// host task racing a push or another host task on the same
+    /// [`HostVec`]. Purely advisory — execution is unaffected.
+    pub fn reads<T>(&self, buf: &crate::data::HostVec<T>) -> &Self {
+        let mut b = self.0.graph.builder.lock();
+        let id = buf.buffer_id();
+        let node = &mut b.nodes[self.0.id];
+        if !node.reads.contains(&id) {
+            node.reads.push(id);
+            b.touch();
+        }
+        self
+    }
+
+    /// Declares that this host task **writes** `buf` — see
+    /// [`HostTask::reads`].
+    pub fn writes<T>(&self, buf: &crate::data::HostVec<T>) -> &Self {
+        let mut b = self.0.graph.builder.lock();
+        let id = buf.buffer_id();
+        let node = &mut b.nodes[self.0.id];
+        if !node.writes.contains(&id) {
+            node.writes.push(id);
+            b.touch();
+        }
+        self
+    }
+}
+
 typed_handle!(
     /// Handle to a pull (H2D copy) task.
     PullTask

@@ -158,7 +158,7 @@ impl<'a> ArenaView<'a> {
         if sa < eb && sb < ea {
             return Err(GpuError::SizeMismatch { dst: ea - sa, src: eb - sb });
         }
-        // Safety: ranges verified disjoint and in-bounds; both borrows are
+        // SAFETY: ranges verified disjoint and in-bounds; both borrows are
         // derived from the single &mut self.
         unsafe {
             let base = self.mem.as_mut_ptr();
@@ -183,7 +183,7 @@ impl<'a> ArenaView<'a> {
         if overlap {
             return Err(GpuError::SizeMismatch { dst: 0, src: 0 });
         }
-        // Safety: as in `slice2_mut`.
+        // SAFETY: as in `slice2_mut`.
         unsafe {
             let base = self.mem.as_mut_ptr();
             let a = std::slice::from_raw_parts_mut(base.add(sa), ea - sa);

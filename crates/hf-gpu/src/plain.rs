@@ -17,24 +17,28 @@ pub unsafe trait Plain: Copy + Send + Sync + 'static {}
 
 macro_rules! impl_plain {
     ($($t:ty),* $(,)?) => {
+        // SAFETY: primitive integers and floats are inhabited for every
+        // bit pattern and have no padding or niches.
         $(unsafe impl Plain for $t {})*
     };
 }
 
 impl_plain!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
+// SAFETY: an array of a niche-free, padding-free type is itself niche-free
+// and padding-free (array layout inserts no padding between elements).
 unsafe impl<T: Plain, const N: usize> Plain for [T; N] {}
 
 /// Reinterprets a `Plain` slice as raw bytes.
 pub fn as_bytes<T: Plain>(s: &[T]) -> &[u8] {
-    // Safety: Plain guarantees no padding-validity issues; lifetimes and
+    // SAFETY: Plain guarantees no padding-validity issues; lifetimes and
     // immutability are preserved.
     unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
 }
 
 /// Reinterprets a mutable `Plain` slice as raw bytes.
 pub fn as_bytes_mut<T: Plain>(s: &mut [T]) -> &mut [u8] {
-    // Safety: as above; exclusive access carries over.
+    // SAFETY: as above; exclusive access carries over.
     unsafe {
         std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<u8>(), std::mem::size_of_val(s))
     }
@@ -46,7 +50,7 @@ pub fn from_bytes<T: Plain>(b: &[u8]) -> &[T] {
     let sz = std::mem::size_of::<T>();
     assert!(sz > 0 && b.len().is_multiple_of(sz), "byte length not a multiple of element size");
     assert_eq!(b.as_ptr() as usize % std::mem::align_of::<T>(), 0, "misaligned view");
-    // Safety: length and alignment checked; Plain allows any bit pattern.
+    // SAFETY: length and alignment checked; Plain allows any bit pattern.
     unsafe { std::slice::from_raw_parts(b.as_ptr().cast::<T>(), b.len() / sz) }
 }
 
@@ -55,7 +59,7 @@ pub fn from_bytes_mut<T: Plain>(b: &mut [u8]) -> &mut [T] {
     let sz = std::mem::size_of::<T>();
     assert!(sz > 0 && b.len().is_multiple_of(sz), "byte length not a multiple of element size");
     assert_eq!(b.as_ptr() as usize % std::mem::align_of::<T>(), 0, "misaligned view");
-    // Safety: as above, with exclusive access.
+    // SAFETY: as above, with exclusive access.
     unsafe { std::slice::from_raw_parts_mut(b.as_mut_ptr().cast::<T>(), b.len() / sz) }
 }
 

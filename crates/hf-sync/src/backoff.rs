@@ -1,8 +1,6 @@
 //! Exponential backoff for contended spin loops.
 
-use std::hint;
-use std::thread;
-
+#[cfg_attr(feature = "loom", allow(dead_code))]
 const SPIN_LIMIT: u32 = 6;
 const YIELD_LIMIT: u32 = 10;
 
@@ -33,15 +31,22 @@ impl Backoff {
 
     /// Backs off one step: spins for `2^step` iterations while in the spin
     /// phase, otherwise yields the thread.
+    ///
+    /// Under the `loom` feature every snooze is a single model-scheduler
+    /// yield: the exponential spin would only multiply scheduling points
+    /// without exploring any additional behavior.
     #[inline]
     pub fn snooze(&mut self) {
+        #[cfg(not(feature = "loom"))]
         if self.step <= SPIN_LIMIT {
             for _ in 0..1u32 << self.step {
-                hint::spin_loop();
+                crate::atomic::spin_loop_hint();
             }
         } else {
-            thread::yield_now();
+            crate::atomic::yield_now();
         }
+        #[cfg(feature = "loom")]
+        crate::atomic::yield_now();
         if self.step <= YIELD_LIMIT {
             self.step += 1;
         }

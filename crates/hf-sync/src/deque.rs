@@ -51,7 +51,12 @@ struct Buffer<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
 }
 
+// SAFETY: the `UnsafeCell` slots only hold `T` values; moving the buffer
+// between threads is sound whenever `T` itself is `Send`.
 unsafe impl<T: Send> Send for Buffer<T> {}
+// SAFETY: shared access is governed by the Chase–Lev protocol (owner-only
+// writes, top-CAS-gated reads); any racy read is discarded by the loser,
+// and `T: Copy` means such a read never observes partially-moved state.
 unsafe impl<T: Send> Sync for Buffer<T> {}
 
 impl<T: Copy> Buffer<T> {
@@ -66,19 +71,27 @@ impl<T: Copy> Buffer<T> {
         }
     }
 
-    /// Writes `v` at logical index `i`. Caller must be the unique owner of
-    /// that slot (only the deque owner writes, and only to slots outside
-    /// the live `top..bottom` window).
+    /// Writes `v` at logical index `i`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the unique owner of that slot (only the deque owner
+    /// writes, and only to slots outside the live `top..bottom` window).
     #[inline]
     unsafe fn write(&self, i: isize, v: T) {
         let slot = &self.slots[(i as usize) & self.mask];
         (*slot.get()).write(v);
     }
 
-    /// Reads the value at logical index `i`. May race with a writer on a
-    /// *different* logical index mapping to the same slot only if the
-    /// caller already lost the top-CAS; the returned value is then
-    /// discarded. `T: Copy` makes the read itself harmless.
+    /// Reads the value at logical index `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must have been initialized by a prior `write`. The read may
+    /// race with a writer on a *different* logical index mapping to the
+    /// same slot only if the caller already lost the top-CAS; the
+    /// returned value is then discarded. `T: Copy` makes the read itself
+    /// harmless.
     #[inline]
     unsafe fn read(&self, i: isize) -> T {
         let slot = &self.slots[(i as usize) & self.mask];
@@ -96,11 +109,19 @@ struct Inner<T> {
     retired: Mutex<Vec<*mut Buffer<T>>>,
 }
 
+// SAFETY: `Inner` owns its buffers through raw pointers; ownership moves
+// with the struct, so `Send` needs only `T: Send`.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: concurrent access to the buffer pointers follows the Chase–Lev
+// protocol — `grow` retires (never frees) replaced buffers, so a stale
+// pointer held by a racing thief always stays dereferenceable until drop.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Drop for Inner<T> {
     fn drop(&mut self) {
+        // SAFETY: `&mut self` proves no owner or thief handle is alive, so
+        // the current buffer and every retired buffer are exclusively ours;
+        // each was created by `Box::into_raw` and is freed exactly once.
         unsafe {
             drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
             for b in self.retired.lock().unwrap().drain(..) {
@@ -187,6 +208,10 @@ impl<T: Copy + Send> StealDeque<T> {
         let t = inner.top.load(Ordering::Acquire);
         let mut buf = inner.buffer.load(Ordering::Relaxed);
 
+        // SAFETY: we are the unique owner (StealDeque is not Clone), so
+        // `buf` is the live buffer and slot `b` is outside the window
+        // thieves may read (`top..bottom` excludes `b` until the release
+        // store below publishes it).
         unsafe {
             if b - t >= (*buf).cap as isize {
                 buf = self.grow(b, t, buf);
@@ -200,6 +225,11 @@ impl<T: Copy + Send> StealDeque<T> {
     /// Grows the buffer to twice the capacity, copying the live window.
     /// Returns the new buffer pointer. The old buffer is retired, not
     /// freed, because a thief may still hold a pointer to it.
+    ///
+    /// # Safety
+    ///
+    /// Owner-only: `old` must be the current live buffer and `t..b` its
+    /// initialized window.
     unsafe fn grow(&self, b: isize, t: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
         let new = Box::into_raw(Box::new(Buffer::<T>::new((*old).cap * 2)));
         for i in t..b {
@@ -227,6 +257,8 @@ impl<T: Copy + Send> StealDeque<T> {
             return None;
         }
 
+        // SAFETY: `t <= b` here, so slot `b` is inside the initialized
+        // window; we are the owner, so no writer can touch it.
         let v = unsafe { (*buf).read(b) };
         if t == b {
             // Last element: race with thieves via CAS on top.
@@ -261,6 +293,9 @@ impl<T: Copy + Send> Stealer<T> {
         // Read the value *before* the CAS; if we lose the race the value is
         // discarded (safe because T: Copy).
         let buf = inner.buffer.load(Ordering::Acquire);
+        // SAFETY: `t < b` was observed, so slot `t` was initialized; `buf`
+        // stays dereferenceable even if the owner grew concurrently (old
+        // buffers are retired, not freed), and a lost CAS discards `v`.
         let v = unsafe { (*buf).read(t) };
 
         if inner

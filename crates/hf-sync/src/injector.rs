@@ -31,7 +31,7 @@ use crate::pad::CachePadded;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ptr;
-use std::sync::atomic::{self, AtomicPtr, AtomicUsize, Ordering};
+use crate::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
 
 /// Slots per block (one lap position is sacrificed as the "block full"
 /// sentinel, so a lap of 32 index positions carries 31 values).
@@ -97,6 +97,11 @@ impl<T> Block<T> {
     /// finished (`READ` unset), responsibility transfers to that reader,
     /// which re-enters here from its own offset. The final slot needs no
     /// mark: its reader is the one that initiates destruction.
+    ///
+    /// # Safety
+    /// `this` must point to a live block no producer will touch again, and
+    /// each `(block, start)` pair is reached by exactly one thread under
+    /// the hand-off protocol, so the `Box::from_raw` runs exactly once.
     unsafe fn destroy(this: *mut Block<T>, start: usize) {
         for i in start..BLOCK_CAP - 1 {
             let slot = (*this).slots.get_unchecked(i);
@@ -122,7 +127,12 @@ pub struct Injector<T: Copy> {
     tail: CachePadded<Position<T>>,
 }
 
+// SAFETY: values cross threads only through slots whose WRITE/READ state
+// bits form acquire/release handshakes, and each slot index is claimed by
+// exactly one producer and one consumer; `T: Send` is all that's required.
 unsafe impl<T: Copy + Send> Send for Injector<T> {}
+// SAFETY: as above — all shared mutation goes through atomics and
+// uniquely-claimed slots.
 unsafe impl<T: Copy + Send> Sync for Injector<T> {}
 
 impl<T: Copy> Default for Injector<T> {
@@ -205,6 +215,8 @@ impl<T: Copy> Injector<T> {
                     Err(cur) => {
                         // Lost the race; reuse the allocation as a next
                         // block candidate and retry.
+                        // SAFETY: `new` came from `Box::into_raw` above and
+                        // the failed CAS means no other thread saw it.
                         next_block = Some(unsafe { Box::from_raw(new) });
                         tail = self.tail.index.load(Ordering::Acquire);
                         block = cur;
@@ -220,6 +232,9 @@ impl<T: Copy> Injector<T> {
                 Ordering::SeqCst,
                 Ordering::Acquire,
             ) {
+                // SAFETY: the successful CAS hands this thread exclusive
+                // write ownership of slots [offset, offset + n) in `block`,
+                // which stays alive until its final slot is read.
                 Ok(_) => unsafe {
                     // Claimed slots [offset, offset + n). If the claim
                     // covers the final slot, install the next block before
@@ -284,7 +299,7 @@ impl<T: Copy> Injector<T> {
             if new_head & HAS_NEXT == 0 {
                 // Head block might also be the tail block: probe the tail
                 // to bound the claim (and detect emptiness).
-                atomic::fence(Ordering::SeqCst);
+                fence(Ordering::SeqCst);
                 let tail = self.tail.index.load(Ordering::Relaxed);
 
                 if head >> SHIFT == tail >> SHIFT {
@@ -316,6 +331,10 @@ impl<T: Copy> Injector<T> {
                 Ordering::SeqCst,
                 Ordering::Acquire,
             ) {
+                // SAFETY: the successful CAS hands this thread exclusive
+                // read ownership of slots [offset, offset + n); each slot
+                // is read only after its producer's WRITE release-store,
+                // and the destroy hand-off frees the block exactly once.
                 Ok(_) => unsafe {
                     // Claimed slots [offset, offset + n). If the claim
                     // covers the final slot, advance the head block first
@@ -399,7 +418,11 @@ impl<T: Copy> Drop for Injector<T> {
         // `Copy`, so only the block boxes need reclaiming.
         let mut block = *self.head.block.get_mut();
         while !block.is_null() {
+            // SAFETY: `&mut self` means no concurrent access; every block
+            // reachable from head is a live `Box::into_raw` allocation not
+            // yet reclaimed by the destroy hand-off.
             let next = unsafe { (*block).next.load(Ordering::Relaxed) };
+            // SAFETY: as above; each block in the chain is freed once.
             drop(unsafe { Box::from_raw(block) });
             block = next;
         }

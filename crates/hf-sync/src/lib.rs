@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod backoff;
 pub mod counter;
 pub mod deque;

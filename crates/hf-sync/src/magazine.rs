@@ -15,7 +15,7 @@
 //! at most one owner at a time), so a take's compare-exchange succeeding
 //! against a recycled value is still a valid transfer of that token.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::atomic::{AtomicU64, Ordering};
 
 const EMPTY: u64 = u64::MAX;
 

@@ -11,7 +11,7 @@
 use crate::pad::CachePadded;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 struct Slot<T> {
     /// Sequence state: `pos` = empty and writable by the producer that
@@ -31,9 +31,11 @@ pub struct EventRing<T> {
     dropped: AtomicU64,
 }
 
-// Safety: values are transferred between threads through the slots with
+// SAFETY: values are transferred between threads through the slots with
 // acquire/release sequence handshakes; `T: Send` is all that's required.
 unsafe impl<T: Send> Send for EventRing<T> {}
+// SAFETY: as above — each slot position is claimed by exactly one producer
+// and one consumer per lap.
 unsafe impl<T: Send> Sync for EventRing<T> {}
 
 impl<T> EventRing<T> {
@@ -94,7 +96,7 @@ impl<T> EventRing<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // Safety: the CAS gives this thread exclusive
+                        // SAFETY: the CAS gives this thread exclusive
                         // write access until the release store below.
                         unsafe { (*slot.val.get()).write(value) };
                         slot.seq.store(pos + 1, Ordering::Release);
@@ -127,7 +129,7 @@ impl<T> EventRing<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // Safety: the CAS gives this thread exclusive
+                        // SAFETY: the CAS gives this thread exclusive
                         // read access until the release store below.
                         let value = unsafe { (*slot.val.get()).assume_init_read() };
                         slot.seq

@@ -59,6 +59,7 @@ fn main() {
     let push = g3.push("push", &pull, &data);
     pull.precede(&kernel);
     kernel.precede(&push);
+    assert!(g3.analyze().is_clean(), "lint:\n{}", g3.analyze().render_text());
 
     let watch = data.clone();
     let rounds = Arc::new(AtomicUsize::new(0));

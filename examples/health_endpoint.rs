@@ -56,6 +56,7 @@ fn doubling_graph(name: &str, bufs: &[HostVec<i32>]) -> Heteroflow {
         p.precede(&k);
         k.precede(&s);
     }
+    assert!(g.analyze().is_clean(), "lint:\n{}", g.analyze().render_text());
     g
 }
 

@@ -64,6 +64,8 @@ fn main() {
     kernel1.precede_all(&[&push1, &kernel2]);
     kernel2.precede(&push2);
 
+    assert!(g.analyze().is_clean(), "lint:\n{}", g.analyze().render_text());
+
     executor.run(&g).wait().expect("fig3 graph runs");
 
     assert!(vec1.read().iter().all(|&v| v == 10));

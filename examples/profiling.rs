@@ -68,6 +68,7 @@ fn main() {
         }
     }
     let info = g.info().expect("acyclic");
+    assert!(g.analyze().is_clean(), "lint:\n{}", g.analyze().render_text());
     // One run: the critical-path join needs single-run spans.
     executor.run(&g).wait().expect("profiled graph runs");
     executor.gpu_runtime().synchronize_all();

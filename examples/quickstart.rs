@@ -56,6 +56,10 @@ fn main() {
     kernel.succeed_all(&[&pull_x, &pull_y]);
     kernel.precede_all(&[&push_x, &push_y]);
 
+    // The static analyzer confirms the graph is well-formed before it
+    // ever runs (no races, no missing pull dependencies, no dead tasks).
+    assert!(g.analyze().is_clean(), "lint:\n{}", g.analyze().render_text());
+
     // Non-blocking submission; the future reports completion.
     let future = executor.run(&g);
     future.wait().expect("saxpy graph runs");

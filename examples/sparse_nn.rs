@@ -177,6 +177,8 @@ fn main() {
         lane_outputs.push(out_vec);
     }
 
+    assert!(g.analyze().is_clean(), "lint:\n{}", g.analyze().render_text());
+
     let t0 = std::time::Instant::now();
     executor.run(&g).wait().expect("inference graph runs");
     println!("inference of {LANES} lanes took {:.2?}", t0.elapsed());

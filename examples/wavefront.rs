@@ -97,6 +97,8 @@ fn main() {
         info.critical_path_len()
     );
 
+    assert!(g.analyze().is_clean(), "lint:\n{}", g.analyze().render_text());
+
     let t0 = std::time::Instant::now();
     executor.run(&g).wait().expect("wavefront runs");
     println!("executed in {:.2?}", t0.elapsed());

@@ -1,0 +1,757 @@
+//! In-repo shim of the **loom** concurrency model checker.
+//!
+//! Implements the API subset `hf-sync` uses — [`model`], [`thread::spawn`]
+//! / [`thread::yield_now`], and the [`sync::atomic`] types — on top of a
+//! deterministic cooperative scheduler:
+//!
+//! * Inside [`model`], every atomic operation (and every spawn/join/yield)
+//!   is a *scheduling point*: the executing thread parks and a controller
+//!   picks which runnable thread proceeds next.
+//! * The controller explores the tree of scheduling decisions with an
+//!   exhaustive depth-first search: each execution replays a decision
+//!   prefix, runs the model to completion, then backtracks to the deepest
+//!   decision with an untried alternative. Exploration is fully
+//!   deterministic — no randomness, no timing dependence.
+//! * `thread::yield_now` carries loom's meaning: the calling thread is
+//!   deprioritized until some *other* thread has been scheduled, which is
+//!   what lets spin-wait loops (`Backoff::snooze`) terminate instead of
+//!   being rescheduled forever.
+//!
+//! Scope and limitations (vs. real loom): interleavings are explored at
+//! atomic-operation granularity under a sequentially-consistent-hardware
+//! model; weak-memory reorderings are *not* simulated and `UnsafeCell`
+//! accesses are not instrumented. Assertions inside the model (and
+//! deadlocks: no runnable thread while some are unfinished) are reported
+//! with the offending decision path. Outside a [`model`] call every type
+//! degrades to its `std` counterpart with zero overhead, so a crate built
+//! with its `loom` feature enabled still behaves normally in ordinary
+//! code.
+//!
+//! Exploration is bounded by `LOOM_MAX_ITER` executions (default 200 000)
+//! and 100 000 scheduling points per execution; models should keep the
+//! per-thread operation count small (a handful of atomics per thread keeps
+//! the schedule space in the low thousands).
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+const MAX_STEPS_PER_EXEC: usize = 100_000;
+const DEFAULT_MAX_ITER: usize = 200_000;
+const ABORT_MSG: &str = "loom model aborted (another thread failed)";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Registered; its OS thread has not parked at the initial point yet.
+    Starting,
+    /// Currently granted the virtual CPU.
+    Running,
+    /// Parked at a scheduling point, ready to be granted.
+    Paused,
+    /// Parked in `join` waiting for the given thread to finish.
+    Blocked(usize),
+    /// Done (returned or panicked).
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    /// Set by `yield_now`: not schedulable while another thread can run.
+    yielded: bool,
+}
+
+struct State {
+    threads: Vec<ThreadState>,
+    /// Grant token: which thread may transition Paused -> Running.
+    active: Option<usize>,
+    /// Decision prefix replayed this execution.
+    replay: Vec<usize>,
+    cursor: usize,
+    /// Decisions taken this execution: (choice index, option count).
+    path: Vec<(usize, usize)>,
+    steps: usize,
+    abort: bool,
+    failure: Option<String>,
+    os_handles: Vec<Option<std::thread::JoinHandle<()>>>,
+}
+
+struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+impl Scheduler {
+    fn new(replay: Vec<usize>) -> Self {
+        Self {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                active: None,
+                replay,
+                cursor: 0,
+                path: Vec::new(),
+                steps: 0,
+                abort: false,
+                failure: None,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A panicking model thread poisons the mutex by design; the
+        // controller still needs the state to tear the execution down.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn register(&self) -> usize {
+        let mut s = self.lock();
+        s.threads.push(ThreadState {
+            status: Status::Starting,
+            yielded: false,
+        });
+        s.os_handles.push(None);
+        s.threads.len() - 1
+    }
+
+    /// Parks `me` at a scheduling point and blocks until granted.
+    /// `block_on = Some(t)` parks as joining thread `t`; `yielded` applies
+    /// loom's yield semantics.
+    fn park(&self, me: usize, block_on: Option<usize>, yielded: bool) {
+        let mut s = self.lock();
+        s.steps += 1;
+        if s.steps > MAX_STEPS_PER_EXEC && !s.abort {
+            s.abort = true;
+            s.failure = Some(format!(
+                "model execution exceeded {MAX_STEPS_PER_EXEC} scheduling points (livelock?)"
+            ));
+        }
+        if s.abort {
+            drop(s);
+            self.cv.notify_all();
+            panic!("{ABORT_MSG}");
+        }
+        s.threads[me].status = match block_on {
+            Some(t) => Status::Blocked(t),
+            None => Status::Paused,
+        };
+        s.threads[me].yielded = yielded;
+        self.cv.notify_all();
+        loop {
+            if s.abort {
+                drop(s);
+                self.cv.notify_all();
+                panic!("{ABORT_MSG}");
+            }
+            if s.active == Some(me) {
+                s.active = None;
+                debug_assert_eq!(s.threads[me].status, Status::Running);
+                return;
+            }
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn finish(&self, me: usize) {
+        let mut s = self.lock();
+        s.threads[me].status = Status::Finished;
+        self.cv.notify_all();
+    }
+
+    fn record_failure(&self, msg: String) {
+        let mut s = self.lock();
+        s.abort = true;
+        if s.failure.is_none() {
+            s.failure = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Drives one execution to completion; returns (path, failure).
+    fn run_controller(&self) -> (Vec<(usize, usize)>, Option<String>) {
+        let mut s = self.lock();
+        loop {
+            // Wait for every live thread to park (or finish).
+            while s.active.is_some()
+                || s.threads
+                    .iter()
+                    .any(|t| matches!(t.status, Status::Running | Status::Starting))
+            {
+                s = self
+                    .cv
+                    .wait(s)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            if s.threads.iter().all(|t| t.status == Status::Finished) {
+                break;
+            }
+            let ready = |t: &ThreadState, threads: &[ThreadState]| match t.status {
+                Status::Paused => true,
+                Status::Blocked(j) => threads[j].status == Status::Finished,
+                _ => false,
+            };
+            let mut runnable: Vec<usize> = (0..s.threads.len())
+                .filter(|&i| ready(&s.threads[i], &s.threads) && !s.threads[i].yielded)
+                .collect();
+            if runnable.is_empty() {
+                // Only yielded threads left: schedulable after all, to
+                // avoid declaring a spin loop a deadlock.
+                runnable = (0..s.threads.len())
+                    .filter(|&i| ready(&s.threads[i], &s.threads))
+                    .collect();
+            }
+            if runnable.is_empty() {
+                if s.abort {
+                    // Abort already in flight: wake parked threads so they
+                    // unwind, then keep draining.
+                    self.cv.notify_all();
+                    continue;
+                }
+                let held: Vec<usize> = (0..s.threads.len())
+                    .filter(|&i| s.threads[i].status != Status::Finished)
+                    .collect();
+                s.abort = true;
+                s.failure = Some(format!("deadlock: threads {held:?} cannot make progress"));
+                self.cv.notify_all();
+                continue;
+            }
+            let choice = if s.cursor < s.replay.len() {
+                s.replay[s.cursor].min(runnable.len() - 1)
+            } else {
+                0
+            };
+            s.cursor += 1;
+            let options = runnable.len();
+            s.path.push((choice, options));
+            let tid = runnable[choice];
+            for (i, t) in s.threads.iter_mut().enumerate() {
+                if i != tid {
+                    // Someone else is about to run: yielded threads get
+                    // schedulable again afterwards.
+                    t.yielded = false;
+                }
+            }
+            s.threads[tid].status = Status::Running;
+            s.threads[tid].yielded = false;
+            s.active = Some(tid);
+            self.cv.notify_all();
+        }
+        let path = s.path.clone();
+        let failure = s.failure.take();
+        let handles: Vec<_> = s.os_handles.iter_mut().map(|h| h.take()).collect();
+        drop(s);
+        for h in handles.into_iter().flatten() {
+            let _ = h.join();
+        }
+        (path, failure)
+    }
+}
+
+/// Entry point of a model-thread body: sets the thread-local context,
+/// parks for the first grant, runs `f` under `catch_unwind`, reports.
+fn run_model_thread(sched: Arc<Scheduler>, tid: usize, f: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), tid)));
+    sched.park(tid, None, false);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    if let Err(e) = result {
+        let msg = e
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "model thread panicked".to_string());
+        if msg != ABORT_MSG {
+            sched.record_failure(format!("thread {tid} panicked: {msg}"));
+        }
+    }
+    sched.finish(tid);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Checks `f` under every (bounded) interleaving of its threads' atomic
+/// operations. Panics — with the failing decision path — if any execution
+/// panics, fails an assertion, or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let max_iter = std::env::var("LOOM_MAX_ITER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_ITER);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        let sched = Arc::new(Scheduler::new(replay.clone()));
+        let tid0 = sched.register();
+        debug_assert_eq!(tid0, 0);
+        let (s0, f0) = (Arc::clone(&sched), Arc::clone(&f));
+        let h0 = std::thread::Builder::new()
+            .name("loom-main".into())
+            .spawn(move || run_model_thread(s0, tid0, move || f0()))
+            .expect("spawn loom main thread");
+        sched.lock().os_handles[tid0] = Some(h0);
+        let (path, failure) = sched.run_controller();
+        if let Some(msg) = failure {
+            panic!(
+                "loom: model failed on execution {iters}: {msg}\n  \
+                 decision path: {:?}",
+                path.iter().map(|p| p.0).collect::<Vec<_>>()
+            );
+        }
+        // Depth-first advance: bump the deepest decision with an untried
+        // alternative, drop everything below it.
+        let mut next = path;
+        loop {
+            match next.last().copied() {
+                None => return, // schedule space exhausted
+                Some((c, o)) if c + 1 < o => {
+                    replay = next.iter().map(|p| p.0).collect();
+                    *replay.last_mut().expect("nonempty") = c + 1;
+                    break;
+                }
+                Some(_) => {
+                    next.pop();
+                }
+            }
+        }
+        if iters >= max_iter {
+            eprintln!(
+                "loom: stopping after {iters} executions (LOOM_MAX_ITER); \
+                 exploration is bounded, not exhaustive"
+            );
+            return;
+        }
+    }
+}
+
+/// One scheduling point for the current thread, if inside a model.
+pub(crate) fn sched_point() {
+    if let Some((sched, me)) = ctx() {
+        sched.park(me, None, false);
+    }
+}
+
+/// Thread spawn/join/yield mirroring `std::thread` inside a model.
+pub mod thread {
+    use super::*;
+    use std::marker::PhantomData;
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            sched: Arc<Scheduler>,
+            tid: usize,
+            result: Arc<Mutex<Option<T>>>,
+        },
+    }
+
+    /// Handle to a spawned (model or OS) thread.
+    pub struct JoinHandle<T> {
+        inner: Inner<T>,
+        _t: PhantomData<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread and returns its result, like
+        /// `std::thread::JoinHandle::join`.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.inner {
+                Inner::Std(h) => h.join(),
+                Inner::Model { sched, tid, result } => {
+                    let me = ctx().map(|(_, me)| me).expect("join outside model thread");
+                    sched.park(me, Some(tid), false);
+                    match result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                        Some(v) => Ok(v),
+                        None => Err(Box::new("model thread panicked")),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawns a thread participating in the current model (or a plain OS
+    /// thread outside one).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            None => JoinHandle {
+                inner: Inner::Std(std::thread::spawn(f)),
+                _t: PhantomData,
+            },
+            Some((sched, me)) => {
+                let tid = sched.register();
+                let result = Arc::new(Mutex::new(None));
+                let (s2, r2) = (Arc::clone(&sched), Arc::clone(&result));
+                let os = std::thread::Builder::new()
+                    .name(format!("loom-{tid}"))
+                    .spawn(move || {
+                        run_model_thread(Arc::clone(&s2), tid, move || {
+                            let v = f();
+                            *r2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                        })
+                    })
+                    .expect("spawn loom thread");
+                sched.lock().os_handles[tid] = Some(os);
+                // The spawn itself is a scheduling point in the parent.
+                sched.park(me, None, false);
+                JoinHandle {
+                    inner: Inner::Model { sched, tid, result },
+                    _t: PhantomData,
+                }
+            }
+        }
+    }
+
+    /// Loom yield: deprioritizes the calling thread until another thread
+    /// has been scheduled — the required hint inside spin-wait loops.
+    pub fn yield_now() {
+        match ctx() {
+            None => std::thread::yield_now(),
+            Some((sched, me)) => sched.park(me, None, true),
+        }
+    }
+}
+
+/// `std::hint` stand-ins.
+pub mod hint {
+    /// Spin hint: a deprioritizing yield inside a model (a raw spin would
+    /// never let the scheduler run another thread), a plain CPU hint
+    /// outside.
+    pub fn spin_loop() {
+        if super::ctx().is_some() {
+            super::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// `std::sync` stand-ins (atomics only — the subset hf-sync models use).
+pub mod sync {
+    /// Atomic types whose every operation is a model scheduling point.
+    pub mod atomic {
+        use crate::sched_point;
+        pub use std::sync::atomic::Ordering;
+
+        /// An atomic fence that is also a scheduling point.
+        pub fn fence(order: Ordering) {
+            sched_point();
+            std::sync::atomic::fence(order);
+        }
+
+        macro_rules! int_atomic {
+            ($(#[$doc:meta])* $name:ident, $std:ty, $int:ty) => {
+                $(#[$doc])*
+                #[repr(transparent)]
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates a new atomic.
+                    pub const fn new(v: $int) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Atomic load (scheduling point).
+                    pub fn load(&self, o: Ordering) -> $int {
+                        sched_point();
+                        self.0.load(o)
+                    }
+
+                    /// Atomic store (scheduling point).
+                    pub fn store(&self, v: $int, o: Ordering) {
+                        sched_point();
+                        self.0.store(v, o)
+                    }
+
+                    /// Atomic swap (scheduling point).
+                    pub fn swap(&self, v: $int, o: Ordering) -> $int {
+                        sched_point();
+                        self.0.swap(v, o)
+                    }
+
+                    /// Atomic add, returning the previous value.
+                    pub fn fetch_add(&self, v: $int, o: Ordering) -> $int {
+                        sched_point();
+                        self.0.fetch_add(v, o)
+                    }
+
+                    /// Atomic subtract, returning the previous value.
+                    pub fn fetch_sub(&self, v: $int, o: Ordering) -> $int {
+                        sched_point();
+                        self.0.fetch_sub(v, o)
+                    }
+
+                    /// Atomic bitwise or, returning the previous value.
+                    pub fn fetch_or(&self, v: $int, o: Ordering) -> $int {
+                        sched_point();
+                        self.0.fetch_or(v, o)
+                    }
+
+                    /// Atomic bitwise and, returning the previous value.
+                    pub fn fetch_and(&self, v: $int, o: Ordering) -> $int {
+                        sched_point();
+                        self.0.fetch_and(v, o)
+                    }
+
+                    /// Atomic compare-exchange (scheduling point).
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $int,
+                        new: $int,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$int, $int> {
+                        sched_point();
+                        self.0.compare_exchange(cur, new, ok, err)
+                    }
+
+                    /// Weak compare-exchange (scheduling point; the shim
+                    /// never fails spuriously).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        cur: $int,
+                        new: $int,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$int, $int> {
+                        sched_point();
+                        self.0.compare_exchange_weak(cur, new, ok, err)
+                    }
+
+                    /// Non-atomic access through exclusive borrow.
+                    pub fn get_mut(&mut self) -> &mut $int {
+                        self.0.get_mut()
+                    }
+
+                    /// Unwraps to the plain integer.
+                    pub fn into_inner(self) -> $int {
+                        self.0.into_inner()
+                    }
+                }
+            };
+        }
+
+        int_atomic!(
+            /// `AtomicU64` whose operations are model scheduling points.
+            AtomicU64,
+            std::sync::atomic::AtomicU64,
+            u64
+        );
+        int_atomic!(
+            /// `AtomicU32` whose operations are model scheduling points.
+            AtomicU32,
+            std::sync::atomic::AtomicU32,
+            u32
+        );
+        int_atomic!(
+            /// `AtomicUsize` whose operations are model scheduling points.
+            AtomicUsize,
+            std::sync::atomic::AtomicUsize,
+            usize
+        );
+
+        /// `AtomicBool` whose operations are model scheduling points.
+        #[repr(transparent)]
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic flag.
+            pub const fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Atomic load (scheduling point).
+            pub fn load(&self, o: Ordering) -> bool {
+                sched_point();
+                self.0.load(o)
+            }
+
+            /// Atomic store (scheduling point).
+            pub fn store(&self, v: bool, o: Ordering) {
+                sched_point();
+                self.0.store(v, o)
+            }
+
+            /// Atomic swap (scheduling point).
+            pub fn swap(&self, v: bool, o: Ordering) -> bool {
+                sched_point();
+                self.0.swap(v, o)
+            }
+        }
+
+        /// `AtomicPtr` whose operations are model scheduling points.
+        #[repr(transparent)]
+        #[derive(Debug)]
+        pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+        impl<T> Default for AtomicPtr<T> {
+            fn default() -> Self {
+                Self::new(std::ptr::null_mut())
+            }
+        }
+
+        impl<T> AtomicPtr<T> {
+            /// Creates a new atomic pointer.
+            pub const fn new(p: *mut T) -> Self {
+                Self(std::sync::atomic::AtomicPtr::new(p))
+            }
+
+            /// Atomic load (scheduling point).
+            pub fn load(&self, o: Ordering) -> *mut T {
+                sched_point();
+                self.0.load(o)
+            }
+
+            /// Atomic store (scheduling point).
+            pub fn store(&self, p: *mut T, o: Ordering) {
+                sched_point();
+                self.0.store(p, o)
+            }
+
+            /// Atomic swap (scheduling point).
+            pub fn swap(&self, p: *mut T, o: Ordering) -> *mut T {
+                sched_point();
+                self.0.swap(p, o)
+            }
+
+            /// Atomic compare-exchange (scheduling point).
+            pub fn compare_exchange(
+                &self,
+                cur: *mut T,
+                new: *mut T,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<*mut T, *mut T> {
+                sched_point();
+                self.0.compare_exchange(cur, new, ok, err)
+            }
+
+            /// Non-atomic access through exclusive borrow.
+            pub fn get_mut(&mut self) -> &mut *mut T {
+                self.0.get_mut()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::*;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+
+    #[test]
+    fn explores_both_orders_of_two_writers() {
+        // Two threads store distinct values; across the exploration both
+        // final values must be observed.
+        let seen_1 = Arc::new(StdAtomicUsize::new(0));
+        let seen_2 = Arc::new(StdAtomicUsize::new(0));
+        let (s1, s2) = (Arc::clone(&seen_1), Arc::clone(&seen_2));
+        model(move || {
+            let x = Arc::new(AtomicUsize::new(0));
+            let xa = Arc::clone(&x);
+            let xb = Arc::clone(&x);
+            let a = thread::spawn(move || xa.store(1, Ordering::SeqCst));
+            let b = thread::spawn(move || xb.store(2, Ordering::SeqCst));
+            a.join().unwrap();
+            b.join().unwrap();
+            match x.load(Ordering::SeqCst) {
+                1 => s1.store(1, std::sync::atomic::Ordering::SeqCst),
+                2 => s2.store(1, std::sync::atomic::Ordering::SeqCst),
+                v => panic!("impossible final value {v}"),
+            }
+        });
+        assert_eq!(seen_1.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(seen_2.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn finds_lost_update() {
+        // The classic non-atomic increment race: load; add; store. The
+        // checker must find the interleaving where one update is lost.
+        let result = catch_unwind(|| {
+            model(|| {
+                let x = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let x = Arc::clone(&x);
+                        thread::spawn(move || {
+                            let v = x.load(Ordering::SeqCst);
+                            x.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(x.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(result.is_err(), "model checker missed the lost update");
+    }
+
+    #[test]
+    fn cas_increment_has_no_lost_update() {
+        model(|| {
+            let x = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let x = Arc::clone(&x);
+                    thread::spawn(move || loop {
+                        let v = x.load(Ordering::SeqCst);
+                        if x.compare_exchange(v, v + 1, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            break;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(x.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn yield_lets_spin_loops_terminate() {
+        model(|| {
+            let flag = Arc::new(AtomicUsize::new(0));
+            let f2 = Arc::clone(&flag);
+            let h = thread::spawn(move || f2.store(1, Ordering::SeqCst));
+            while flag.load(Ordering::SeqCst) == 0 {
+                thread::yield_now();
+            }
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn outside_model_atomics_pass_through() {
+        let x = AtomicUsize::new(5);
+        assert_eq!(x.load(Ordering::SeqCst), 5);
+        x.store(7, Ordering::SeqCst);
+        assert_eq!(x.swap(9, Ordering::SeqCst), 7);
+        let h = thread::spawn(|| 42);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}

@@ -47,6 +47,7 @@
 //! ```
 
 pub use hf_core as core;
+pub use hf_core::analyze;
 pub use hf_gpu as gpu;
 pub use hf_place as place;
 pub use hf_sim as sim;
