@@ -79,6 +79,9 @@ pub enum HfError {
     },
     /// The run was cancelled via [`crate::RunFuture::cancel`].
     Cancelled,
+    /// An epoch was submitted to a [`crate::Session`] that was already
+    /// closed (explicitly or by dropping the handle).
+    StreamClosed,
 }
 
 impl HfError {
@@ -156,6 +159,7 @@ impl fmt::Display for HfError {
                 write!(f, "task '{task}' failed: {source}")
             }
             HfError::Cancelled => write!(f, "run cancelled"),
+            HfError::StreamClosed => write!(f, "epoch submitted to a closed stream"),
         }
     }
 }

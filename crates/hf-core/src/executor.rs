@@ -47,7 +47,7 @@ use std::time::Duration;
 /// A schedulable unit, packed into one integer: the topology's registry
 /// slot in the high 32 bits, the node index in the low 32. Tokens are
 /// `Copy` and carry no ownership, so pushing work touches no allocator.
-type Token = u64;
+pub(crate) type Token = u64;
 
 #[inline]
 fn pack(slot: u32, node: usize) -> Token {
@@ -93,7 +93,7 @@ const SEGS: usize = 26;
 /// `deregister`, which the executor calls after the topology's last round
 /// fully drained — at that point no token referencing the slot exists in
 /// any deque or the injector, so resolution never observes a freed slot.
-struct TopoRegistry {
+pub(crate) struct TopoRegistry {
     /// Directory of segments; entry `i` points at `SEG0 << i` slots.
     segments: [AtomicPtr<AtomicPtr<Topology>>; SEGS],
     alloc: Mutex<RegistryAlloc>,
@@ -124,7 +124,7 @@ impl TopoRegistry {
 
     /// Assigns a slot to `topo`, stores a strong reference in it, and
     /// records the slot id in `topo.slot`.
-    fn register(&self, topo: &Arc<Topology>) -> u32 {
+    pub(crate) fn register(&self, topo: &Arc<Topology>) -> u32 {
         let mut a = self.alloc.lock();
         let slot = a.free.pop().unwrap_or_else(|| {
             let s = a.next;
@@ -150,7 +150,7 @@ impl TopoRegistry {
     }
 
     /// Resolves a token's slot to its topology. Lock-free.
-    fn resolve(&self, slot: u32) -> Arc<Topology> {
+    pub(crate) fn resolve(&self, slot: u32) -> Arc<Topology> {
         let (seg, off, _) = locate(slot);
         let seg_ptr = self.segments[seg].load(Ordering::Acquire);
         debug_assert!(!seg_ptr.is_null(), "token for unregistered segment");
@@ -166,7 +166,7 @@ impl TopoRegistry {
     }
 
     /// Releases a slot's strong reference and recycles the id.
-    fn deregister(&self, slot: u32) {
+    pub(crate) fn deregister(&self, slot: u32) {
         let (seg, off, _) = locate(slot);
         let seg_ptr = self.segments[seg].load(Ordering::Acquire);
         let ptr = unsafe { (*seg_ptr.add(off)).swap(std::ptr::null_mut(), Ordering::AcqRel) };
@@ -205,60 +205,60 @@ impl Drop for TopoRegistry {
 /// Executor identities for keying per-graph scheduling caches.
 static NEXT_EXEC_ID: AtomicU64 = AtomicU64::new(0);
 
-struct ExecInner {
+pub(crate) struct ExecInner {
     /// Process-unique id keying [`SchedCache`] entries.
-    id: u64,
-    stealers: Vec<Stealer<Token>>,
+    pub(crate) id: u64,
+    pub(crate) stealers: Vec<Stealer<Token>>,
     /// Shared lock-free inbox for work scheduled off worker threads and
     /// for batched successor sprays.
-    injector: Injector<Token>,
-    registry: TopoRegistry,
-    notifier: Notifier,
-    done: AtomicBool,
-    num_actives: AtomicUsize,
-    num_thieves: AtomicUsize,
+    pub(crate) injector: Injector<Token>,
+    pub(crate) registry: TopoRegistry,
+    pub(crate) notifier: Notifier,
+    pub(crate) done: AtomicBool,
+    pub(crate) num_actives: AtomicUsize,
+    pub(crate) num_thieves: AtomicUsize,
     /// Topologies in flight across all graphs.
-    num_topologies: AtomicUsize,
-    idle_lock: Mutex<()>,
-    idle_cv: Condvar,
-    gpu: Arc<GpuRuntime>,
-    policy: PlacementPolicy,
+    pub(crate) num_topologies: AtomicUsize,
+    pub(crate) idle_lock: Mutex<()>,
+    pub(crate) idle_cv: Condvar,
+    pub(crate) gpu: Arc<GpuRuntime>,
+    pub(crate) policy: PlacementPolicy,
     /// Decaying estimate of modeled load already packed per device, used
     /// to bias placement of later topologies toward idle GPUs.
-    device_load: Mutex<Vec<f64>>,
-    stats: ExecutorStats,
+    pub(crate) device_load: Mutex<Vec<f64>>,
+    pub(crate) stats: ExecutorStats,
     /// When false, idle thieves always spin (never sleep) — the A4
     /// ablation baseline.
-    adaptive_sleep: bool,
+    pub(crate) adaptive_sleep: bool,
     /// GPU task fusion (§III-C "task fusing") enabled.
-    fusion: bool,
+    pub(crate) fusion: bool,
     /// Observers notified around every task execution.
-    observers: Vec<Arc<dyn ExecutorObserver>>,
+    pub(crate) observers: Vec<Arc<dyn ExecutorObserver>>,
     /// Retry/failover policy applied to failing task bodies.
-    retry: RetryPolicy,
+    pub(crate) retry: RetryPolicy,
     /// Per-device "already counted as lost" latch for the
     /// `devices_lost` stat (each device counted once per executor).
-    lost_seen: Vec<AtomicBool>,
+    pub(crate) lost_seen: Vec<AtomicBool>,
     /// H2D/D2H transfers larger than this many bytes are split into
     /// chunks pipelined across copy-lane streams (`usize::MAX` disables).
-    copy_chunk_threshold: usize,
+    pub(crate) copy_chunk_threshold: usize,
     /// Copy-lane streams per (worker, device) used by chunked transfers.
-    copy_lanes: usize,
+    pub(crate) copy_lanes: usize,
     /// EWMA feedback of modeled per-task durations; consulted by the
     /// locality placement policy and seedable from external history.
-    cost_db: crate::costmodel::CostDb,
+    pub(crate) cost_db: crate::costmodel::CostDb,
     /// Device of the GPU chain each worker most recently dispatched
     /// (`u64::MAX` = none yet). Thieves prefer victims sharing their
     /// focus device: those deques hold tasks whose data is most likely
     /// resident where the thief's streams already live.
-    worker_focus: Vec<AtomicU64>,
+    pub(crate) worker_focus: Vec<AtomicU64>,
     /// Pin worker `i` to CPU core `i % cores` (feature `core_affinity`).
-    pin_workers: bool,
+    pub(crate) pin_workers: bool,
     /// Submission ids handed to topologies/futures and stamped onto
     /// lifecycle events (starts at 1; 0 is reserved for ready futures).
-    run_seq: AtomicU64,
+    pub(crate) run_seq: AtomicU64,
     /// What to do with static-analysis findings at submission time.
-    lint: LintPolicy,
+    pub(crate) lint: LintPolicy,
 }
 
 impl ExecInner {
@@ -278,7 +278,7 @@ impl ExecInner {
     }
 
     /// EWMA cost snapshot for placing `graph`, when the policy uses one.
-    fn refined_costs(&self, graph: &str) -> Option<crate::costmodel::TaskCosts> {
+    pub(crate) fn refined_costs(&self, graph: &str) -> Option<crate::costmodel::TaskCosts> {
         if self.locality() {
             Some(self.cost_db.snapshot_for(graph))
         } else {
@@ -326,6 +326,7 @@ impl ExecInner {
             bytes: node_move_bytes(&topo.frozen, node),
             ok,
             detail: detail.map(|e| Arc::from(e.to_string().as_str())),
+            epoch: topo.epoch,
             t_ns: lifecycle_now_ns(),
         };
         for o in &self.observers {
@@ -333,7 +334,8 @@ impl ExecInner {
         }
     }
 
-    /// Emits a run-level lifecycle event (`RunStart`/`Failover`/`RunEnd`).
+    /// Emits a run-level lifecycle event for a topology
+    /// (`Failover`/`EpochEnd`).
     fn emit_run_lc(
         &self,
         topo: &Topology,
@@ -341,15 +343,32 @@ impl ExecInner {
         ok: bool,
         detail: Option<&HfError>,
     ) {
+        self.emit_raw_run_lc(topo.run_id, &topo.graph_label, phase, ok, detail, topo.epoch);
+    }
+
+    /// Emits a run-level lifecycle event without a topology in hand — the
+    /// drivers and sessions use this for `RunStart`/`RunEnd` (which now
+    /// bracket a whole submission, not one epoch topology) and
+    /// `EpochStart` (emitted at admission, before the epoch's topology
+    /// exists in the registry).
+    pub(crate) fn emit_raw_run_lc(
+        &self,
+        run_id: u64,
+        label: &Arc<str>,
+        phase: LifecyclePhase,
+        ok: bool,
+        detail: Option<&HfError>,
+        epoch: Option<u64>,
+    ) {
         if !self.lc_active() {
             return;
         }
         let ev = LifecycleEvent {
-            run_id: topo.run_id,
-            graph: Arc::clone(&topo.graph_label),
+            run_id,
+            graph: Arc::clone(label),
             phase,
             task: None,
-            name: Arc::clone(&topo.graph_label),
+            name: Arc::clone(label),
             kind: None,
             device: None,
             worker: None,
@@ -357,6 +376,7 @@ impl ExecInner {
             bytes: 0,
             ok,
             detail: detail.map(|e| Arc::from(e.to_string().as_str())),
+            epoch,
             t_ns: lifecycle_now_ns(),
         };
         for o in &self.observers {
@@ -367,17 +387,17 @@ impl ExecInner {
     /// Emits one run-level [`LifecyclePhase::Lint`] event per diagnostic
     /// in `report`, right after `RunStart`. `ok` is `false` for
     /// Error-severity findings; `detail` carries the rendered diagnostic.
-    fn emit_lint_lc(&self, topo: &Topology, report: &crate::analyze::Report) {
+    pub(crate) fn emit_lint_lc(&self, run_id: u64, label: &Arc<str>, report: &crate::analyze::Report) {
         if !self.lc_active() {
             return;
         }
         for d in &report.diagnostics {
             let ev = LifecycleEvent {
-                run_id: topo.run_id,
-                graph: Arc::clone(&topo.graph_label),
+                run_id,
+                graph: Arc::clone(label),
                 phase: LifecyclePhase::Lint,
                 task: None,
-                name: Arc::clone(&topo.graph_label),
+                name: Arc::clone(label),
                 kind: None,
                 device: None,
                 worker: None,
@@ -385,6 +405,7 @@ impl ExecInner {
                 bytes: 0,
                 ok: d.severity != crate::analyze::Severity::Error,
                 detail: Some(Arc::from(d.render().as_str())),
+                epoch: None,
                 t_ns: lifecycle_now_ns(),
             };
             for o in &self.observers {
@@ -394,7 +415,7 @@ impl ExecInner {
     }
 
     /// Publishes a freshly computed placement's locality metrics.
-    fn record_placement(&self, p: &crate::placement::Placement) {
+    pub(crate) fn record_placement(&self, p: &crate::placement::Placement) {
         if p.warm_hits > 0 {
             self.stats.placement_warm_hits.add(p.warm_hits);
         }
@@ -443,6 +464,15 @@ pub enum LintPolicy {
     Warn,
     /// Reject submissions whose graph has Error-severity findings.
     Deny,
+}
+
+/// A resolved scheduling preamble: everything an epoch driver needs to
+/// start creating topologies for one submission of one graph.
+pub(crate) struct ExecPlan {
+    pub(crate) frozen: Arc<FrozenGraph>,
+    pub(crate) placement: Arc<crate::placement::Placement>,
+    pub(crate) fusion: Arc<FusionPlan>,
+    pub(crate) lint_report: Option<Arc<crate::analyze::Report>>,
 }
 
 /// What [`ExecInner::failure_action`] decided about a failed task body.
@@ -674,8 +704,8 @@ impl ExecutorBuilder {
 /// The Heteroflow executor. Thread-safe: `run*` may be called from any
 /// thread, concurrently (§III-B).
 pub struct Executor {
-    inner: Arc<ExecInner>,
-    gpu: Arc<GpuRuntime>,
+    pub(crate) inner: Arc<ExecInner>,
+    pub(crate) gpu: Arc<GpuRuntime>,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -784,18 +814,45 @@ impl Executor {
     /// reuses the previous plan and only refreshes the decaying
     /// device-load bias. Any mutation invalidates the cache via the
     /// builder epoch.
+    ///
+    /// Since the streaming redesign this is a thin wrapper over the same
+    /// epoch driver machinery that powers [`Executor::run_stream`]: each
+    /// round executes as one single-round epoch topology, chained through
+    /// the epoch-completion hook (see `crate::stream`).
     pub fn run_until<P>(&self, hf: &Heteroflow, stop: P) -> RunFuture
     where
         P: FnMut() -> bool + Send + 'static,
     {
+        crate::stream::run_driver(self, hf, Box::new(stop))
+    }
+
+    /// Opens a resident streaming session on the graph with the default
+    /// [`StreamConfig`] (in-flight depth 2). The returned
+    /// [`crate::Session`] keeps the frozen snapshot, placement, and
+    /// double-buffered device residency resident across epochs;
+    /// [`crate::Session::submit`] enqueues the next epoch while prior
+    /// epochs still occupy the devices, so epoch N+1's H2D transfers
+    /// overlap epoch N's kernels.
+    pub fn run_stream(&self, hf: &Heteroflow) -> Result<crate::stream::Session, HfError> {
+        self.run_stream_with(hf, crate::stream::StreamConfig::default())
+    }
+
+    /// [`Executor::run_stream`] with an explicit [`StreamConfig`]
+    /// (in-flight epoch depth / residency ring size).
+    pub fn run_stream_with(
+        &self,
+        hf: &Heteroflow,
+        cfg: crate::stream::StreamConfig,
+    ) -> Result<crate::stream::Session, HfError> {
+        crate::stream::Session::open(self, hf, cfg)
+    }
+
+    /// The scheduling preamble shared by every submission path: freeze,
+    /// lint gate, placement (degraded against survivors when a device is
+    /// lost), fusion planning, and the per-graph scheduling cache.
+    pub(crate) fn plan_for(&self, hf: &Heteroflow) -> Result<ExecPlan, HfError> {
         let inner = &self.inner;
-        if inner.done.load(Ordering::Acquire) {
-            return RunFuture::ready(Err(HfError::ExecutorShutDown));
-        }
-        let (frozen, epoch) = match hf.freeze_with_epoch() {
-            Ok(f) => f,
-            Err(e) => return RunFuture::ready(Err(e)),
-        };
+        let (frozen, epoch) = hf.freeze_with_epoch()?;
 
         // Static analysis gate (see `crate::analyze`). The report is
         // epoch-cached on the graph, and under the default `Warn` policy
@@ -807,10 +864,10 @@ impl Executor {
             policy => {
                 let report = hf.analyze();
                 if policy == LintPolicy::Deny && report.has_errors() {
-                    return RunFuture::ready(Err(HfError::LintRejected {
+                    return Err(HfError::LintRejected {
                         graph: report.graph.clone(),
                         diagnostics: report.errors().map(|d| d.render()).collect(),
-                    }));
+                    });
                 }
                 Some(report)
             }
@@ -829,21 +886,23 @@ impl Executor {
             }
             inner.stats.topo_cache_misses.incr();
             let refined = inner.refined_costs(frozen.name());
-            let p = match crate::placement::failover_placement_ext(
+            let p = crate::placement::failover_placement_ext(
                 &*frozen,
                 &[],
                 &lost,
                 &self.gpu_cost_model(),
                 inner.policy,
                 refined.as_ref(),
-            ) {
-                Ok(p) => p,
-                Err(e) => return RunFuture::ready(Err(e)),
-            };
+            )?;
             inner.record_placement(&p);
             let placement = Arc::new(p);
             let fusion = Arc::new(FusionPlan::compute(&frozen, &placement, inner.fusion));
-            return self.submit(hf, frozen, placement, fusion, lint_report, Box::new(stop));
+            return Ok(ExecPlan {
+                frozen,
+                placement,
+                fusion,
+                lint_report,
+            });
         }
 
         // Scheduling cache: reuse placement + fusion when this executor
@@ -878,17 +937,14 @@ impl Executor {
                     *l *= 0.5;
                 }
                 let refined = inner.refined_costs(frozen.name());
-                let p = match crate::placement::device_placement_ext(
+                let p = crate::placement::device_placement_ext(
                     &*frozen,
                     self.gpu.num_devices(),
                     inner.policy,
                     &self.gpu_cost_model(),
                     &dl,
                     refined.as_ref(),
-                ) {
-                    Ok(p) => p,
-                    Err(e) => return RunFuture::ready(Err(e)),
-                };
+                )?;
                 inner.record_placement(&p);
                 let own_loads: Vec<f64> =
                     p.loads.iter().zip(dl.iter()).map(|(l, b)| l - b).collect();
@@ -907,55 +963,19 @@ impl Executor {
             }
         };
 
-        self.submit(hf, frozen, placement, fusion, lint_report, Box::new(stop))
-    }
-
-    /// Registers and (when the graph is idle) starts a topology built
-    /// from a resolved placement + fusion plan.
-    fn submit(
-        &self,
-        hf: &Heteroflow,
-        frozen: Arc<FrozenGraph>,
-        placement: Arc<crate::placement::Placement>,
-        fusion: Arc<FusionPlan>,
-        lint_report: Option<Arc<crate::analyze::Report>>,
-        stop: Box<dyn FnMut() -> bool + Send>,
-    ) -> RunFuture {
-        let inner = &self.inner;
-        let run_id = inner.run_seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let topo = Topology::new(Arc::clone(&hf.shared), frozen, run_id, placement, fusion, stop);
-        let future = RunFuture {
-            completion: Arc::clone(&topo.completion),
-            cancel: Arc::clone(&topo.cancel),
-            run_id,
-        };
-
-        inner.registry.register(&topo);
-        inner.num_topologies.fetch_add(1, Ordering::SeqCst);
-        inner.emit_run_lc(&topo, LifecyclePhase::RunStart, true, None);
-        if let Some(report) = &lint_report {
-            inner.emit_lint_lc(&topo, report);
-        }
-
-        // Queue behind any active topology of the same graph.
-        let submit_now = {
-            let mut rs = hf.shared.run_state.lock();
-            if rs.active {
-                rs.queued.push_back(Arc::clone(&topo));
-                false
-            } else {
-                rs.active = true;
-                true
-            }
-        };
-        if submit_now {
-            inner.start_topology(topo);
-        }
-        future
+        Ok(ExecPlan {
+            frozen,
+            placement,
+            fusion,
+            lint_report,
+        })
     }
 
     /// Blocks until every topology submitted to this executor (from any
-    /// thread) has finished.
+    /// thread) has finished — including every epoch of open streaming
+    /// sessions: a [`crate::Session`] holds an in-flight topology count
+    /// while any submitted epoch is unfinished (an *idle* open stream
+    /// does not block this call).
     pub fn wait_for_all(&self) {
         let mut g = self.inner.idle_lock.lock();
         while self.inner.num_topologies.load(Ordering::SeqCst) != 0 {
@@ -963,7 +983,7 @@ impl Executor {
         }
     }
 
-    fn gpu_cost_model(&self) -> hf_gpu::CostModel {
+    pub(crate) fn gpu_cost_model(&self) -> hf_gpu::CostModel {
         self.gpu
             .devices()
             .first()
@@ -992,7 +1012,7 @@ impl Drop for Executor {
 impl ExecInner {
     /// Starts a (now-active) topology: checks the stopping predicate and
     /// either completes immediately or schedules the first round.
-    fn start_topology(&self, topo: Arc<Topology>) {
+    pub(crate) fn start_topology(&self, topo: Arc<Topology>) {
         // Check cancellation (a queued topology may have been cancelled
         // while waiting) and the predicate before the first round
         // (run_n(0) semantics).
@@ -1006,17 +1026,58 @@ impl ExecInner {
     }
 
     /// Schedules the round's source nodes in injector-spray batches.
+    /// Sources that are heads of a still-closed epoch gate are skipped:
+    /// their (inflated) join counter is consumed by [`ExecInner::open_gate`]
+    /// when the previous epoch of the stream completes.
     fn schedule_sources(&self, topo: &Arc<Topology>) {
         let slot = topo.slot.load(Ordering::Relaxed);
+        let gated = topo
+            .gate
+            .as_ref()
+            .filter(|g| !g.opened.load(Ordering::Acquire));
         let mut buf = [0 as Token; RELEASE_BATCH];
         let mut n = 0;
         for &id in &topo.frozen.sources {
+            if gated.is_some_and(|g| g.is_head[id]) {
+                continue;
+            }
             if n == RELEASE_BATCH {
                 self.dispatch_batch(&buf);
                 n = 0;
             }
             buf[n] = pack(slot, id);
             n += 1;
+        }
+        self.dispatch_batch(&buf[..n]);
+    }
+
+    /// Opens a streaming epoch's body gate: consumes the extra join
+    /// dependency [`crate::topology::Topology::reset_round`] inflated
+    /// onto each gate head, dispatching heads whose real dependencies
+    /// have already drained. Idempotent; no-op for gateless topologies
+    /// and topologies that finished before their gate opened (a
+    /// cancelled-at-admission epoch never dispatched any body token).
+    pub(crate) fn open_gate(&self, topo: &Arc<Topology>) {
+        let Some(g) = &topo.gate else { return };
+        if g.opened.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let slot = topo.slot.load(Ordering::Acquire);
+        if slot == u32::MAX {
+            return;
+        }
+        let fusion = topo.fusion();
+        let mut buf = [0 as Token; RELEASE_BATCH];
+        let mut n = 0;
+        for &h in &g.heads {
+            if topo.join[h].fetch_sub(1, Ordering::AcqRel) == 1 && !fusion.member[h] {
+                if n == RELEASE_BATCH {
+                    self.dispatch_batch(&buf);
+                    n = 0;
+                }
+                buf[n] = pack(slot, h);
+                n += 1;
+            }
         }
         self.dispatch_batch(&buf[..n]);
     }
@@ -1061,8 +1122,12 @@ impl ExecInner {
         self.notifier.notify_n(k);
     }
 
-    /// Completes a topology: settles its promise and promotes the next
-    /// queued topology of the same graph, if any.
+    /// Completes one epoch topology: releases its registry slot, emits
+    /// `EpochEnd` (streaming epochs), and hands the result to the driver
+    /// via the topology's `on_finish` hook — the hook chains the next
+    /// epoch (sequential drivers), or advances the stream's completion
+    /// watermark and opens the next epoch's gate (sessions). Promise
+    /// settlement and graph-claim promotion live in the drivers.
     fn finish_topology(&self, topo: Arc<Topology>) {
         // Pull allocations stay device-resident so an unchanged
         // resubmission can elide its H2D copies; they are freed when the
@@ -1081,33 +1146,27 @@ impl ExecInner {
             self.registry.deregister(slot);
         }
 
-        let next = {
-            let mut rs = topo.graph_shared.run_state.lock();
-            match rs.queued.pop_front() {
-                Some(n) => Some(n),
-                None => {
-                    rs.active = false;
-                    None
-                }
-            }
-        };
-
-        let result = topo.result();
-        if matches!(result, Err(HfError::Cancelled)) {
-            self.stats.cancelled.incr();
+        if topo.epoch.is_some() {
+            let result = topo.result();
+            self.emit_run_lc(
+                &topo,
+                LifecyclePhase::EpochEnd,
+                result.is_ok(),
+                result.as_ref().err(),
+            );
         }
-        // RunEnd is emitted before the promise settles so a recorder
-        // pumped after `wait()` returns always holds the terminal event.
-        self.emit_run_lc(&topo, LifecyclePhase::RunEnd, result.is_ok(), result.as_ref().err());
-        topo.completion.complete(result);
+        let hook = topo.on_finish.lock().take();
 
+        // The epoch topology's own in-flight count drops here; the driver
+        // holds a separate count for the whole submission, so the idle
+        // condvar only fires at true quiescence.
         if self.num_topologies.fetch_sub(1, Ordering::SeqCst) == 1 {
             let _g = self.idle_lock.lock();
             self.idle_cv.notify_all();
         }
 
-        if let Some(next) = next {
-            self.start_topology(next);
+        if let Some(hook) = hook {
+            hook(&topo);
         }
     }
 
@@ -1141,6 +1200,24 @@ impl ExecInner {
         }
         if n > 0 {
             self.dispatch_batch(&buf[..n]);
+        }
+        // Streaming admission: when the last prologue node (host tasks and
+        // pulls) of an epoch drains, fire the session's hook so the next
+        // epoch's input mutation and H2D transfers can start while this
+        // epoch's body still occupies the devices. Saturating — failover
+        // replay may re-finish a prologue node — and the FnOnce hook fires
+        // exactly once.
+        if let Some(p) = &topo.prologue {
+            if p.is_prologue[node] {
+                let fired = p
+                    .pending
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1));
+                if fired == Ok(1) {
+                    if let Some(hook) = p.hook.lock().take() {
+                        hook();
+                    }
+                }
+            }
         }
         if topo.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.end_round(topo);
@@ -1337,6 +1414,23 @@ impl ExecInner {
             return false;
         }
 
+        // Streaming input hazard: once the session admitted a later epoch
+        // (and ran its input mutator), this epoch's pulls would replay the
+        // *next* epoch's host data. Fail the epoch with the triggering
+        // cause instead; the stream itself keeps serving (the session
+        // re-places subsequent epochs on the survivors).
+        if let Some(g) = &topo.input_guard {
+            if g.gen.load(Ordering::Acquire) != g.admitted_gen {
+                let replays_pull = ok.iter().enumerate().any(|(i, &o)| {
+                    !o && frozen.nodes[i].work.kind() == TaskKind::Pull
+                });
+                if replays_pull {
+                    topo.fail(cause);
+                    return false;
+                }
+            }
+        }
+
         let cost = self
             .gpu
             .devices()
@@ -1365,8 +1459,8 @@ impl ExecInner {
         // Device buffers on lost devices vanished with their arenas; a
         // replayed pull re-allocates on its new device. (Nothing to free —
         // the device is gone.)
-        for (i, node) in frozen.nodes.iter().enumerate() {
-            let mut st = node.pull_state.lock();
+        for i in 0..frozen.nodes.len() {
+            let mut st = topo.pull_state(i).lock();
             if let Some(p) = st.ptr {
                 if lost.get(p.device as usize).copied().unwrap_or(true) {
                     st.ptr = None;
@@ -1891,6 +1985,7 @@ impl Worker {
                 Some(hf_gpu::OpLabel {
                     name: Arc::from(n.name.as_str()),
                     tag: crate::observer::kind_to_tag(n.work.kind()),
+                    epoch: topo.epoch,
                 })
             } else {
                 None
@@ -1981,7 +2076,7 @@ impl Worker {
                 // changed device or outgrown capacity reallocates.
                 let bytes = source.byte_len();
                 let ptr = {
-                    let mut st = node.pull_state.lock();
+                    let mut st = topo.pull_state(id).lock();
                     let reuse = matches!((&st.ptr, &st.device), (Some(p), Some(d))
                         if d.same_device(device) && bytes as u64 <= p.capacity);
                     if reuse {
@@ -2022,13 +2117,12 @@ impl Worker {
                     if state2.skip(&topo2) {
                         return Ok(OpReport::default());
                     }
-                    let node = &topo2.frozen.nodes[id];
                     // Transfer elision: the device buffer already holds
                     // exactly this host version — skip the copy entirely
                     // (no fault draw either: no transfer happens).
                     let host_ver = src.version();
                     if host_ver.is_some() && {
-                        let st = node.pull_state.lock();
+                        let st = topo2.pull_state(id).lock();
                         st.resident_version == host_ver && st.ptr == Some(ptr)
                     } {
                         inner.stats.transfers_elided.incr();
@@ -2056,7 +2150,7 @@ impl Worker {
                     // partial fill (host shrank since prepare) stays
                     // invalid.
                     {
-                        let mut st = node.pull_state.lock();
+                        let mut st = topo2.pull_state(id).lock();
                         if st.ptr == Some(ptr) {
                             st.resident_version =
                                 if n == ptr.len as usize { ver } else { None };
@@ -2079,7 +2173,7 @@ impl Worker {
             Work::Push { source_pull, sink } => {
                 let pull_id = *source_pull;
                 let pull_node = &frozen.nodes[pull_id];
-                let ptr = pull_node.pull_state.lock().ptr.ok_or_else(|| {
+                let ptr = topo.pull_state(pull_id).lock().ptr.ok_or_else(|| {
                     HfError::PushBeforePull {
                         push: node.name.clone(),
                         pull: pull_node.name.clone(),
@@ -2095,6 +2189,13 @@ impl Worker {
                     });
                 }
                 let sink = Arc::clone(sink);
+                // Revalidation below is only sound for an in-place round
+                // trip (push back into the pull's own storage): versions
+                // are per-buffer counters, so a foreign sink's version
+                // must never validate the source's residency.
+                let same_buffer = matches!(&pull_node.work, Work::Pull { source }
+                    if source.source_id().is_some()
+                        && source.source_id() == sink.sink_id());
                 let topo2 = Arc::clone(topo);
                 let state2 = Arc::clone(state);
                 let dev = device.clone();
@@ -2126,8 +2227,8 @@ impl Worker {
                     // Push revalidation: the host now mirrors the device
                     // buffer exactly, so a subsequent pull of unchanged
                     // host data may elide its copy.
-                    if ver.is_some() {
-                        let mut st = topo2.frozen.nodes[pull_id].pull_state.lock();
+                    if ver.is_some() && same_buffer {
+                        let mut st = topo2.pull_state(pull_id).lock();
                         if st.ptr == Some(ptr) {
                             st.resident_version = ver;
                         }
@@ -2147,7 +2248,7 @@ impl Worker {
                 let mut ptrs = Vec::with_capacity(sources.len());
                 for &s in sources {
                     let pull_node = &frozen.nodes[s];
-                    let p = pull_node.pull_state.lock().ptr.ok_or_else(|| {
+                    let p = topo.pull_state(s).lock().ptr.ok_or_else(|| {
                         HfError::SourceNotPulled {
                             kernel: node.name.clone(),
                             pull: pull_node.name.clone(),
@@ -2189,7 +2290,7 @@ impl Worker {
                     // host version. (A faulted kernel above never ran, so
                     // residency survives the retry.)
                     for &sid in &src_ids {
-                        topo2.frozen.nodes[sid].pull_state.lock().resident_version = None;
+                        topo2.pull_state(sid).lock().resident_version = None;
                     }
                     let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut args = KernelArgs::new(view, &ptrs);
@@ -2253,10 +2354,9 @@ impl Worker {
                     xfer2.aborted.store(true, Ordering::Release);
                     return Ok(OpReport::default());
                 }
-                let node = &topo2.frozen.nodes[node_id];
                 let host_ver = src.version();
                 {
-                    let mut st = node.pull_state.lock();
+                    let mut st = topo2.pull_state(node_id).lock();
                     if host_ver.is_some()
                         && st.resident_version == host_ver
                         && st.ptr == Some(ptr)
@@ -2344,6 +2444,7 @@ impl Worker {
                     Some(hf_gpu::OpLabel {
                         name: Arc::from(format!("{}#c{i}", l.name)),
                         tag: l.tag,
+                        epoch: l.epoch,
                     }),
                     body,
                 ),
@@ -2374,7 +2475,7 @@ impl Worker {
                 }
                 let n = xfer2.staging.lock().len();
                 {
-                    let mut st = topo2.frozen.nodes[node_id].pull_state.lock();
+                    let mut st = topo2.pull_state(node_id).lock();
                     if st.ptr == Some(ptr) {
                         st.resident_version = if n == ptr.len as usize {
                             *xfer2.version.lock()
@@ -2475,6 +2576,7 @@ impl Worker {
                     Some(hf_gpu::OpLabel {
                         name: Arc::from(format!("{}#c{i}", l.name)),
                         tag: l.tag,
+                        epoch: l.epoch,
                     }),
                     body,
                 ),
@@ -2492,6 +2594,9 @@ impl Worker {
         let state2 = Arc::clone(state);
         let xfer2 = Arc::clone(&xfer);
         let inner = Arc::clone(&self.inner);
+        // Same in-place-round-trip condition as the single-op path.
+        let same_buffer = matches!(&topo.frozen.nodes[pull_id].work, Work::Pull { source }
+            if source.source_id().is_some() && source.source_id() == sink.sink_id());
         stream.exec_labeled(
             label,
             Box::new(move |_view, cost| {
@@ -2501,8 +2606,8 @@ impl Worker {
                 let staging = std::mem::take(&mut *xfer2.staging.lock());
                 let ver = sink.store_bytes_versioned(&staging);
                 // Push revalidation, as in the single-op path.
-                if ver.is_some() {
-                    let mut st = topo2.frozen.nodes[pull_id].pull_state.lock();
+                if ver.is_some() && same_buffer {
+                    let mut st = topo2.pull_state(pull_id).lock();
                     if st.ptr == Some(ptr) {
                         st.resident_version = ver;
                     }

@@ -235,14 +235,16 @@ impl FrozenGraph {
     }
 }
 
-/// State of queued/active executions of one graph. Only one topology of a
-/// graph runs at a time; further `run` calls queue behind it (the paper's
-/// topology list, §III-C).
+/// State of queued/active executions of one graph. Only one run (a
+/// sequential driver or an open streaming session) holds the graph's
+/// claim at a time; further `run`/`run_stream` calls queue a starter
+/// closure behind it (the paper's topology list, §III-C) which the
+/// releasing owner promotes.
 pub(crate) struct RunState {
-    /// True while a topology of this graph is executing.
+    /// True while a driver or session owns this graph's claim.
     pub(crate) active: bool,
-    /// Topologies waiting for the active one to finish.
-    pub(crate) queued: std::collections::VecDeque<Arc<crate::topology::Topology>>,
+    /// Starter closures of runs waiting for the active one to finish.
+    pub(crate) queued: std::collections::VecDeque<Box<dyn FnOnce() + Send>>,
 }
 
 /// Cached result of the per-submission scheduling preamble (freeze +

@@ -69,6 +69,7 @@ pub mod placement;
 pub mod prelude;
 pub mod retry;
 pub mod stats;
+pub(crate) mod stream;
 pub mod task;
 pub(crate) mod topology;
 
@@ -86,8 +87,9 @@ pub use placement::{
 };
 pub use retry::{OnDeviceLoss, RetryPolicy};
 pub use stats::{ExecutorStats, StatsSnapshot};
+pub use stream::{EpochFuture, Session, StreamConfig};
 pub use task::{AsTask, HostTask, KernelTask, PullTask, PushTask, TaskRef};
-pub use topology::{CancelHandle, RunFuture};
+pub use topology::{CancelHandle, Completion, RunFuture};
 
 // Re-export the GPU substrate types that appear in the public API.
 pub use hf_gpu::{GpuConfig, GpuRuntime, KernelArgs, LaunchConfig};

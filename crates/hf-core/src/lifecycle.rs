@@ -69,6 +69,13 @@ pub enum LifecyclePhase {
     /// The submission completed (run-level; `ok` tells success, `detail`
     /// carries the error for failed/cancelled runs).
     RunEnd,
+    /// A streaming epoch was admitted for execution (run-level; `task` is
+    /// `None`, `epoch` carries the epoch index within the stream).
+    EpochStart,
+    /// A streaming epoch completed (run-level; `ok` tells success,
+    /// `detail` carries the error for failed/cancelled epochs, `epoch`
+    /// the epoch index).
+    EpochEnd,
 }
 
 impl LifecyclePhase {
@@ -85,6 +92,8 @@ impl LifecyclePhase {
             LifecyclePhase::Retried => "retried",
             LifecyclePhase::Failover => "failover",
             LifecyclePhase::RunEnd => "run_end",
+            LifecyclePhase::EpochStart => "epoch_start",
+            LifecyclePhase::EpochEnd => "epoch_end",
         }
     }
 }
@@ -128,6 +137,8 @@ pub struct LifecycleEvent {
     pub ok: bool,
     /// Error rendering for `Failed`/`Retried` and failed `RunEnd`s.
     pub detail: Option<Arc<str>>,
+    /// Epoch index within a stream; `None` for one-shot runs.
+    pub epoch: Option<u64>,
     /// Nanoseconds since the process lifecycle epoch.
     pub t_ns: u64,
 }
@@ -149,6 +160,8 @@ mod tests {
         assert_eq!(LifecyclePhase::Ready.name(), "ready");
         assert_eq!(LifecyclePhase::Dispatched.to_string(), "dispatched");
         assert_eq!(LifecyclePhase::RunEnd.name(), "run_end");
+        assert_eq!(LifecyclePhase::EpochStart.name(), "epoch_start");
+        assert_eq!(LifecyclePhase::EpochEnd.name(), "epoch_end");
     }
 
     #[test]
@@ -167,6 +180,7 @@ mod tests {
             bytes: 4096,
             ok: true,
             detail: None,
+            epoch: None,
             t_ns: lifecycle_now_ns(),
         };
         let c = ev.clone();

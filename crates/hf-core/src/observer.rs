@@ -156,6 +156,11 @@ pub struct TraceSpan {
     pub dur_us: u64,
     /// Bytes moved/allocated, when meaningful.
     pub bytes: u64,
+    /// Epoch index of the streaming epoch that issued the op, when the
+    /// span came from a labeled device op of a [`crate::Session`] run.
+    /// Span *names* stay epoch-free; use this field to attribute overlap
+    /// across pipelined epochs.
+    pub epoch: Option<u64>,
 }
 
 impl TraceSpan {
@@ -524,6 +529,7 @@ impl ExecutorObserver for TraceCollector {
             start_us: begin_ns / 1_000,
             dur_us: now_ns.saturating_sub(begin_ns) / 1_000,
             bytes: 0,
+            epoch: None,
         });
     }
 }
@@ -533,6 +539,7 @@ impl GpuTraceSink for TraceCollector {
         if !self.enabled.load(Ordering::Relaxed) {
             return;
         }
+        let epoch = ev.label.as_ref().and_then(|l| l.epoch);
         let (name, cat, kind) = match (&ev.kind, &ev.label) {
             (GpuOpKind::Exec, Some(label)) => (
                 label.name.to_string(),
@@ -577,6 +584,7 @@ impl GpuTraceSink for TraceCollector {
             start_us,
             dur_us: end_us.saturating_sub(start_us),
             bytes: ev.bytes,
+            epoch,
         });
     }
 }

@@ -11,32 +11,42 @@
 //! the retry policy, per-node `round_ok` flags that let device failover
 //! replay exactly the invalidated part of a round, and the cooperative
 //! cancellation flag shared with every clone of the [`RunFuture`].
+//!
+//! ## The epoch model
+//!
+//! Since the streaming redesign, one topology executes exactly **one
+//! epoch** — a single pass over the frozen graph. The sequential drivers
+//! (`run`, `run_n`, `run_until`) and the streaming [`crate::Session`]
+//! both create a fresh topology per epoch and chain them through the
+//! [`Topology::on_finish`] hook, so there is a single execution code
+//! path. All wait/cancel state lives in the shared [`Completion`] core,
+//! which both [`RunFuture`] and [`crate::EpochFuture`] wrap.
 
 use crate::error::HfError;
-use crate::graph::{FrozenGraph, GraphShared};
+use crate::graph::{FrozenGraph, PullState};
 use crate::placement::Placement;
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::task::{Poll, Waker};
 use std::time::{Duration, Instant};
 
-/// Shared promise/future state of one submission.
-pub(crate) struct Completion {
-    state: Mutex<CompletionState>,
+/// Shared promise state of one run or epoch (the C++ promise half).
+pub(crate) struct Promise {
+    state: Mutex<PromiseState>,
     cv: Condvar,
 }
 
 #[derive(Default)]
-struct CompletionState {
+struct PromiseState {
     result: Option<Result<(), HfError>>,
     wakers: Vec<Waker>,
 }
 
-impl Completion {
+impl Promise {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(Self {
-            state: Mutex::new(CompletionState::default()),
+            state: Mutex::new(PromiseState::default()),
             cv: Condvar::new(),
         })
     }
@@ -81,142 +91,9 @@ impl Completion {
     fn is_done(&self) -> bool {
         self.state.lock().result.is_some()
     }
-}
 
-/// Future returned by [`crate::Executor::run`] and friends. All run
-/// methods are non-blocking: "issuing a run on a graph returns immediately
-/// with a C++ future object" (§III-B). Supports blocking
-/// ([`RunFuture::wait`]), deadline-bounded ([`RunFuture::wait_timeout`]),
-/// and async (`.await`) consumption, plus cooperative cancellation
-/// ([`RunFuture::cancel`]). Clones share the same run.
-#[derive(Clone)]
-pub struct RunFuture {
-    pub(crate) completion: Arc<Completion>,
-    /// Cooperative cancellation flag, shared with the topology: checked
-    /// at task boundaries, round boundaries, and inside pending GPU
-    /// stream operations.
-    pub(crate) cancel: Arc<AtomicBool>,
-    /// Process-unique id of this submission, shared with the lifecycle
-    /// events the run emits (`0` for immediately-ready futures, which
-    /// never emit events).
-    pub(crate) run_id: u64,
-}
-
-/// A detached handle to one run, obtained with [`RunFuture::handle`].
-/// Cheap to clone and safe to hold after the future is consumed; used by
-/// health monitors to watch progress and trip cooperative cancellation.
-#[derive(Clone)]
-pub struct CancelHandle {
-    completion: Arc<Completion>,
-    cancel: Arc<AtomicBool>,
-    run_id: u64,
-}
-
-impl CancelHandle {
-    /// Requests cooperative cancellation (see [`RunFuture::cancel`]).
-    pub fn cancel(&self) {
-        self.cancel.store(true, Ordering::Release);
-    }
-
-    /// True once the run has finished (success or error).
-    pub fn is_done(&self) -> bool {
-        self.completion.is_done()
-    }
-
-    /// True once cancellation has been requested.
-    pub fn cancel_requested(&self) -> bool {
-        self.cancel.load(Ordering::Acquire)
-    }
-
-    /// The run's process-unique id (see [`RunFuture::run_id`]).
-    pub fn run_id(&self) -> u64 {
-        self.run_id
-    }
-}
-
-impl std::fmt::Debug for CancelHandle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CancelHandle")
-            .field("run_id", &self.run_id)
-            .field("done", &self.is_done())
-            .finish()
-    }
-}
-
-impl std::fmt::Debug for RunFuture {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RunFuture")
-            .field("done", &self.is_done())
-            .field("cancel_requested", &self.cancel.load(Ordering::Relaxed))
-            .finish()
-    }
-}
-
-impl RunFuture {
-    /// Blocks until the run finishes; returns its result.
-    pub fn wait(&self) -> Result<(), HfError> {
-        self.completion.wait()
-    }
-
-    /// Blocks for at most `timeout`. Returns `None` when the deadline
-    /// expired with the run still in flight (the run keeps going — call
-    /// `wait*` again or [`RunFuture::cancel`] it), otherwise the result.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<(), HfError>> {
-        self.completion.wait_timeout(timeout)
-    }
-
-    /// Requests cooperative cancellation. Non-blocking: in-flight task
-    /// bodies finish, everything not yet started is skipped (including
-    /// ops already enqueued on GPU streams), and the run completes with
-    /// [`HfError::Cancelled`]. Cancelling a finished run is a no-op.
-    pub fn cancel(&self) {
-        self.cancel.store(true, Ordering::Release);
-    }
-
-    /// True once the run has finished (success or error).
-    pub fn is_done(&self) -> bool {
-        self.completion.is_done()
-    }
-
-    /// Process-unique id of this submission. Lifecycle events recorded by
-    /// a flight recorder carry the same id, so a health monitor can map a
-    /// future to its event stream (`0` for immediately-ready futures,
-    /// which never execute and never emit events).
-    pub fn run_id(&self) -> u64 {
-        self.run_id
-    }
-
-    /// A detached, cloneable handle to this run's completion and
-    /// cancellation state — for monitor threads (watchdogs, deadline
-    /// enforcers) that run beside whoever owns the future itself.
-    pub fn handle(&self) -> CancelHandle {
-        CancelHandle {
-            completion: Arc::clone(&self.completion),
-            cancel: Arc::clone(&self.cancel),
-            run_id: self.run_id,
-        }
-    }
-
-    /// An already-completed future (empty graphs, zero repeats).
-    pub(crate) fn ready(result: Result<(), HfError>) -> Self {
-        let c = Completion::new();
-        c.complete(result);
-        Self {
-            completion: c,
-            cancel: Arc::new(AtomicBool::new(false)),
-            run_id: 0,
-        }
-    }
-}
-
-impl std::future::Future for RunFuture {
-    type Output = Result<(), HfError>;
-
-    fn poll(
-        self: std::pin::Pin<&mut Self>,
-        cx: &mut std::task::Context<'_>,
-    ) -> Poll<Self::Output> {
-        let mut st = self.completion.state.lock();
+    fn poll(&self, cx: &mut std::task::Context<'_>) -> Poll<Result<(), HfError>> {
+        let mut st = self.state.lock();
         if let Some(r) = &st.result {
             Poll::Ready(r.clone())
         } else {
@@ -228,13 +105,284 @@ impl std::future::Future for RunFuture {
     }
 }
 
+/// The shared wait/cancel core behind every run- and epoch-future.
+///
+/// This is the *blessed* completion surface (see DESIGN.md): one promise,
+/// one cooperative cancellation flag, the submission's process-unique
+/// `run_id`, and — for streaming epochs — the epoch index. [`RunFuture`]
+/// and [`crate::EpochFuture`] are thin newtypes over a `Completion`;
+/// detached monitor handles (watchdogs, deadline enforcers) hold a clone
+/// of the same core, so `wait`, `wait_timeout`, deadline-cancel, and
+/// watchdog cancellation all observe identical state.
+#[derive(Clone)]
+pub struct Completion {
+    pub(crate) promise: Arc<Promise>,
+    /// Cooperative cancellation flag, shared with the topology: checked
+    /// at task boundaries, round boundaries, and inside pending GPU
+    /// stream operations.
+    pub(crate) cancel: Arc<AtomicBool>,
+    pub(crate) run_id: u64,
+    pub(crate) epoch: Option<u64>,
+}
+
+impl Completion {
+    /// A fresh, incomplete core for one run.
+    pub(crate) fn new(run_id: u64) -> Self {
+        Self {
+            promise: Promise::new(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            run_id,
+            epoch: None,
+        }
+    }
+
+    /// A fresh, incomplete core for one streaming epoch.
+    pub(crate) fn new_epoch(run_id: u64, epoch: u64) -> Self {
+        Self {
+            promise: Promise::new(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            run_id,
+            epoch: Some(epoch),
+        }
+    }
+
+    /// An already-completed core (empty graphs, rejected submissions).
+    /// Carries run id `0`: such futures never execute and never emit
+    /// lifecycle events.
+    pub(crate) fn ready(result: Result<(), HfError>) -> Self {
+        let c = Self::new(0);
+        c.promise.complete(result);
+        c
+    }
+
+    /// Blocks until the run/epoch finishes; returns its result.
+    pub fn wait(&self) -> Result<(), HfError> {
+        self.promise.wait()
+    }
+
+    /// Blocks for at most `timeout`. Returns `None` when the deadline
+    /// expired with the work still in flight (it keeps going — call
+    /// `wait*` again or [`Completion::cancel`]), otherwise the result.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<(), HfError>> {
+        self.promise.wait_timeout(timeout)
+    }
+
+    /// Requests cooperative cancellation. Non-blocking: in-flight task
+    /// bodies finish, everything not yet started is skipped (including
+    /// ops already enqueued on GPU streams), and the run/epoch completes
+    /// with [`HfError::Cancelled`]. Cancelling finished work is a no-op.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    /// True once cancellation has been requested.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+    }
+
+    /// True once the run/epoch has finished (success or error).
+    pub fn is_done(&self) -> bool {
+        self.promise.is_done()
+    }
+
+    /// Process-unique id of the owning submission. Lifecycle events
+    /// recorded by a flight recorder carry the same id (`0` for
+    /// immediately-ready futures, which never emit events). Every epoch
+    /// of one stream shares the stream's run id.
+    pub fn run_id(&self) -> u64 {
+        self.run_id
+    }
+
+    /// The epoch index within a stream, `None` for one-shot runs.
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
+    }
+}
+
+impl std::fmt::Debug for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completion")
+            .field("run_id", &self.run_id)
+            .field("epoch", &self.epoch)
+            .field("done", &self.is_done())
+            .field("cancel_requested", &self.cancel.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl std::future::Future for Completion {
+    type Output = Result<(), HfError>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> Poll<Self::Output> {
+        self.promise.poll(cx)
+    }
+}
+
+/// Superseded by [`Completion`], which a `CancelHandle` now is: the
+/// detached handle used by health monitors to watch progress and trip
+/// cooperative cancellation is the same shared core the futures wrap.
+#[doc(hidden)]
+pub type CancelHandle = Completion;
+
+/// Future returned by [`crate::Executor::run`] and friends. All run
+/// methods are non-blocking: "issuing a run on a graph returns immediately
+/// with a C++ future object" (§III-B). Supports blocking
+/// ([`RunFuture::wait`]), deadline-bounded ([`RunFuture::wait_timeout`]),
+/// and async (`.await`) consumption, plus cooperative cancellation
+/// ([`RunFuture::cancel`]). Clones share the same run.
+#[derive(Clone)]
+pub struct RunFuture {
+    pub(crate) core: Completion,
+}
+
+impl std::fmt::Debug for RunFuture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunFuture")
+            .field("done", &self.is_done())
+            .field(
+                "cancel_requested",
+                &self.core.cancel.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+impl RunFuture {
+    /// Blocks until the run finishes; returns its result.
+    pub fn wait(&self) -> Result<(), HfError> {
+        self.core.wait()
+    }
+
+    /// Blocks for at most `timeout`. Returns `None` when the deadline
+    /// expired with the run still in flight (the run keeps going — call
+    /// `wait*` again or [`RunFuture::cancel`] it), otherwise the result.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<(), HfError>> {
+        self.core.wait_timeout(timeout)
+    }
+
+    /// Requests cooperative cancellation. Non-blocking: in-flight task
+    /// bodies finish, everything not yet started is skipped (including
+    /// ops already enqueued on GPU streams), and the run completes with
+    /// [`HfError::Cancelled`]. Cancelling a finished run is a no-op.
+    pub fn cancel(&self) {
+        self.core.cancel();
+    }
+
+    /// True once the run has finished (success or error).
+    pub fn is_done(&self) -> bool {
+        self.core.is_done()
+    }
+
+    /// Process-unique id of this submission. Lifecycle events recorded by
+    /// a flight recorder carry the same id, so a health monitor can map a
+    /// future to its event stream (`0` for immediately-ready futures,
+    /// which never execute and never emit events).
+    pub fn run_id(&self) -> u64 {
+        self.core.run_id()
+    }
+
+    /// A detached, cloneable handle to this run's completion and
+    /// cancellation state — for monitor threads (watchdogs, deadline
+    /// enforcers) that run beside whoever owns the future itself. Since
+    /// the wait-semantics unification this is simply a clone of the
+    /// shared [`Completion`] core.
+    pub fn handle(&self) -> CancelHandle {
+        self.core.clone()
+    }
+
+    /// An already-completed future (empty graphs, zero repeats).
+    pub(crate) fn ready(result: Result<(), HfError>) -> Self {
+        Self {
+            core: Completion::ready(result),
+        }
+    }
+}
+
+impl std::future::Future for RunFuture {
+    type Output = Result<(), HfError>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> Poll<Self::Output> {
+        self.core.promise.poll(cx)
+    }
+}
+
+/// Admission gate of one streaming epoch: the epoch's *body* (kernels,
+/// pushes, and their descendants) stays parked — via join-counter
+/// inflation on the gate heads — until the previous epoch of the stream
+/// completes. The *prologue* (host tasks and pulls) runs immediately, so
+/// epoch N+1's H2D transfers overlap epoch N's kernels.
+pub(crate) struct EpochGate {
+    /// Body nodes with no body predecessor (the inflated entry points).
+    pub(crate) heads: Vec<usize>,
+    /// Per-node flag for O(1) "is this a gate head" checks.
+    pub(crate) is_head: Vec<bool>,
+    /// Set once the gate opened; opening is idempotent.
+    pub(crate) opened: AtomicBool,
+}
+
+/// Tracks the prologue (non-body) portion of a streaming epoch so the
+/// session can admit the next epoch — and apply its input mutation — as
+/// soon as every host task and pull of this epoch has drained.
+pub(crate) struct PrologueTrack {
+    /// True for prologue members (host tasks / pulls not downstream of a
+    /// kernel or push).
+    pub(crate) is_prologue: Arc<Vec<bool>>,
+    /// Prologue nodes not yet finished this epoch. Saturating: failover
+    /// replay may re-finish a prologue node.
+    pub(crate) pending: AtomicUsize,
+    /// Fired exactly once when `pending` reaches zero.
+    pub(crate) hook: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+/// Guards failover replay against superseded host inputs: once the
+/// session has admitted a later epoch (and run its input mutator), this
+/// epoch's pulls must not be replayed — they would read the *next*
+/// epoch's data. `gen` is the session's input generation counter;
+/// `admitted_gen` its value when this epoch was admitted.
+pub(crate) struct InputGuard {
+    pub(crate) gen: Arc<AtomicU64>,
+    pub(crate) admitted_gen: u64,
+}
+
+/// Optional epoch-execution context for [`Topology::new`]. Sequential
+/// one-shot epochs use `TopoExtras::default()`; streaming sessions fill
+/// in the gate, prologue tracking, ring-slot residency, and hooks.
+/// Hook invoked once by `finish_topology` after an epoch resolves;
+/// sequential drivers and stream sessions chain the next epoch here.
+pub(crate) type EpochFinishHook = Box<dyn FnOnce(&Arc<Topology>) + Send>;
+
+#[derive(Default)]
+pub(crate) struct TopoExtras {
+    /// Epoch index within a stream; `None` for sequential runs.
+    pub(crate) epoch: Option<u64>,
+    /// Ring-slot pull residency replacing the frozen graph's own
+    /// `PullState`s (double buffering across in-flight epochs).
+    pub(crate) pull_override: Option<Arc<Vec<Mutex<PullState>>>>,
+    /// Body admission gate (streaming pipelining).
+    pub(crate) gate: Option<EpochGate>,
+    /// Prologue drain tracking (streaming admission).
+    pub(crate) prologue: Option<PrologueTrack>,
+    /// Invoked by `finish_topology` after the epoch resolved; drivers and
+    /// sessions chain the next epoch here.
+    pub(crate) on_finish: Option<EpochFinishHook>,
+    /// Failover input-hazard guard (streaming).
+    pub(crate) input_guard: Option<InputGuard>,
+}
+
 /// Per-submission runtime state: join counters, round bookkeeping, device
-/// placement, the stopping predicate, and the completion promise.
+/// placement, the stopping predicate, and the epoch-completion hook. One
+/// topology executes one epoch (a single pass over the frozen graph);
+/// drivers chain topologies for multi-epoch runs.
 pub(crate) struct Topology {
-    pub(crate) graph_shared: Arc<GraphShared>,
     pub(crate) frozen: Arc<FrozenGraph>,
-    /// Process-unique submission id (shared with the [`RunFuture`] and
-    /// every lifecycle event of this run).
+    /// Process-unique submission id (shared with the [`RunFuture`] /
+    /// [`crate::Session`] and every lifecycle event of this run).
     pub(crate) run_id: u64,
     /// Graph name as a shared string, cloned into lifecycle events
     /// without reallocating.
@@ -248,13 +396,13 @@ pub(crate) struct Topology {
     pub(crate) pending: AtomicUsize,
     /// Stopping predicate: `true` means stop (checked before each round).
     pub(crate) predicate: Mutex<Box<dyn FnMut() -> bool + Send>>,
-    pub(crate) completion: Arc<Completion>,
     /// First error observed during execution.
     pub(crate) error: Mutex<Option<HfError>>,
     /// Set once an error occurs: remaining task bodies are skipped while
     /// the round drains.
     pub(crate) cancelled: AtomicBool,
-    /// Cooperative cancellation requested via [`RunFuture::cancel`].
+    /// Cooperative cancellation requested via [`Completion::cancel`];
+    /// shared with the owning future's core.
     pub(crate) cancel: Arc<AtomicBool>,
     /// Rounds completed (diagnostic).
     pub(crate) rounds: AtomicUsize,
@@ -282,16 +430,30 @@ pub(crate) struct Topology {
     /// flight; `u32::MAX` before registration. Work tokens pack this slot
     /// with a node index, so queued items carry no heap pointer.
     pub(crate) slot: AtomicU32,
+    /// Epoch index within a stream; `None` for sequential epochs.
+    pub(crate) epoch: Option<u64>,
+    /// Ring-slot pull residency (streaming double buffering); `None`
+    /// falls back to the frozen nodes' own `PullState`s.
+    pub(crate) pull_override: Option<Arc<Vec<Mutex<PullState>>>>,
+    /// Streaming body admission gate.
+    pub(crate) gate: Option<EpochGate>,
+    /// Streaming prologue drain tracking.
+    pub(crate) prologue: Option<PrologueTrack>,
+    /// Invoked (once) by `finish_topology` after the epoch resolved.
+    pub(crate) on_finish: Mutex<Option<EpochFinishHook>>,
+    /// Failover input-hazard guard (streaming).
+    pub(crate) input_guard: Option<InputGuard>,
 }
 
 impl Topology {
     pub(crate) fn new(
-        graph_shared: Arc<GraphShared>,
         frozen: Arc<FrozenGraph>,
         run_id: u64,
         placement: Arc<Placement>,
         fusion: Arc<FusionPlan>,
         predicate: Box<dyn FnMut() -> bool + Send>,
+        cancel: Arc<AtomicBool>,
+        extras: TopoExtras,
     ) -> Arc<Self> {
         let n = frozen.nodes.len();
         let join = frozen
@@ -301,7 +463,6 @@ impl Topology {
             .collect();
         let graph_label: Arc<str> = Arc::from(frozen.name.as_str());
         Arc::new(Self {
-            graph_shared,
             frozen: Arc::clone(&frozen),
             run_id,
             graph_label,
@@ -309,10 +470,9 @@ impl Topology {
             join,
             pending: AtomicUsize::new(n),
             predicate: Mutex::new(predicate),
-            completion: Completion::new(),
             error: Mutex::new(None),
             cancelled: AtomicBool::new(false),
-            cancel: Arc::new(AtomicBool::new(false)),
+            cancel,
             rounds: AtomicUsize::new(0),
             fusion: RwLock::new(fusion),
             fusion_stale: AtomicBool::new(false),
@@ -322,6 +482,12 @@ impl Topology {
             failover_pending: AtomicBool::new(false),
             failovers: AtomicU32::new(0),
             slot: AtomicU32::new(u32::MAX),
+            epoch: extras.epoch,
+            pull_override: extras.pull_override,
+            gate: extras.gate,
+            prologue: extras.prologue,
+            on_finish: Mutex::new(extras.on_finish),
+            input_guard: extras.input_guard,
         })
     }
 
@@ -333,6 +499,17 @@ impl Topology {
     /// Current fusion plan (failover may swap it between rounds).
     pub(crate) fn fusion(&self) -> Arc<FusionPlan> {
         Arc::clone(&self.fusion.read())
+    }
+
+    /// The pull residency of `node` for this epoch: the ring slot when
+    /// streaming double buffering is active, otherwise the frozen node's
+    /// own persistent `PullState` (sequential epochs, where residency
+    /// carries across epochs and re-freezes).
+    pub(crate) fn pull_state(&self, node: usize) -> &Mutex<PullState> {
+        match &self.pull_override {
+            Some(ring) => &ring[node],
+            None => &self.frozen.nodes[node].pull_state,
+        }
     }
 
     /// True once the caller requested cancellation.
@@ -349,10 +526,20 @@ impl Topology {
         self.failover_pending.store(true, Ordering::Release);
     }
 
-    /// Resets per-round counters for the next repetition.
+    /// Resets per-round counters for the next repetition. When a
+    /// still-closed epoch gate is present, the gate heads' join counters
+    /// are inflated by one: the extra dependency is consumed by
+    /// `open_gate` when the previous epoch of the stream completes.
     pub(crate) fn reset_round(&self) {
         for (j, n) in self.join.iter().zip(&self.frozen.nodes) {
             j.store(n.num_deps, Ordering::Relaxed);
+        }
+        if let Some(g) = &self.gate {
+            if !g.opened.load(Ordering::Acquire) {
+                for &h in &g.heads {
+                    self.join[h].fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         for a in &self.attempts {
             a.store(0, Ordering::Relaxed);
@@ -412,7 +599,9 @@ impl FusionPlan {
     }
 
     /// [`FusionPlan::compute`] restricted to the `active` nodes — the
-    /// failover replay plan. A chain must not lead from an
+    /// failover replay plan, and the streaming body plan (a chain must
+    /// never lead from a prologue pull into a gated body kernel, or the
+    /// member would bypass the epoch gate). A chain must not lead from an
     /// already-finished head into a replayed member (the head would never
     /// be dispatched again), so both endpoints must be active.
     pub(crate) fn compute_masked(
@@ -469,14 +658,21 @@ impl FusionPlan {
 mod tests {
     use super::*;
 
+    fn test_future(c: &Arc<Promise>) -> RunFuture {
+        RunFuture {
+            core: Completion {
+                promise: Arc::clone(c),
+                cancel: Arc::new(AtomicBool::new(false)),
+                run_id: 0,
+                epoch: None,
+            },
+        }
+    }
+
     #[test]
     fn completion_wait_and_poll() {
-        let c = Completion::new();
-        let fut = RunFuture {
-            completion: Arc::clone(&c),
-            cancel: Arc::new(AtomicBool::new(false)),
-            run_id: 0,
-        };
+        let c = Promise::new();
+        let fut = test_future(&c);
         assert!(!fut.is_done());
         c.complete(Ok(()));
         assert!(fut.is_done());
@@ -495,12 +691,8 @@ mod tests {
 
     #[test]
     fn wait_timeout_expires_then_succeeds() {
-        let c = Completion::new();
-        let fut = RunFuture {
-            completion: Arc::clone(&c),
-            cancel: Arc::new(AtomicBool::new(false)),
-            run_id: 0,
-        };
+        let c = Promise::new();
+        let fut = test_future(&c);
         assert_eq!(fut.wait_timeout(Duration::from_millis(20)), None);
         let c2 = Arc::clone(&c);
         let t = std::thread::spawn(move || {
@@ -515,26 +707,22 @@ mod tests {
 
     #[test]
     fn cancel_flag_is_shared_across_clones() {
-        let c = Completion::new();
-        let fut = RunFuture {
-            completion: c,
-            cancel: Arc::new(AtomicBool::new(false)),
-            run_id: 0,
-        };
+        let c = Promise::new();
+        let fut = test_future(&c);
         let clone = fut.clone();
         clone.cancel();
-        assert!(fut.cancel.load(Ordering::Acquire));
+        assert!(fut.core.cancel.load(Ordering::Acquire));
+        // The detached handle observes and controls the same core.
+        let h = fut.handle();
+        assert!(h.cancel_requested());
+        assert!(!h.is_done());
     }
 
     #[test]
     fn future_is_pollable() {
         // Poll with a no-op waker through a minimal block_on.
-        let c = Completion::new();
-        let fut = RunFuture {
-            completion: Arc::clone(&c),
-            cancel: Arc::new(AtomicBool::new(false)),
-            run_id: 0,
-        };
+        let c = Promise::new();
+        let fut = test_future(&c);
         let c2 = Arc::clone(&c);
         let t = std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(10));
@@ -542,6 +730,26 @@ mod tests {
         });
         let result = pollster_block_on(fut);
         assert!(result.is_ok());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn completion_core_is_awaitable_and_tagged() {
+        let c = Promise::new();
+        let core = Completion {
+            promise: Arc::clone(&c),
+            cancel: Arc::new(AtomicBool::new(false)),
+            run_id: 7,
+            epoch: Some(3),
+        };
+        assert_eq!(core.run_id(), 7);
+        assert_eq!(core.epoch(), Some(3));
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            c2.complete(Ok(()));
+        });
+        assert!(pollster_block_on(core).is_ok());
         t.join().unwrap();
     }
 

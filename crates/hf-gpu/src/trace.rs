@@ -60,6 +60,10 @@ pub struct OpLabel {
     pub name: Arc<str>,
     /// Opaque tag; the Heteroflow executor packs the task kind here.
     pub tag: u32,
+    /// Epoch index of the submitting streaming epoch, if any; travels
+    /// opaquely into the trace so overlap across pipelined epochs can be
+    /// attributed without renaming spans.
+    pub epoch: Option<u64>,
 }
 
 /// One device-side event. Timestamps are raw [`Instant`]s — the sink
@@ -126,6 +130,7 @@ mod tests {
             Some(OpLabel {
                 name: Arc::from("fill"),
                 tag: 7,
+                epoch: None,
             }),
             Box::new(move |view, cost| {
                 view.bytes_mut(ptr)?.fill(3);

@@ -194,6 +194,7 @@ mod tests {
             start_us,
             dur_us,
             bytes: 0,
+            epoch: None,
         }
     }
 

@@ -99,6 +99,7 @@ pub fn spans_from_sim(info: &GraphInfo, sim: &[SimSpan]) -> Vec<TraceSpan> {
                 start_us: s.start_ns / 1_000,
                 dur_us: (s.finish_ns - s.start_ns) / 1_000,
                 bytes: info.nodes.get(s.node).map(|n| n.bytes as u64).unwrap_or(0),
+                epoch: None,
             }
         })
         .collect()
@@ -120,6 +121,7 @@ mod tests {
             start_us: 1,
             dur_us: 2,
             bytes: 0,
+            epoch: None,
         }
     }
 
@@ -138,6 +140,7 @@ mod tests {
                 start_us: 5,
                 dur_us: 7,
                 bytes: 64,
+                epoch: None,
             },
         ];
         let json = chrome_trace(&spans);

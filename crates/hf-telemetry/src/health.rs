@@ -76,6 +76,11 @@ struct RunFlight {
     detail: Option<Arc<str>>,
     failovers: u32,
     tasks: HashMap<u32, TaskTiming>,
+    /// Admission time of in-flight streaming epochs (`EpochStart` seen,
+    /// `EpochEnd` pending), keyed by epoch index.
+    epoch_started: HashMap<u64, u64>,
+    /// Streaming epochs completed in this run.
+    epochs_completed: u64,
 }
 
 impl RunFlight {
@@ -92,6 +97,8 @@ impl RunFlight {
             detail: None,
             failovers: 0,
             tasks: HashMap::new(),
+            epoch_started: HashMap::new(),
+            epochs_completed: 0,
         }
     }
 
@@ -153,6 +160,9 @@ struct FlightState {
     queue_delay: Histogram,
     exec: Histogram,
     run_latency: Histogram,
+    /// Admission-to-completion latency of streaming epochs
+    /// (`epoch_end − epoch_start`, ns).
+    epoch_latency: Histogram,
 }
 
 impl FlightState {
@@ -163,6 +173,7 @@ impl FlightState {
             queue_delay: Histogram::new(duration_bounds_nanos()),
             exec: Histogram::new(duration_bounds_nanos()),
             run_latency: Histogram::new(duration_bounds_nanos()),
+            epoch_latency: Histogram::new(duration_bounds_nanos()),
         }
     }
 
@@ -273,6 +284,7 @@ impl FlightRecorder {
             let mut queue_obs = None;
             let mut exec_obs = None;
             let mut run_obs = None;
+            let mut epoch_obs = None;
             let mut ended = false;
             {
                 let cap = self.per_run_cap;
@@ -339,6 +351,20 @@ impl FlightRecorder {
                     LifecyclePhase::Failover => {
                         run.failovers += 1;
                     }
+                    LifecyclePhase::EpochStart => {
+                        if let Some(e) = ev.epoch {
+                            run.epoch_started.insert(e, ev.t_ns);
+                        }
+                    }
+                    LifecyclePhase::EpochEnd => {
+                        if let Some(e) = ev.epoch {
+                            run.epochs_completed += 1;
+                            if let Some(s) = run.epoch_started.remove(&e) {
+                                epoch_obs =
+                                    Some(ev.t_ns.saturating_sub(s) as f64);
+                            }
+                        }
+                    }
                     LifecyclePhase::RunEnd => {
                         run.ended_ns = Some(ev.t_ns);
                         run.ok = Some(ev.ok);
@@ -372,6 +398,9 @@ impl FlightRecorder {
             }
             if let Some(l) = run_obs {
                 st.run_latency.observe(l);
+            }
+            if let Some(l) = epoch_obs {
+                st.epoch_latency.observe(l);
             }
             if ended {
                 // Trim completed runs beyond the retention window
@@ -469,6 +498,13 @@ impl FlightRecorder {
         )
     }
 
+    /// The streaming epoch latency histogram (admission-to-completion per
+    /// epoch, ns). Populated only by sessions opened with
+    /// `Executor::run_stream`; sequential runs never emit epoch events.
+    pub fn epoch_latency_histogram(&self) -> Histogram {
+        self.state.lock().epoch_latency.clone()
+    }
+
     /// Publishes the recorder's aggregates into a [`MetricsRegistry`]:
     /// `hf_task_queue_delay_nanos`, `hf_task_exec_nanos`,
     /// `hf_run_latency_nanos` histograms plus recorder counters.
@@ -491,6 +527,12 @@ impl FlightRecorder {
             "Submit-to-completion latency per run (ns)",
             &[],
             rl,
+        );
+        reg.set_histogram(
+            "hf_epoch_latency_nanos",
+            "Admission-to-completion latency per streaming epoch (ns)",
+            &[],
+            self.epoch_latency_histogram(),
         );
         reg.set_counter(
             "hf_flight_events_recorded_total",
@@ -528,6 +570,9 @@ impl FlightRecorder {
         if let Some(c) = ev.chain {
             o.insert("chain".into(), Value::UInt(c as u64));
         }
+        if let Some(e) = ev.epoch {
+            o.insert("epoch".into(), Value::UInt(e));
+        }
         if ev.bytes > 0 {
             o.insert("bytes".into(), Value::UInt(ev.bytes));
         }
@@ -554,6 +599,9 @@ impl FlightRecorder {
         };
         if let Some(d) = &run.detail {
             o.insert("detail".into(), Value::Str(d.to_string()));
+        }
+        if run.epochs_completed > 0 {
+            o.insert("epochs_completed".into(), Value::UInt(run.epochs_completed));
         }
         o.insert("events_applied".into(), Value::UInt(run.events_applied));
         o.insert("events_dropped".into(), Value::UInt(run.events_dropped));
@@ -1114,6 +1162,7 @@ mod tests {
             bytes: 0,
             ok: true,
             detail: None,
+            epoch: None,
             t_ns,
         }
     }
@@ -1138,6 +1187,36 @@ mod tests {
         assert_eq!(s.run_id, 1);
         assert_eq!(s.ok, Some(true));
         assert_eq!(s.tasks, 1);
+    }
+
+    #[test]
+    fn pump_attributes_epoch_latency() {
+        let r = FlightRecorder::new();
+        r.on_lifecycle(&ev(3, LifecyclePhase::RunStart, None, 1_000));
+        let mut e0 = ev(3, LifecyclePhase::EpochStart, None, 2_000);
+        e0.epoch = Some(0);
+        r.on_lifecycle(&e0);
+        let mut e1 = ev(3, LifecyclePhase::EpochStart, None, 3_000);
+        e1.epoch = Some(1);
+        r.on_lifecycle(&e1);
+        let mut d0 = ev(3, LifecyclePhase::EpochEnd, None, 7_000);
+        d0.epoch = Some(0);
+        r.on_lifecycle(&d0);
+        let mut d1 = ev(3, LifecyclePhase::EpochEnd, None, 12_000);
+        d1.epoch = Some(1);
+        r.on_lifecycle(&d1);
+        r.on_lifecycle(&ev(3, LifecyclePhase::RunEnd, None, 13_000));
+        assert_eq!(r.pump(), 6);
+        let h = r.epoch_latency_histogram();
+        assert_eq!(h.count, 2);
+        assert!(
+            (h.sum - 14_000.0).abs() < 1e-9,
+            "epoch latency = end - start per epoch: 5000 + 9000"
+        );
+        let json = r.dump_run_json(3).expect("run retained");
+        let text = serde_json::to_string(&json).expect("infallible");
+        assert!(text.contains("\"epochs_completed\":2"), "{text}");
+        assert!(text.contains("\"epoch\":1"), "{text}");
     }
 
     #[test]

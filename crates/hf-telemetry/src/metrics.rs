@@ -683,6 +683,7 @@ mod tests {
             start_us: 0,
             dur_us: 10,
             bytes: 0,
+            epoch: None,
         }]);
         let text = r.prometheus_text();
         assert!(text.contains("cat=\"task\""));
