@@ -79,6 +79,22 @@ impl CostDb {
         }
     }
 
+    /// Sum of all refined estimates for one graph, with the number of
+    /// tasks covered: `(total_nanos, tasks_covered)`. Allocation-free —
+    /// this sits on the fleet's per-submission admission path.
+    pub fn sum_for(&self, graph: &str) -> (f64, usize) {
+        let m = self.inner.lock();
+        let mut total = 0.0f64;
+        let mut covered = 0usize;
+        for ((g, _), e) in m.iter() {
+            if g == graph {
+                total += e.value().max(0.0);
+                covered += 1;
+            }
+        }
+        (total, covered)
+    }
+
     /// Exports every estimate as `(graph, task, nanos)` triples — the
     /// form external history stores (e.g. `hf-timing`'s persisted task
     /// profiles) consume when capturing a finished run.

@@ -82,6 +82,31 @@ pub enum HfError {
     /// An epoch was submitted to a [`crate::Session`] that was already
     /// closed (explicitly or by dropping the handle).
     StreamClosed,
+    /// A fleet submission would exceed one of the tenant's configured
+    /// quotas (see [`crate::TenantConfig`]). Structured so callers can
+    /// shed load or retry after budget refresh instead of hanging.
+    QuotaExceeded {
+        /// The tenant whose quota rejected the submission.
+        tenant: String,
+        /// Which quota rejected it (e.g. `"gpu_ns_budget"`).
+        resource: String,
+        /// Units the submission needed (resource-specific: nanoseconds
+        /// of modeled GPU time for the budget quota).
+        needed: u64,
+        /// The configured limit, in the same units.
+        limit: u64,
+    },
+    /// A fleet submission was rejected because the tenant's queue is at
+    /// its configured bound — backpressure surfaced as a structured
+    /// error rather than an unbounded queue.
+    FleetSaturated {
+        /// The tenant whose queue is full.
+        tenant: String,
+        /// Submissions already waiting in the tenant's queue.
+        queued: usize,
+        /// The configured queue bound.
+        limit: usize,
+    },
 }
 
 impl HfError {
@@ -97,6 +122,17 @@ impl HfError {
             | HfError::TaskFailed { task, .. } => Some(task),
             HfError::SourceNotPulled { kernel, .. } => Some(kernel),
             HfError::PushBeforePull { push, .. } => Some(push),
+            _ => None,
+        }
+    }
+
+    /// The tenant a fleet admission error is attributed to
+    /// ([`HfError::QuotaExceeded`] / [`HfError::FleetSaturated`]).
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            HfError::QuotaExceeded { tenant, .. } | HfError::FleetSaturated { tenant, .. } => {
+                Some(tenant)
+            }
             _ => None,
         }
     }
@@ -160,6 +196,23 @@ impl fmt::Display for HfError {
             }
             HfError::Cancelled => write!(f, "run cancelled"),
             HfError::StreamClosed => write!(f, "epoch submitted to a closed stream"),
+            HfError::QuotaExceeded {
+                tenant,
+                resource,
+                needed,
+                limit,
+            } => write!(
+                f,
+                "tenant '{tenant}' exceeded quota '{resource}': needs {needed}, limit {limit}"
+            ),
+            HfError::FleetSaturated {
+                tenant,
+                queued,
+                limit,
+            } => write!(
+                f,
+                "fleet saturated for tenant '{tenant}': {queued} submissions queued (bound {limit})"
+            ),
         }
     }
 }

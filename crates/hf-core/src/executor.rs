@@ -327,6 +327,7 @@ impl ExecInner {
             ok,
             detail: detail.map(|e| Arc::from(e.to_string().as_str())),
             epoch: topo.epoch,
+            tenant: topo.tenant.clone(),
             t_ns: lifecycle_now_ns(),
         };
         for o in &self.observers {
@@ -343,7 +344,15 @@ impl ExecInner {
         ok: bool,
         detail: Option<&HfError>,
     ) {
-        self.emit_raw_run_lc(topo.run_id, &topo.graph_label, phase, ok, detail, topo.epoch);
+        self.emit_raw_run_lc(
+            topo.run_id,
+            &topo.graph_label,
+            phase,
+            ok,
+            detail,
+            topo.epoch,
+            topo.tenant.as_ref(),
+        );
     }
 
     /// Emits a run-level lifecycle event without a topology in hand — the
@@ -351,6 +360,7 @@ impl ExecInner {
     /// bracket a whole submission, not one epoch topology) and
     /// `EpochStart` (emitted at admission, before the epoch's topology
     /// exists in the registry).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn emit_raw_run_lc(
         &self,
         run_id: u64,
@@ -359,6 +369,7 @@ impl ExecInner {
         ok: bool,
         detail: Option<&HfError>,
         epoch: Option<u64>,
+        tenant: Option<&Arc<str>>,
     ) {
         if !self.lc_active() {
             return;
@@ -377,6 +388,7 @@ impl ExecInner {
             ok,
             detail: detail.map(|e| Arc::from(e.to_string().as_str())),
             epoch,
+            tenant: tenant.cloned(),
             t_ns: lifecycle_now_ns(),
         };
         for o in &self.observers {
@@ -406,6 +418,7 @@ impl ExecInner {
                 ok: d.severity != crate::analyze::Severity::Error,
                 detail: Some(Arc::from(d.render().as_str())),
                 epoch: None,
+                tenant: None,
                 t_ns: lifecycle_now_ns(),
             };
             for o in &self.observers {
@@ -976,6 +989,17 @@ impl Executor {
     /// sessions: a [`crate::Session`] holds an in-flight topology count
     /// while any submitted epoch is unfinished (an *idle* open stream
     /// does not block this call).
+    ///
+    /// Multi-threaded submission contract: this call observes a
+    /// consistent in-flight count across *all* submitting threads — a
+    /// submission that returned its [`RunFuture`] before `wait_for_all`
+    /// was entered is always drained, whichever thread made it. The
+    /// count is held for a whole chained submission (every round of
+    /// `run_n`, every queued run of a busy graph), so the gaps between
+    /// chained epochs are observed as busy, never as a spurious idle.
+    /// Submissions racing *into* `wait_for_all` from other threads may
+    /// or may not be included; the call returns at some point when the
+    /// executor is momentarily drained.
     pub fn wait_for_all(&self) {
         let mut g = self.inner.idle_lock.lock();
         while self.inner.num_topologies.load(Ordering::SeqCst) != 0 {
@@ -1308,6 +1332,7 @@ impl ExecInner {
                 // from there. Runs on the device engine thread, so the
                 // token lands in the injector.
                 self.stats.retries.incr();
+                topo.retries.fetch_add(1, Ordering::Relaxed);
                 self.emit_task_lc(
                     topo,
                     LifecyclePhase::Retried,
@@ -1801,6 +1826,7 @@ impl Worker {
                 Err(e) => match inner.failure_action(&topo, node, &e) {
                     FailureAction::Retry(delay) => {
                         inner.stats.retries.incr();
+                        topo.retries.fetch_add(1, Ordering::Relaxed);
                         inner.emit_task_lc(
                             &topo,
                             LifecyclePhase::Retried,

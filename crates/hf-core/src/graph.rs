@@ -478,6 +478,16 @@ impl Heteroflow {
     /// previous snapshot when nothing changed. Fails with
     /// [`HfError::GraphBusy`] if the graph was modified while a topology
     /// is still running.
+    ///
+    /// The busy contract, precisely: `GraphBusy` is only possible for a
+    /// graph that was *mutated* (tasks or edges added, work assigned)
+    /// after a run of it started and before that run finished.
+    /// Re-submitting an **unchanged** graph concurrently — from any
+    /// number of threads — never fails; the submissions queue on the
+    /// graph's run claim and execute back-to-back in submission order.
+    /// Submissions of *different* graphs never interact: each graph has
+    /// its own claim, and their topologies run concurrently on the
+    /// shared workers.
     pub fn freeze(&self) -> Result<Arc<FrozenGraph>, HfError> {
         self.freeze_with_epoch().map(|(f, _)| f)
     }

@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod affinity;
 pub mod analyze;
 pub mod costmodel;
@@ -61,6 +62,7 @@ pub mod data;
 pub mod dot;
 pub mod error;
 pub mod executor;
+pub mod fleet;
 pub mod graph;
 pub mod inspect;
 pub mod lifecycle;
@@ -73,10 +75,14 @@ pub(crate) mod stream;
 pub mod task;
 pub(crate) mod topology;
 
+pub use admission::{
+    AdmissionPolicy, Fifo, LaneView, StrictPriority, TenantConfig, TenantId, WeightedFair,
+};
 pub use analyze::{Diagnostic, Report, Severity};
 pub use costmodel::{CostDb, TaskCosts};
 pub use error::HfError;
 pub use executor::{Executor, ExecutorBuilder, LintPolicy};
+pub use fleet::{Fleet, FleetConfig, FleetSnapshot, TenantSnapshot};
 pub use graph::{FrozenGraph, Heteroflow, TaskKind};
 pub use inspect::{GraphInfo, NodeInfo};
 pub use lifecycle::{lifecycle_now_ns, LifecycleEvent, LifecyclePhase};

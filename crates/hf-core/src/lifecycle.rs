@@ -139,6 +139,9 @@ pub struct LifecycleEvent {
     pub detail: Option<Arc<str>>,
     /// Epoch index within a stream; `None` for one-shot runs.
     pub epoch: Option<u64>,
+    /// Tenant the submission is attributed to, when it entered through a
+    /// [`crate::Fleet`]; `None` for direct submissions.
+    pub tenant: Option<Arc<str>>,
     /// Nanoseconds since the process lifecycle epoch.
     pub t_ns: u64,
 }
@@ -181,6 +184,7 @@ mod tests {
             ok: true,
             detail: None,
             epoch: None,
+            tenant: None,
             t_ns: lifecycle_now_ns(),
         };
         let c = ev.clone();

@@ -25,10 +25,14 @@
 //! assert_eq!(&*x.read(), &[2, 3, 4]);
 //! ```
 
+pub use crate::admission::{
+    AdmissionPolicy, Fifo, LaneView, StrictPriority, TenantConfig, TenantId, WeightedFair,
+};
 pub use crate::analyze::{Diagnostic, Report, Severity};
 pub use crate::data::HostVec;
 pub use crate::error::HfError;
 pub use crate::executor::{Executor, ExecutorBuilder, LintPolicy};
+pub use crate::fleet::{Fleet, FleetConfig, FleetSnapshot, TenantSnapshot};
 pub use crate::graph::{FrozenGraph, Heteroflow, TaskKind};
 pub use crate::lifecycle::{LifecycleEvent, LifecyclePhase};
 pub use crate::observer::{SpanCat, TraceCollector, Track};

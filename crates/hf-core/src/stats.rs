@@ -101,6 +101,12 @@ pub struct ExecutorStats {
     /// Cost-weighted imbalance (max/mean bin load) of the most recent
     /// placement computed by this executor.
     pub placement_imbalance: F64Gauge,
+    /// Submissions admitted into the executor through a [`crate::Fleet`]
+    /// front-end (direct `run`/`run_stream` submissions are not counted).
+    pub fleet_admissions: GlobalCounter,
+    /// Fleet submissions rejected with a structured error
+    /// (`QuotaExceeded` / `FleetSaturated`) before admission.
+    pub fleet_rejections: GlobalCounter,
 }
 
 impl ExecutorStats {
@@ -128,6 +134,8 @@ impl ExecutorStats {
             placement_est_bytes_saved: GlobalCounter::new(),
             steals_affine: ShardedCounter::new(workers),
             placement_imbalance: F64Gauge::new(1.0),
+            fleet_admissions: GlobalCounter::new(),
+            fleet_rejections: GlobalCounter::new(),
         }
     }
 
@@ -155,6 +163,8 @@ impl ExecutorStats {
         self.placement_est_bytes_saved.reset();
         self.steals_affine.reset();
         self.placement_imbalance.set(1.0);
+        self.fleet_admissions.reset();
+        self.fleet_rejections.reset();
     }
 
     /// Steal success rate in `[0, 1]`; 1.0 when no attempts were made.
@@ -196,6 +206,8 @@ impl ExecutorStats {
             placement_est_bytes_saved: self.placement_est_bytes_saved.sum(),
             steals_affine: self.steals_affine.sum(),
             placement_imbalance: self.placement_imbalance.get(),
+            fleet_admissions: self.fleet_admissions.sum(),
+            fleet_rejections: self.fleet_rejections.sum(),
             inflight_tasks: 0,
             queue_depth: 0,
         }
@@ -254,6 +266,10 @@ pub struct StatsSnapshot {
     pub steals_affine: u64,
     /// Cost-weighted imbalance (max/mean) of the latest placement.
     pub placement_imbalance: f64,
+    /// Submissions admitted through a [`crate::Fleet`] front-end.
+    pub fleet_admissions: u64,
+    /// Fleet submissions rejected before admission (quota/saturation).
+    pub fleet_rejections: u64,
     /// Task bodies executing on workers at snapshot time. Live gauge
     /// filled by `Executor::snapshot`; `ExecutorStats::snapshot` (no
     /// executor in hand) leaves it at zero.

@@ -51,7 +51,7 @@ use crate::topology::{
 };
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -175,6 +175,32 @@ struct SeqDriver {
     placement: Mutex<Arc<Placement>>,
     fusion: Mutex<Arc<FusionPlan>>,
     core: Completion,
+    /// Tenant attribution (fleet submissions); stamped onto each epoch
+    /// topology and the run-level lifecycle events.
+    tenant: Option<Arc<str>>,
+    /// Retry-policy re-dispatches accumulated across the chained epochs,
+    /// reported to `on_done` so a fleet can bill retry work.
+    retries: AtomicU32,
+    /// Completion callback (fleet accounting); fired exactly once, after
+    /// the promise settles.
+    on_done: Mutex<Option<DoneHook>>,
+}
+
+/// Completion callback of one driver submission: the run's result and
+/// the retry-policy re-dispatches it consumed (for tenant billing).
+pub(crate) type DoneHook = Box<dyn FnOnce(&Result<(), HfError>, u32) + Send>;
+
+/// Submission context threaded by [`crate::Fleet`] through the driver:
+/// a pre-allocated completion core (so a parked future exists *before*
+/// admission), the owning tenant, and a completion callback.
+#[derive(Default)]
+pub(crate) struct DriverExtras {
+    /// Pre-allocated completion core; `None` allocates one internally.
+    pub(crate) core: Option<Completion>,
+    /// Tenant attribution for lifecycle events and telemetry.
+    pub(crate) tenant: Option<Arc<str>>,
+    /// Invoked once when the submission settles (after the promise).
+    pub(crate) on_done: Option<DoneHook>,
 }
 
 /// Drives `run_until` (and through it `run`/`run_n`): plans once, claims
@@ -185,18 +211,60 @@ pub(crate) fn run_driver(
     hf: &Heteroflow,
     stop: Box<dyn FnMut() -> bool + Send>,
 ) -> RunFuture {
+    run_driver_ext(exec, hf, stop, DriverExtras::default())
+}
+
+/// [`run_driver`] with fleet submission context ([`DriverExtras`]).
+/// Early failures (executor shut down, plan rejection) settle the
+/// provided core and fire `on_done` before returning, so fleet
+/// bookkeeping never leaks an in-flight slot.
+pub(crate) fn run_driver_ext(
+    exec: &Executor,
+    hf: &Heteroflow,
+    stop: Box<dyn FnMut() -> bool + Send>,
+    extras: DriverExtras,
+) -> RunFuture {
+    let DriverExtras {
+        core: pre_core,
+        tenant,
+        on_done,
+    } = extras;
+    let fail_early = |e: HfError, pre: Option<Completion>, od: Option<DoneHook>| {
+        let result = Err(e);
+        if let Some(cb) = od {
+            cb(&result, 0);
+        }
+        match pre {
+            Some(c) => {
+                c.promise.complete(result);
+                RunFuture { core: c }
+            }
+            None => RunFuture::ready(result),
+        }
+    };
     let inner = &exec.inner;
     if inner.done.load(Ordering::SeqCst) {
-        return RunFuture::ready(Err(HfError::ExecutorShutDown));
+        return fail_early(HfError::ExecutorShutDown, pre_core, on_done);
     }
     let plan = match exec.plan_for(hf) {
         Ok(p) => p,
-        Err(e) => return RunFuture::ready(Err(e)),
+        Err(e) => return fail_early(e, pre_core, on_done),
     };
-    let run_id = inner.run_seq.fetch_add(1, Ordering::Relaxed) + 1;
-    let core = Completion::new(run_id);
+    let core = match pre_core {
+        Some(c) => c,
+        None => Completion::new(inner.run_seq.fetch_add(1, Ordering::Relaxed) + 1),
+    };
+    let run_id = core.run_id();
     let label: Arc<str> = Arc::from(plan.frozen.name());
-    inner.emit_raw_run_lc(run_id, &label, LifecyclePhase::RunStart, true, None, None);
+    inner.emit_raw_run_lc(
+        run_id,
+        &label,
+        LifecyclePhase::RunStart,
+        true,
+        None,
+        None,
+        tenant.as_ref(),
+    );
     if let Some(report) = &plan.lint_report {
         inner.emit_lint_lc(run_id, &label, report);
     }
@@ -215,6 +283,9 @@ pub(crate) fn run_driver(
         placement: Mutex::new(plan.placement),
         fusion: Mutex::new(plan.fusion),
         core: core.clone(),
+        tenant,
+        retries: AtomicU32::new(0),
+        on_done: Mutex::new(on_done),
     });
 
     // Claim the graph, or queue a starter behind the active owner (the
@@ -267,6 +338,7 @@ impl SeqDriver {
             Arc::clone(&self.core.cancel),
             TopoExtras {
                 on_finish: Some(Box::new(move |t: &Arc<Topology>| d.on_epoch_done(t))),
+                tenant: self.tenant.clone(),
                 ..Default::default()
             },
         );
@@ -279,6 +351,10 @@ impl SeqDriver {
     /// (the epoch-local fusion recompute in `end_round` never runs for
     /// single-round epochs), then chains the next epoch or finishes.
     fn on_epoch_done(self: &Arc<Self>, topo: &Arc<Topology>) {
+        let r = topo.retries.load(Ordering::Relaxed);
+        if r > 0 {
+            self.retries.fetch_add(r, Ordering::Relaxed);
+        }
         let p = topo.placement();
         {
             let mut cur = self.placement.lock();
@@ -312,6 +388,7 @@ impl SeqDriver {
             result.is_ok(),
             result.as_ref().err(),
             None,
+            self.tenant.as_ref(),
         );
         let next = {
             let mut rs = self.shared.run_state.lock();
@@ -326,7 +403,15 @@ impl SeqDriver {
         if let Some(starter) = next {
             starter();
         }
-        self.core.promise.complete(result);
+        // The done hook (the fleet's slot release) runs *before* the
+        // promise settles: a submitter woken by the completion then finds
+        // the in-flight slot already freed instead of contending with
+        // this thread for the fleet state lock.
+        let done_hook = self.on_done.lock().take();
+        if let Some(cb) = done_hook {
+            cb(&result, self.retries.load(Ordering::Relaxed));
+        }
+        self.core.promise.complete(result.clone());
         if self.inner.num_topologies.fetch_sub(1, Ordering::SeqCst) == 1 {
             let _g = self.inner.idle_lock.lock();
             self.inner.idle_cv.notify_all();
@@ -484,7 +569,7 @@ impl Session {
 
         let run_id = inner.run_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let label: Arc<str> = Arc::from(frozen.name());
-        inner.emit_raw_run_lc(run_id, &label, LifecyclePhase::RunStart, true, None, None);
+        inner.emit_raw_run_lc(run_id, &label, LifecyclePhase::RunStart, true, None, None, None);
         if let Some(report) = &plan.lint_report {
             inner.emit_lint_lc(run_id, &label, report);
         }
@@ -716,6 +801,7 @@ impl SessionCore {
                     gen: Arc::clone(&self.input_gen),
                     admitted_gen,
                 }),
+                tenant: None,
             };
             let topo = Topology::new(
                 Arc::clone(&self.frozen),
@@ -733,6 +819,7 @@ impl SessionCore {
                 true,
                 None,
                 Some(e),
+                None,
             );
             self.inner.registry.register(&topo);
             self.inner.num_topologies.fetch_add(1, Ordering::SeqCst);
@@ -912,6 +999,7 @@ impl SessionCore {
             &self.label,
             LifecyclePhase::RunEnd,
             true,
+            None,
             None,
             None,
         );

@@ -373,6 +373,9 @@ pub(crate) struct TopoExtras {
     pub(crate) on_finish: Option<EpochFinishHook>,
     /// Failover input-hazard guard (streaming).
     pub(crate) input_guard: Option<InputGuard>,
+    /// Tenant the submission is attributed to ([`crate::Fleet`]
+    /// submissions); stamped onto every lifecycle event of the epoch.
+    pub(crate) tenant: Option<Arc<str>>,
 }
 
 /// Per-submission runtime state: join counters, round bookkeeping, device
@@ -443,6 +446,13 @@ pub(crate) struct Topology {
     pub(crate) on_finish: Mutex<Option<EpochFinishHook>>,
     /// Failover input-hazard guard (streaming).
     pub(crate) input_guard: Option<InputGuard>,
+    /// Tenant attribution (fleet submissions); cloned into lifecycle
+    /// events so per-tenant latency histograms can be folded downstream.
+    pub(crate) tenant: Option<Arc<str>>,
+    /// Retry-policy re-dispatches performed within this epoch. Drivers
+    /// accumulate it across chained epochs so a fleet can charge the
+    /// retry work to the owning tenant's budget.
+    pub(crate) retries: AtomicU32,
 }
 
 impl Topology {
@@ -488,6 +498,8 @@ impl Topology {
             prologue: extras.prologue,
             on_finish: Mutex::new(extras.on_finish),
             input_guard: extras.input_guard,
+            tenant: extras.tenant,
+            retries: AtomicU32::new(0),
         })
     }
 

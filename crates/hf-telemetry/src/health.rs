@@ -67,6 +67,9 @@ struct TaskTiming {
 struct RunFlight {
     run_id: u64,
     graph: Arc<str>,
+    /// Tenant the run is attributed to, captured from the first
+    /// lifecycle event that carries one (fleet submissions only).
+    tenant: Option<Arc<str>>,
     events: Vec<LifecycleEvent>,
     events_applied: u64,
     events_dropped: u64,
@@ -88,6 +91,7 @@ impl RunFlight {
         Self {
             run_id,
             graph,
+            tenant: None,
             events: Vec::new(),
             events_applied: 0,
             events_dropped: 0,
@@ -151,6 +155,47 @@ pub struct RunSummary {
     pub failures: u64,
     /// Whole-run failovers (placement replays after device loss).
     pub failovers: u64,
+    /// Tenant the run is attributed to (fleet submissions only).
+    pub tenant: Option<String>,
+}
+
+/// Per-tenant latency attribution, aggregated across that tenant's runs.
+#[derive(Debug, Clone)]
+pub struct TenantLatency {
+    /// Tenant name.
+    pub tenant: String,
+    /// Completed runs attributed to the tenant.
+    pub runs: u64,
+    /// Completed runs that ended in failure or cancellation.
+    pub failed: u64,
+    /// Ready-to-started queue delay per task execution (ns).
+    pub queue_delay: Histogram,
+    /// Started-to-finished execution time per task (ns).
+    pub exec: Histogram,
+    /// Submit-to-completion latency per run (ns).
+    pub run_latency: Histogram,
+}
+
+/// Mutable per-tenant fold state inside `FlightState`.
+#[derive(Debug)]
+struct TenantHists {
+    runs: u64,
+    failed: u64,
+    queue_delay: Histogram,
+    exec: Histogram,
+    run_latency: Histogram,
+}
+
+impl TenantHists {
+    fn new() -> Self {
+        Self {
+            runs: 0,
+            failed: 0,
+            queue_delay: Histogram::new(duration_bounds_nanos()),
+            exec: Histogram::new(duration_bounds_nanos()),
+            run_latency: Histogram::new(duration_bounds_nanos()),
+        }
+    }
 }
 
 /// Aggregated latency-attribution and EWMA state.
@@ -163,6 +208,10 @@ struct FlightState {
     /// Admission-to-completion latency of streaming epochs
     /// (`epoch_end − epoch_start`, ns).
     epoch_latency: Histogram,
+    /// Per-tenant attribution, keyed by tenant name. Populated only by
+    /// runs whose events carry a tenant (fleet submissions); direct
+    /// submissions land solely in the unlabeled aggregates above.
+    tenants: HashMap<Arc<str>, TenantHists>,
 }
 
 impl FlightState {
@@ -174,7 +223,14 @@ impl FlightState {
             exec: Histogram::new(duration_bounds_nanos()),
             run_latency: Histogram::new(duration_bounds_nanos()),
             epoch_latency: Histogram::new(duration_bounds_nanos()),
+            tenants: HashMap::new(),
         }
+    }
+
+    fn tenant_mut(&mut self, tenant: &Arc<str>) -> &mut TenantHists {
+        self.tenants
+            .entry(Arc::clone(tenant))
+            .or_insert_with(TenantHists::new)
     }
 
     fn run_mut(&mut self, ev: &LifecycleEvent) -> &mut RunFlight {
@@ -280,6 +336,7 @@ impl FlightRecorder {
         let mut failed_runs = Vec::new();
         for ev in drained {
             let graph = Arc::clone(&ev.graph);
+            let tenant = ev.tenant.clone();
             // Derived observations, applied after the run borrow ends.
             let mut queue_obs = None;
             let mut exec_obs = None;
@@ -290,6 +347,11 @@ impl FlightRecorder {
                 let cap = self.per_run_cap;
                 let run = st.run_mut(&ev);
                 run.events_applied += 1;
+                if run.tenant.is_none() {
+                    if let Some(t) = &tenant {
+                        run.tenant = Some(Arc::clone(t));
+                    }
+                }
                 match ev.phase {
                     LifecyclePhase::RunStart => {
                         run.started_ns = ev.t_ns;
@@ -369,7 +431,10 @@ impl FlightRecorder {
                         run.ended_ns = Some(ev.t_ns);
                         run.ok = Some(ev.ok);
                         run.detail = ev.detail.clone();
-                        run_obs = Some(ev.t_ns.saturating_sub(run.started_ns) as f64);
+                        run_obs = Some((
+                            ev.t_ns.saturating_sub(run.started_ns) as f64,
+                            ev.ok,
+                        ));
                         if !ev.ok {
                             failed_runs.push(ev.run_id);
                         }
@@ -390,14 +455,28 @@ impl FlightRecorder {
             }
             if let Some(q) = queue_obs {
                 st.queue_delay.observe(q);
+                if let Some(t) = &tenant {
+                    st.tenant_mut(t).queue_delay.observe(q);
+                }
             }
             if let Some((task, e)) = exec_obs {
                 st.exec.observe(e);
+                if let Some(t) = &tenant {
+                    st.tenant_mut(t).exec.observe(e);
+                }
                 let ewma = st.ewma.entry((graph, task)).or_insert(e);
                 *ewma = (1.0 - EWMA_ALPHA) * *ewma + EWMA_ALPHA * e;
             }
-            if let Some(l) = run_obs {
+            if let Some((l, run_ok)) = run_obs {
                 st.run_latency.observe(l);
+                if let Some(t) = &tenant {
+                    let th = st.tenant_mut(t);
+                    th.run_latency.observe(l);
+                    th.runs += 1;
+                    if !run_ok {
+                        th.failed += 1;
+                    }
+                }
             }
             if let Some(l) = epoch_obs {
                 st.epoch_latency.observe(l);
@@ -484,8 +563,59 @@ impl FlightRecorder {
                 retries: r.tasks.values().map(|t| t.retries as u64).sum(),
                 failures: r.tasks.values().map(|t| t.failures as u64).sum(),
                 failovers: r.failovers as u64,
+                tenant: r.tenant.as_ref().map(|t| t.to_string()),
             })
             .collect()
+    }
+
+    /// Per-tenant latency attribution, sorted by tenant name. Empty
+    /// unless runs entered through a fleet (direct submissions carry no
+    /// tenant and fold only into the unlabeled aggregates).
+    pub fn tenant_latencies(&self) -> Vec<TenantLatency> {
+        let st = self.state.lock();
+        let mut out: Vec<TenantLatency> = st
+            .tenants
+            .iter()
+            .map(|(name, th)| TenantLatency {
+                tenant: name.to_string(),
+                runs: th.runs,
+                failed: th.failed,
+                queue_delay: th.queue_delay.clone(),
+                exec: th.exec.clone(),
+                run_latency: th.run_latency.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
+    }
+
+    /// Per-tenant attribution as one JSON document (for `/tenants`):
+    /// run counts plus p50/p99 of each latency histogram.
+    pub fn tenants_json(&self) -> Value {
+        let tenants = self.tenant_latencies();
+        let mut arr = Vec::with_capacity(tenants.len());
+        for t in tenants {
+            let mut o = Map::new();
+            o.insert("tenant".into(), Value::Str(t.tenant));
+            o.insert("runs".into(), Value::UInt(t.runs));
+            o.insert("failed".into(), Value::UInt(t.failed));
+            for (key, h) in [
+                ("queue_delay_ns", &t.queue_delay),
+                ("exec_ns", &t.exec),
+                ("run_latency_ns", &t.run_latency),
+            ] {
+                let mut l = Map::new();
+                l.insert("count".into(), Value::UInt(h.count));
+                l.insert("p50".into(), Value::Float(h.quantile(0.5)));
+                l.insert("p99".into(), Value::Float(h.quantile(0.99)));
+                o.insert(key.into(), Value::Object(l));
+            }
+            arr.push(Value::Object(o));
+        }
+        let mut o = Map::new();
+        o.insert("schema".into(), Value::Str("hf-tenants-v1".into()));
+        o.insert("tenants".into(), Value::Array(arr));
+        Value::Object(o)
     }
 
     /// The attribution histograms (queue delay, exec, run latency).
@@ -534,6 +664,42 @@ impl FlightRecorder {
             &[],
             self.epoch_latency_histogram(),
         );
+        // Per-tenant labeled series ride alongside the unlabeled
+        // aggregates above (which keep folding every run, tenanted or
+        // not, so existing dashboards stay stable).
+        for t in self.tenant_latencies() {
+            let labels = &[("tenant", t.tenant.as_str())];
+            reg.set_histogram(
+                "hf_task_queue_delay_nanos",
+                "Ready-to-started queue delay per task execution (ns)",
+                labels,
+                t.queue_delay,
+            );
+            reg.set_histogram(
+                "hf_task_exec_nanos",
+                "Started-to-finished execution time per task (ns; device time included for GPU tasks)",
+                labels,
+                t.exec,
+            );
+            reg.set_histogram(
+                "hf_run_latency_nanos",
+                "Submit-to-completion latency per run (ns)",
+                labels,
+                t.run_latency,
+            );
+            reg.set_counter(
+                "hf_tenant_runs_total",
+                "Completed runs attributed to the tenant",
+                labels,
+                t.runs,
+            );
+            reg.set_counter(
+                "hf_tenant_runs_failed_total",
+                "Completed runs attributed to the tenant that failed or were cancelled",
+                labels,
+                t.failed,
+            );
+        }
         reg.set_counter(
             "hf_flight_events_recorded_total",
             "Lifecycle events accepted by the flight recorder",
@@ -580,6 +746,9 @@ impl FlightRecorder {
         if let Some(d) = &ev.detail {
             o.insert("detail".into(), Value::Str(d.to_string()));
         }
+        if let Some(t) = &ev.tenant {
+            o.insert("tenant".into(), Value::Str(t.to_string()));
+        }
         Value::Object(o)
     }
 
@@ -588,6 +757,9 @@ impl FlightRecorder {
         let mut o = Map::new();
         o.insert("run_id".into(), Value::UInt(run.run_id));
         o.insert("graph".into(), Value::Str(run.graph.to_string()));
+        if let Some(t) = &run.tenant {
+            o.insert("tenant".into(), Value::Str(t.to_string()));
+        }
         o.insert("started_ns".into(), Value::UInt(run.started_ns));
         match run.ended_ns {
             Some(e) => o.insert("ended_ns".into(), Value::UInt(e)),
@@ -1163,8 +1335,21 @@ mod tests {
             ok: true,
             detail: None,
             epoch: None,
+            tenant: None,
             t_ns,
         }
+    }
+
+    fn tenant_ev(
+        run_id: u64,
+        tenant: &str,
+        phase: LifecyclePhase,
+        task: Option<u32>,
+        t_ns: u64,
+    ) -> LifecycleEvent {
+        let mut e = ev(run_id, phase, task, t_ns);
+        e.tenant = Some(Arc::from(tenant));
+        e
     }
 
     #[test]
@@ -1187,6 +1372,77 @@ mod tests {
         assert_eq!(s.run_id, 1);
         assert_eq!(s.ok, Some(true));
         assert_eq!(s.tasks, 1);
+    }
+
+    #[test]
+    fn pump_attributes_per_tenant_latency() {
+        let r = FlightRecorder::new();
+        // Run 1 belongs to tenant "small", run 2 to "batch", run 3 is a
+        // direct (untenanted) submission.
+        r.on_lifecycle(&tenant_ev(1, "small", LifecyclePhase::RunStart, None, 1_000));
+        r.on_lifecycle(&tenant_ev(1, "small", LifecyclePhase::Ready, Some(0), 2_000));
+        r.on_lifecycle(&tenant_ev(1, "small", LifecyclePhase::Started, Some(0), 3_000));
+        r.on_lifecycle(&tenant_ev(1, "small", LifecyclePhase::Finished, Some(0), 4_000));
+        r.on_lifecycle(&tenant_ev(1, "small", LifecyclePhase::RunEnd, None, 5_000));
+        r.on_lifecycle(&tenant_ev(2, "batch", LifecyclePhase::RunStart, None, 1_000));
+        let mut end = tenant_ev(2, "batch", LifecyclePhase::RunEnd, None, 21_000);
+        end.ok = false;
+        r.on_lifecycle(&end);
+        r.on_lifecycle(&ev(3, LifecyclePhase::RunStart, None, 1_000));
+        r.on_lifecycle(&ev(3, LifecyclePhase::RunEnd, None, 2_000));
+        r.pump();
+
+        // Unlabeled aggregates fold every run, tenanted or not.
+        let (_, _, rl) = r.latency_histograms();
+        assert_eq!(rl.count, 3, "aggregate run latency counts all runs");
+
+        let tenants = r.tenant_latencies();
+        assert_eq!(tenants.len(), 2, "direct submission creates no tenant");
+        let batch = &tenants[0];
+        let small = &tenants[1];
+        assert_eq!(batch.tenant, "batch");
+        assert_eq!((batch.runs, batch.failed), (1, 1));
+        assert!((batch.run_latency.sum - 20_000.0).abs() < 1e-9);
+        assert_eq!(small.tenant, "small");
+        assert_eq!((small.runs, small.failed), (1, 0));
+        assert!((small.run_latency.sum - 4_000.0).abs() < 1e-9);
+        assert_eq!(small.queue_delay.count, 1);
+        assert_eq!(small.exec.count, 1);
+
+        // Summaries and dumps carry the attribution.
+        let sums = r.summaries();
+        assert_eq!(
+            sums.iter()
+                .find(|s| s.run_id == 1)
+                .and_then(|s| s.tenant.clone()),
+            Some("small".to_string())
+        );
+        assert_eq!(
+            sums.iter().find(|s| s.run_id == 3).map(|s| s.tenant.clone()),
+            Some(None)
+        );
+        let text =
+            serde_json::to_string(&r.dump_run_json(2).expect("retained")).expect("infallible");
+        assert!(text.contains("\"tenant\":\"batch\""), "{text}");
+        let tj = serde_json::to_string(&r.tenants_json()).expect("infallible");
+        assert!(tj.contains("hf-tenants-v1"), "{tj}");
+        assert!(tj.contains("\"tenant\":\"small\""), "{tj}");
+
+        // Prometheus export gains labeled series; aggregates stay.
+        let reg = MetricsRegistry::new();
+        r.export_into(&reg);
+        let prom = reg.prometheus_text();
+        assert!(
+            prom.contains("hf_run_latency_nanos_bucket{tenant=\"small\""),
+            "{prom}"
+        );
+        assert!(prom.contains("hf_tenant_runs_total{tenant=\"batch\"} 1"), "{prom}");
+        assert!(
+            prom.contains("hf_tenant_runs_failed_total{tenant=\"batch\"} 1"),
+            "{prom}"
+        );
+        // The unlabeled aggregate count line still reports all 3 runs.
+        assert!(prom.contains("hf_run_latency_nanos_count 3"), "{prom}");
     }
 
     #[test]

@@ -32,7 +32,8 @@ pub mod serve;
 pub use critpath::{critical_path, CriticalPathReport, PathStep};
 pub use export::{chrome_trace, spans_from_sim};
 pub use health::{
-    FlightRecorder, HealthEvent, HealthVerdict, RunProgress, RunSummary, Watchdog, WatchdogConfig,
+    FlightRecorder, HealthEvent, HealthVerdict, RunProgress, RunSummary, TenantLatency, Watchdog,
+    WatchdogConfig,
 };
 pub use metrics::MetricsRegistry;
 pub use serve::{HealthHub, HealthServer};

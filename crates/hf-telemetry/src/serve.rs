@@ -16,6 +16,8 @@
 //! * `GET /runs` — flight-recorder run summaries as JSON.
 //! * `GET /flight` — the full flight-recorder dump (every retained run's
 //!   black box).
+//! * `GET /tenants` — per-tenant latency attribution plus the wired
+//!   fleet snapshot (multi-tenant serving), as JSON.
 
 use crate::health::{FlightRecorder, Watchdog};
 use crate::metrics::MetricsRegistry;
@@ -32,12 +34,17 @@ use std::time::Duration;
 /// scrape time (executor snapshots, GPU runtime counters, …).
 pub type Collector = Box<dyn Fn(&MetricsRegistry) + Send + Sync>;
 
+/// Scrape-time tenant source: a closure returning a JSON document (a
+/// fleet snapshot) merged into `/tenants` responses.
+pub type TenantSource = Box<dyn Fn() -> String + Send + Sync>;
+
 /// Aggregates the health surfaces one process exposes: the flight
 /// recorder, an optional watchdog, and scrape-time metric collectors.
 pub struct HealthHub {
     recorder: Arc<FlightRecorder>,
     watchdog: Mutex<Option<Arc<Watchdog>>>,
     collectors: Mutex<Vec<Collector>>,
+    tenant_source: Mutex<Option<TenantSource>>,
 }
 
 impl HealthHub {
@@ -47,6 +54,7 @@ impl HealthHub {
             recorder,
             watchdog: Mutex::new(None),
             collectors: Mutex::new(Vec::new()),
+            tenant_source: Mutex::new(None),
         })
     }
 
@@ -63,6 +71,14 @@ impl HealthHub {
     /// Adds a scrape-time collector, called on every `/metrics` request.
     pub fn add_collector(&self, f: impl Fn(&MetricsRegistry) + Send + Sync + 'static) {
         self.collectors.lock().push(Box::new(f));
+    }
+
+    /// Wires a scrape-time tenant source — typically
+    /// `move || serde_json::to_string(&fleet.snapshot())` — whose JSON is
+    /// merged into `/tenants` responses as the `fleet` field, next to the
+    /// recorder's per-tenant latency attribution.
+    pub fn set_tenant_source(&self, f: impl Fn() -> String + Send + Sync + 'static) {
+        *self.tenant_source.lock() = Some(Box::new(f));
     }
 
     /// Renders the `/metrics` document (Prometheus text).
@@ -131,6 +147,22 @@ impl HealthHub {
     pub fn flight_text(&self) -> String {
         self.recorder.pump();
         serde_json::to_string_pretty(&self.recorder.dump_json()).expect("infallible")
+    }
+
+    /// Renders the `/tenants` document (JSON): the recorder's per-tenant
+    /// latency attribution, plus the wired fleet snapshot when a tenant
+    /// source is set.
+    pub fn tenants_text(&self) -> String {
+        self.recorder.pump();
+        let mut v = self.recorder.tenants_json();
+        if let Some(src) = self.tenant_source.lock().as_ref() {
+            let raw = src();
+            let fleet = serde_json::from_str(&raw).unwrap_or(Value::Str(raw));
+            if let Value::Object(o) = &mut v {
+                o.insert("fleet".into(), fleet);
+            }
+        }
+        serde_json::to_string_pretty(&v).expect("infallible")
     }
 }
 
@@ -226,10 +258,11 @@ fn serve_one(mut stream: TcpStream, hub: &HealthHub) -> std::io::Result<()> {
             "/health" => ("200 OK", "application/json", hub.health_text()),
             "/runs" => ("200 OK", "application/json", hub.runs_text()),
             "/flight" => ("200 OK", "application/json", hub.flight_text()),
+            "/tenants" => ("200 OK", "application/json", hub.tenants_text()),
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "not found — try /metrics, /health, /runs, /flight\n".to_string(),
+                "not found — try /metrics, /health, /runs, /flight, /tenants\n".to_string(),
             ),
         }
     };
@@ -287,8 +320,27 @@ mod tests {
             Some("hf-flight-recorder-v1")
         );
 
-        let (head, _) = get(addr, "/nope");
+        let (head, body) = get(addr, "/tenants");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let v = serde_json::from_str(&body).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(|x| x.as_str()),
+            Some("hf-tenants-v1")
+        );
+        assert!(v.get("fleet").is_none(), "no tenant source wired yet");
+        hub.set_tenant_source(|| "{\"policy\":\"weighted_fair\"}".to_string());
+        let (_, body) = get(addr, "/tenants");
+        let v = serde_json::from_str(&body).expect("valid JSON");
+        assert_eq!(
+            v.get("fleet")
+                .and_then(|f| f.get("policy"))
+                .and_then(|p| p.as_str()),
+            Some("weighted_fair")
+        );
+
+        let (head, body) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"));
+        assert!(body.contains("/tenants"), "{body}");
         drop(server); // clean shutdown joins the accept thread
     }
 }

@@ -294,6 +294,86 @@ fn device_loss_completes_on_survivors() {
     );
 }
 
+/// Chaos with two tenants sharing a fleet: seeded fault plans fire under
+/// concurrent multi-tenant submission, and every future still settles
+/// within the deadline as success-with-correct-data or a structured
+/// error — admission bookkeeping never wedges or leaks an in-flight slot.
+#[test]
+fn fleet_chaos_two_tenants_never_hang() {
+    let base = base_seed() ^ 0xf1ee;
+    let mut rng = Rng(base);
+    let (mut ok, mut failed) = (0u32, 0u32);
+    for iter in 0..10 {
+        let seed = rng.next();
+        eprintln!("fleet chaos iteration {iter}: plan seed {seed}");
+        let ex = chaos_executor(plan_for(seed));
+        let fleet = Fleet::new(
+            ex,
+            FleetConfig {
+                max_inflight: 2,
+                ..FleetConfig::default()
+            },
+        );
+        let alpha = fleet.register("alpha", TenantConfig { weight: 4, ..TenantConfig::default() });
+        let beta = fleet.register("beta", TenantConfig::default());
+
+        const N: usize = 128;
+        let mut lanes = Vec::new();
+        for (tenant, runs) in [(&alpha, 3usize), (&beta, 2usize)] {
+            for r in 0..runs {
+                let x: HostVec<i32> = HostVec::from_vec(vec![1; N]);
+                let g = Heteroflow::new(&format!("chaos_{}_{r}", tenant.as_str()));
+                let p = g.pull("pull", &x);
+                let k = g.kernel("double", &[&p], |cfg, args| {
+                    let xs = args.slice_mut::<i32>(0).unwrap();
+                    for t in cfg.threads() {
+                        if t < xs.len() {
+                            xs[t] *= 2;
+                        }
+                    }
+                });
+                k.cover(N, 64);
+                let s = g.push("push", &p, &x);
+                p.precede(&k);
+                k.precede(&s);
+                let fut = fleet.submit(tenant, &g).expect("no quotas configured");
+                lanes.push((x, fut));
+            }
+        }
+        for (x, fut) in lanes {
+            match fut.wait_timeout(DEADLINE) {
+                None => panic!("fleet run hung under fault plan (seed {seed})"),
+                Some(Ok(())) => {
+                    assert!(
+                        x.read().iter().all(|&v| v == 2),
+                        "fleet run reported success with wrong data (seed {seed})"
+                    );
+                    ok += 1;
+                }
+                Some(Err(e)) => {
+                    assert!(
+                        !matches!(e, HfError::Cancelled),
+                        "uncancelled fleet run ended Cancelled (seed {seed}): {e}"
+                    );
+                    failed += 1;
+                }
+            }
+        }
+        fleet.wait_idle();
+        let snap = fleet.snapshot();
+        assert_eq!(snap.inflight, 0, "slot leak after drain (seed {seed})");
+        assert_eq!(snap.queued, 0, "queue leak after drain (seed {seed})");
+        let settled: u64 = snap
+            .tenants
+            .iter()
+            .map(|t| t.completed + t.failed + t.cancelled)
+            .sum();
+        assert_eq!(settled, 5, "every submission settles exactly once (seed {seed})");
+    }
+    eprintln!("fleet chaos summary (base seed {base}): {ok} ok, {failed} structured failures");
+    assert!(ok > 0, "no fleet run succeeded under chaos (base seed {base})");
+}
+
 /// H2D faults aimed at the transfer-elision path: a graph whose pull has
 /// valid residency is mutated and re-run under an H2D fault budget. The
 /// retried copy must deliver the *new* host bytes — a bug that left stale
